@@ -1,0 +1,13 @@
+(* Quick calibration probe for the Figure 11 simulator. *)
+let () =
+  let requests = try int_of_string Sys.argv.(1) with _ -> 20_000 in
+  let series = Mcsim.Mail_model.figure11 ~requests () in
+  List.iter
+    (fun s ->
+      Printf.printf "%-9s" (Mailboat.Server.kind_name s.Mcsim.Mail_model.kind);
+      List.iter
+        (fun p ->
+          Printf.printf " %6.1fk" (p.Mcsim.Mail_model.throughput_rps /. 1000.))
+        s.Mcsim.Mail_model.points;
+      print_newline ())
+    series

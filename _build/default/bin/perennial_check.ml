@@ -1,0 +1,103 @@
+(* perennial_check: run every verification artifact in the repository and
+   print a report — the outline proofs (Theorem 2's premises) and the
+   exhaustive refinement checks (its conclusion) for each system.
+
+   Usage: perennial_check [outlines|refinement|all] *)
+
+module V = Tslang.Value
+module R = Perennial_core.Refinement
+module O = Perennial_core.Outline
+
+let ok = ref 0
+let failed = ref 0
+
+let report name result =
+  match result with
+  | Ok detail ->
+    incr ok;
+    Printf.printf "  [OK]   %-50s %s\n%!" name detail
+  | Error detail ->
+    incr failed;
+    Printf.printf "  [FAIL] %-50s %s\n%!" name detail
+
+let outline_result = function
+  | O.Accepted r -> Ok (Fmt.str "%a" O.pp_report r)
+  | O.Rejected why -> Error why
+
+let refinement_result = function
+  | R.Refinement_holds stats -> Ok (Fmt.str "%a" R.pp_stats stats)
+  | R.Refinement_violated (f, _) -> Error f.R.reason
+  | R.Budget_exhausted stats -> Error (Fmt.str "budget exhausted (%a)" R.pp_stats stats)
+
+let run_outlines () =
+  print_endline "Proof outlines (premises of Theorem 2, per system):";
+  List.iter
+    (fun (name, r) -> report ("replicated-disk " ^ name) (outline_result r))
+    (Systems.Rd_proof.check 2);
+  List.iter
+    (fun (name, r) -> report ("write-ahead-log " ^ name) (outline_result r))
+    (Systems.Wal_proof.check ());
+  List.iter
+    (fun (name, r) -> report ("shadow-copy " ^ name) (outline_result r))
+    (Systems.Shadow_proof.check ());
+  List.iter
+    (fun (name, r) -> report ("cached-block " ^ name) (outline_result r))
+    (Systems.Cached_proof.check ())
+
+let run_refinement () =
+  print_endline "Exhaustive concurrent-recovery-refinement checks:";
+  let vx = V.str "x" and vy = V.str "y" in
+  report "replicated-disk: 2 writers + crash + disk failure"
+    (refinement_result
+       (R.check
+          (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1 ~size:1
+             [ [ Systems.Replicated_disk.write_call 0 vx ];
+               [ Systems.Replicated_disk.write_call 0 vy ] ])));
+  report "cached-block: put + get + crash (versioned memory)"
+    (refinement_result
+       (R.check
+          (Systems.Cached_block.checker_config ~max_crashes:1
+             [ [ Systems.Cached_block.put_call (V.str "x") ];
+               [ Systems.Cached_block.get_call ] ])));
+  report "shadow-copy: writer + reader + crash"
+    (refinement_result
+       (R.check
+          (Systems.Shadow_copy.checker_config ~max_crashes:1
+             [ [ Systems.Shadow_copy.write_call vx vy ]; [ Systems.Shadow_copy.read_call ] ])));
+  report "write-ahead-log: writer + crash during recovery"
+    (refinement_result
+       (R.check (Systems.Wal.checker_config ~max_crashes:2 [ [ Systems.Wal.write_call vx vy ] ])));
+  report "group-commit: write+flush + crash (lossy spec)"
+    (refinement_result
+       (R.check
+          (Systems.Group_commit.checker_config ~max_crashes:1
+             [ [ Systems.Group_commit.write_call vx vy; Systems.Group_commit.flush_call ] ])));
+  report "mailboat: deliver + crash + recovery"
+    (refinement_result
+       (R.check
+          (Mailboat.Core.checker_config ~users:1 ~max_crashes:1
+             [ [ Mailboat.Core.deliver_call 0 "ab" ] ])));
+  report "mailboat: fsync deliver under deferred durability"
+    (refinement_result
+       (R.check
+          (Mailboat.Core.checker_config ~users:1 ~max_crashes:1 ~durability:`Deferred
+             [ [ Mailboat.Core.deliver_fsync_call 0 "ab" ] ])));
+  report "layered: WAL over replicated disk + crash + disk failure"
+    (refinement_result
+       (R.check
+          (Systems.Layered.checker_config ~may_fail:true ~max_crashes:1
+             [ [ Systems.Layered.write_call (V.str "x") (V.str "y") ] ])));
+  report "mailboat: randomized check, larger instance"
+    (refinement_result
+       (R.check_random ~schedules:100 ~crash_prob:0.05
+          (Mailboat.Core.checker_config ~users:2 ~max_crashes:1
+             [ [ Mailboat.Core.deliver_call 0 "ab"; Mailboat.Core.deliver_call 0 "cd" ];
+               [ Mailboat.Core.deliver_call 1 "ef" ];
+               [ Mailboat.Core.pickup_call 1; Mailboat.Core.unlock_call 1 ] ])))
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "outlines" || what = "all" then run_outlines ();
+  if what = "refinement" || what = "all" then run_refinement ();
+  Printf.printf "\n%d checks passed, %d failed\n" !ok !failed;
+  if !failed > 0 then exit 1

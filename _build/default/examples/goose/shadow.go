@@ -1,0 +1,50 @@
+package shadowgo
+
+import (
+	"disk"
+	"sync"
+)
+
+// areaBase returns the first block of the named area: "A" at 0, "B" at 2.
+func areaBase(area []byte) uint64 {
+	if string(area) == "A" {
+		return 0
+	}
+	return 2
+}
+
+// otherArea flips between the two areas.
+func otherArea(area []byte) []byte {
+	if string(area) == "A" {
+		return []byte("B")
+	}
+	return []byte("A")
+}
+
+// Write installs the pair (v1, v2) atomically: fill the inactive area,
+// then flip the pointer block (the commit point).
+func Write(v1 []byte, v2 []byte) {
+	sync.Lock(0)
+	cur := disk.Read(4)
+	shadow := otherArea(cur)
+	base := areaBase(shadow)
+	disk.Write(base, v1)
+	disk.Write(base+1, v2)
+	disk.Write(4, shadow)
+	sync.Unlock(0)
+}
+
+// Read returns the current pair from the active area.
+func Read() (string, string) {
+	sync.Lock(0)
+	cur := disk.Read(4)
+	base := areaBase(cur)
+	a := disk.Read(base)
+	b := disk.Read(base + 1)
+	sync.Unlock(0)
+	return string(a), string(b)
+}
+
+// Recover does nothing: an unflipped shadow area is invisible.
+func Recover() {
+}

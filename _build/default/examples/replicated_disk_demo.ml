@@ -1,0 +1,65 @@
+(* The paper's running example, end to end (§1, §3, §5).
+
+   This demo shows all three layers of the reproduction on the replicated
+   disk:
+   1. the proof-outline checker accepting the Perennial-style proof
+      (versioned leases, crash invariant with a helping token);
+   2. the refinement checker exhaustively validating the implementation
+      under crashes and disk failures — and exhibiting a counterexample
+      trace for the §1 "zero both disks" recovery;
+   3. a concrete execution with fail-over.
+
+   Run with: dune exec examples/replicated_disk_demo.exe *)
+
+module V = Tslang.Value
+module R = Perennial_core.Refinement
+module O = Perennial_core.Outline
+module Rd = Systems.Replicated_disk
+
+let () =
+  Fmt.pr "== 1. Proof outlines (Theorem 2 premises) ==@.";
+  List.iter
+    (fun (name, result) -> Fmt.pr "  %-16s %a@." name O.pp_result result)
+    (Systems.Rd_proof.check 1);
+  Fmt.pr "@.== 2. Exhaustive refinement check ==@.";
+  Fmt.pr "  two writers to the same address, crash injection,@.";
+  Fmt.pr "  disk-1 failure injection, recovery, double read-back:@.";
+  let cfg =
+    Rd.checker_config ~may_fail:true ~max_crashes:1 ~size:1
+      [ [ Rd.write_call 0 (V.str "a") ]; [ Rd.write_call 0 (V.str "b") ] ]
+  in
+  (match R.check cfg with
+  | R.Refinement_holds stats -> Fmt.pr "  refinement holds: %a@." R.pp_stats stats
+  | R.Refinement_violated (f, _) -> Fmt.pr "  UNEXPECTED %a@." R.pp_failure f
+  | R.Budget_exhausted _ -> Fmt.pr "  budget exhausted@.");
+
+  Fmt.pr "@.== 3. The §1 wrong recovery: zero both disks ==@.";
+  let bad =
+    R.config ~spec:(Rd.spec 1)
+      ~init_world:(Rd.init_world ~may_fail:false 1)
+      ~crash_world:Rd.crash_world ~pp_world:Rd.pp_world
+      ~threads:[ [ Rd.write_call 0 (V.str "x") ] ]
+      ~recovery:(Rd.Buggy.recover_zero 1) ~post:(Rd.probe 1) ~max_crashes:1 ()
+  in
+  (match R.check bad with
+  | R.Refinement_violated (f, _) ->
+    Fmt.pr "  rejected with counterexample:@.  %a@." R.pp_failure f
+  | R.Refinement_holds _ -> Fmt.pr "  UNEXPECTED: accepted@."
+  | R.Budget_exhausted _ -> Fmt.pr "  budget exhausted@.");
+
+  Fmt.pr "@.== 4. Concrete execution with fail-over ==@.";
+  let w0 = Rd.init_world ~may_fail:false 2 in
+  let out =
+    Sched.Runner.run w0
+      [ Rd.write_prog 0 (V.str "hello"); Rd.write_prog 1 (V.str "world") ]
+  in
+  Fmt.pr "  after two writes: %a@." Rd.pp_world out.Sched.Runner.world;
+  (* fail disk 1 by hand, then read through the library *)
+  let failed =
+    { out.Sched.Runner.world with
+      Rd.disks = Disk.Two_disk.fail out.Sched.Runner.world.Rd.disks Disk.Two_disk.D1
+    }
+  in
+  let _, v = Sched.Runner.run1 failed (Rd.read_prog 0) in
+  Fmt.pr "  disk 1 failed; rd_read(0) fails over to disk 2 and returns %a@." V.pp v;
+  Fmt.pr "@.All three layers agree: the replicated disk implements Figure 3.@."

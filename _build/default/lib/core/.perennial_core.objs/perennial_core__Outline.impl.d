@@ -1,0 +1,1 @@
+lib/core/outline.ml: Fmt List Printf Seplogic String

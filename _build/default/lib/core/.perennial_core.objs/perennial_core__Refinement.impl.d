@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Fmt Int List Option Random Sched String Tslang

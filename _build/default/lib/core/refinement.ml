@@ -1,0 +1,620 @@
+module V = Tslang.Value
+module Spec = Tslang.Spec
+
+type ('w, 's) config = {
+  spec : 's Spec.t;
+  init_world : 'w;
+  crash_world : 'w -> 'w;
+  pp_world : 'w Fmt.t;
+  threads : (Spec.call * ('w, V.t) Sched.Prog.t) list list;
+  recovery : ('w, V.t) Sched.Prog.t;
+  post : (Spec.call * ('w, V.t) Sched.Prog.t) list;
+  max_crashes : int;
+  step_budget : int;
+  fail_on_deadlock : bool;
+}
+
+let config ~spec ~init_world ~crash_world ~pp_world ~threads ~recovery ?(post = [])
+    ?(max_crashes = 1) ?(step_budget = 5_000_000) ?(fail_on_deadlock = true) () =
+  {
+    spec; init_world; crash_world; pp_world; threads; recovery; post; max_crashes;
+    step_budget; fail_on_deadlock;
+  }
+
+type stats = {
+  executions : int;
+  steps : int;
+  crashes_injected : int;
+  vacuous : int;
+  max_candidates : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "executions=%d steps=%d crashes=%d vacuous=%d max_candidates=%d"
+    s.executions s.steps s.crashes_injected s.vacuous s.max_candidates
+
+type failure = { reason : string; trace : string list }
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v>refinement violated: %s@,trace:@,  @[<v>%a@]@]" f.reason
+    (Fmt.list ~sep:Fmt.cut Fmt.string)
+    f.trace
+
+type result =
+  | Refinement_holds of stats
+  | Refinement_violated of failure * stats
+  | Budget_exhausted of stats
+
+(* Internal mutable counters; snapshotted into [stats] at the end. *)
+type counters = {
+  mutable c_executions : int;
+  mutable c_steps : int;
+  mutable c_crashes : int;
+  mutable c_vacuous : int;
+  mutable c_max_candidates : int;
+}
+
+let new_counters () =
+  { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0 }
+
+let snapshot ctr =
+  {
+    executions = ctr.c_executions;
+    steps = ctr.c_steps;
+    crashes_injected = ctr.c_crashes;
+    vacuous = ctr.c_vacuous;
+    max_candidates = ctr.c_max_candidates;
+  }
+
+exception Violation of failure
+exception Budget
+
+(* A pending-or-linearized operation on the spec side.  [result = None]
+   means not yet linearized. *)
+type pending = { ptid : int; pcall : Spec.call; result : V.t option }
+
+(* A linearization candidate: one way the spec could have explained the
+   execution so far. *)
+type 's cand = { st : 's; pend : pending list (* sorted by ptid *) }
+
+(* A running thread: its current operation, its program position, and the
+   operations it has yet to invoke. *)
+type 'w live = {
+  tid : int;
+  call : Spec.call;
+  prog : ('w, V.t) Sched.Prog.t;
+  rest : (Spec.call * ('w, V.t) Sched.Prog.t) list;
+}
+
+(* Spec-level undefined behaviour reachable: obligations become vacuous. *)
+exception Vacuous
+
+(* ------------------------------------------------------------------ *)
+(* Candidate tracking, shared by the exhaustive and randomized checkers *)
+(* ------------------------------------------------------------------ *)
+
+type 's tracker = {
+  saturate : 's cand list -> 's cand list;
+      (** close under linearizing any pending operation; raises [Vacuous]
+          on reachable spec-level undefined behaviour *)
+  add_pending : int -> Spec.call -> 's cand list -> 's cand list;
+  respond : int -> V.t -> string list -> 's cand list -> 's cand list;
+      (** filter candidates by an observed response; raises [Violation] *)
+  crash_cands : string list -> 's cand list -> 's cand list;
+      (** apply the atomic spec crash transition, dropping in-flight ops;
+          raises [Violation] if unsatisfiable *)
+}
+
+let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
+  let compare_pending a b =
+    let c = Int.compare a.ptid b.ptid in
+    if c <> 0 then c
+    else
+      let c = String.compare a.pcall.Spec.op b.pcall.Spec.op in
+      if c <> 0 then c
+      else
+        let c = List.compare V.compare a.pcall.Spec.args b.pcall.Spec.args in
+        if c <> 0 then c else Option.compare V.compare a.result b.result
+  in
+  let compare_cand c1 c2 =
+    let c = spec.Spec.compare_state c1.st c2.st in
+    if c <> 0 then c else List.compare compare_pending c1.pend c2.pend
+  in
+  let dedup cands =
+    let sorted = List.sort_uniq compare_cand cands in
+    if List.length sorted > ctr.c_max_candidates then
+      ctr.c_max_candidates <- List.length sorted;
+    sorted
+  in
+  let saturate cands =
+    let seen = ref (dedup cands) in
+    let rec grow frontier =
+      let fresh = ref [] in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun p ->
+              match p.result with
+              | Some _ -> ()
+              | None ->
+                if Spec.op_has_undefined spec c.st p.pcall then raise Vacuous;
+                List.iter
+                  (fun (st', v) ->
+                    let pend =
+                      List.map
+                        (fun q -> if q.ptid = p.ptid then { q with result = Some v } else q)
+                        c.pend
+                    in
+                    let c' = { st = st'; pend } in
+                    if
+                      not
+                        (List.exists (fun x -> compare_cand x c' = 0) !seen
+                        || List.exists (fun x -> compare_cand x c' = 0) !fresh)
+                    then fresh := c' :: !fresh)
+                  (Spec.op_outcomes spec c.st p.pcall))
+            c.pend)
+        frontier;
+      match !fresh with
+      | [] -> ()
+      | fs ->
+        seen := dedup (fs @ !seen);
+        grow fs
+    in
+    grow !seen;
+    !seen
+  in
+  let add_pending tid call cands =
+    List.map
+      (fun c ->
+        { c with
+          pend =
+            List.sort compare_pending
+              ({ ptid = tid; pcall = call; result = None } :: c.pend)
+        })
+      cands
+  in
+  let respond tid v trace cands =
+    let sat = saturate cands in
+    let kept =
+      List.filter_map
+        (fun c ->
+          match List.find_opt (fun p -> p.ptid = tid) c.pend with
+          | Some { result = Some v'; _ } when V.equal v v' ->
+            Some { c with pend = List.filter (fun p -> p.ptid <> tid) c.pend }
+          | Some _ | None -> None)
+        sat
+    in
+    match dedup kept with
+    | [] ->
+      raise
+        (Violation
+           {
+             reason =
+               Fmt.str "no linearization explains thread %d returning %a" tid V.pp v;
+             trace = List.rev trace;
+           })
+    | cs -> cs
+  in
+  let crash_cands trace cands =
+    let crashed =
+      List.concat_map
+        (fun c ->
+          List.map (fun st' -> { st = st'; pend = [] }) (Spec.crash_outcomes spec c.st))
+        cands
+    in
+    match dedup crashed with
+    | [] ->
+      raise
+        (Violation
+           { reason = "spec crash transition unsatisfiable"; trace = List.rev trace })
+    | cs -> cs
+  in
+  { saturate; add_pending; respond; crash_cands }
+
+(* ------------------------------------------------------------------ *)
+(* The exhaustive checker                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check (type w s) (cfg : (w, s) config) : result =
+  let spec = cfg.spec in
+  let ctr = new_counters () in
+  let tk = make_tracker spec ctr in
+  let next_tid = ref 0 in
+  let fresh_tid () =
+    let t = !next_tid in
+    incr next_tid;
+    t
+  in
+
+  (* Process all finished threads' responses eagerly, invoking each thread's
+     next operation as the previous one completes. *)
+  let rec settle lives cands trace =
+    let rec find acc = function
+      | [] -> None
+      | ({ prog = Sched.Prog.Done v; _ } as l) :: rest -> Some (List.rev_append acc rest, l, v)
+      | l :: rest -> find (l :: acc) rest
+    in
+    match find [] lives with
+    | None -> (lives, cands, trace)
+    | Some (others, l, v) ->
+      let trace = Fmt.str "t%d: %a returns %a" l.tid Spec.pp_call l.call V.pp v :: trace in
+      let cands = tk.respond l.tid v trace cands in
+      (match l.rest with
+      | [] -> settle others cands trace
+      | (call', prog') :: rest' ->
+        let tid = fresh_tid () in
+        let live' = { tid; call = call'; prog = prog'; rest = rest' } in
+        let trace = Fmt.str "t%d: invoke %a" tid Spec.pp_call call' :: trace in
+        settle (live' :: others) (tk.add_pending tid call' cands) trace)
+  in
+
+  let bump_steps () =
+    ctr.c_steps <- ctr.c_steps + 1;
+    if ctr.c_steps > cfg.step_budget then raise Budget
+  in
+
+  (* A path that reaches spec-level undefined behaviour is vacuously
+     correct: the spec constrains nothing for such clients (§8.3). *)
+  let vacuous_ok f = try f () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1 in
+
+  (* Run the post-phase probe operations sequentially (exploring any
+     nondeterminism in their actions), then count one finished execution. *)
+  let rec run_post w cands trace = function
+    | [] -> ctr.c_executions <- ctr.c_executions + 1
+    | (call, prog) :: rest ->
+      let tid = fresh_tid () in
+      let cands = tk.add_pending tid call cands in
+      let rec go w prog trace =
+        match prog with
+        | Sched.Prog.Done v ->
+          let trace = Fmt.str "post t%d: %a returns %a" tid Spec.pp_call call V.pp v :: trace in
+          vacuous_ok (fun () ->
+              let cands = tk.respond tid v trace cands in
+              run_post w cands trace rest)
+        | Sched.Prog.Atomic { label; action; k } ->
+          bump_steps ();
+          (match action w with
+          | Sched.Prog.Ub reason ->
+            raise
+              (Violation
+                 {
+                   reason = Fmt.str "post op hit undefined behaviour at %s: %s" label reason;
+                   trace = List.rev trace;
+                 })
+          | Sched.Prog.Steps [] ->
+            raise
+              (Violation
+                 { reason = Fmt.str "post op blocked at %s" label; trace = List.rev trace })
+          | Sched.Prog.Steps outs ->
+            List.iter (fun (w', v) -> go w' (k v) (Fmt.str "post: %s" label :: trace)) outs)
+      in
+      go w prog trace
+  in
+
+  (* After recovery completes: one atomic spec crash transition; all
+     operations still in flight at the crash are dropped (those that
+     linearized keep their effect in the candidate state). *)
+  let finish_recovery w cands trace =
+    run_post w (tk.crash_cands trace cands) trace cfg.post
+  in
+
+  (* Recovery runs single-threaded; it may crash and restart (idempotence,
+     §5.5).  [crashes] counts injected crashes on this path. *)
+  let rec run_recovery w cands crashes trace =
+    let rec go w prog crashes trace =
+      (* crash-during-recovery branch *)
+      if crashes < cfg.max_crashes then begin
+        ctr.c_crashes <- ctr.c_crashes + 1;
+        run_recovery (cfg.crash_world w) cands (crashes + 1)
+          ("CRASH (during recovery)" :: trace)
+      end;
+      match prog with
+      | Sched.Prog.Done _ -> finish_recovery w cands trace
+      | Sched.Prog.Atomic { label; action; k } ->
+        bump_steps ();
+        (match action w with
+        | Sched.Prog.Ub reason ->
+          raise
+            (Violation
+               {
+                 reason = Fmt.str "recovery hit undefined behaviour at %s: %s" label reason;
+                 trace = List.rev trace;
+               })
+        | Sched.Prog.Steps [] ->
+          raise
+            (Violation
+               { reason = Fmt.str "recovery blocked at %s" label; trace = List.rev trace })
+        | Sched.Prog.Steps outs ->
+          List.iter
+            (fun (w', v) -> go w' (k v) crashes (Fmt.str "recovery: %s" label :: trace))
+            outs)
+    in
+    go w cfg.recovery crashes trace
+  in
+
+  (* Main exploration: interleave threads; crash at any point. *)
+  let rec explore w lives cands crashes trace =
+    match settle lives cands trace with
+    | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
+    | lives, cands, trace ->
+      (* crash branch: a crash may strike at any point, including after all
+         operations completed (durability of acknowledged writes). *)
+      if crashes < cfg.max_crashes then begin
+        ctr.c_crashes <- ctr.c_crashes + 1;
+        vacuous_ok (fun () ->
+            let sat = tk.saturate cands in
+            run_recovery (cfg.crash_world w) sat (crashes + 1) ("CRASH" :: trace))
+      end;
+      if lives = [] then run_post w cands trace cfg.post
+      else begin
+        (* schedule branches *)
+        let ran = ref false in
+        List.iteri
+          (fun i l ->
+            match l.prog with
+            | Sched.Prog.Done _ -> assert false (* settled above *)
+            | Sched.Prog.Atomic { label; action; k } ->
+              (match action w with
+              | Sched.Prog.Ub reason ->
+                raise
+                  (Violation
+                     {
+                       reason =
+                         Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid label
+                           reason;
+                       trace = List.rev trace;
+                     })
+              | Sched.Prog.Steps [] -> () (* blocked *)
+              | Sched.Prog.Steps outs ->
+                ran := true;
+                bump_steps ();
+                List.iter
+                  (fun (w', v) ->
+                    let lives' =
+                      List.mapi (fun j l' -> if i = j then { l' with prog = k v } else l') lives
+                    in
+                    explore w' lives' cands crashes (Fmt.str "t%d: %s" l.tid label :: trace))
+                  outs))
+          lives;
+        if (not !ran) && cfg.fail_on_deadlock then
+          raise
+            (Violation
+               {
+                 reason =
+                   Fmt.str "deadlock: threads %s all blocked"
+                     (String.concat "," (List.map (fun l -> string_of_int l.tid) lives));
+                 trace = List.rev trace;
+               })
+      end
+  in
+
+  let initial_lives, initial_cands =
+    List.fold_left
+      (fun (lives, cands) ops ->
+        match ops with
+        | [] -> (lives, cands)
+        | (call, prog) :: rest ->
+          let tid = fresh_tid () in
+          ({ tid; call; prog; rest } :: lives, tk.add_pending tid call cands))
+      ([], [ { st = spec.Spec.init; pend = [] } ])
+      cfg.threads
+  in
+  match explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] with
+  | () -> Refinement_holds (snapshot ctr)
+  | exception Violation f -> Refinement_violated (f, snapshot ctr)
+  | exception Budget -> Budget_exhausted (snapshot ctr)
+
+let check_exn cfg =
+  match check cfg with
+  | Refinement_holds stats -> stats
+  | Refinement_violated (f, _) -> failwith (Fmt.str "%a" pp_failure f)
+  | Budget_exhausted stats ->
+    failwith (Fmt.str "refinement check exhausted budget (%a)" pp_stats stats)
+
+(* ------------------------------------------------------------------ *)
+(* The randomized checker                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One random walk through the schedule/outcome/crash space.  Same
+   linearization bookkeeping as the exhaustive checker, but each choice
+   point picks a single alternative.  Sound for bug-finding on instances
+   too large to exhaust; a pass is evidence, not proof. *)
+let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
+    (cfg : (w, s) config) : result =
+  let spec = cfg.spec in
+  let ctr = new_counters () in
+  let tk = make_tracker spec ctr in
+  let rng = Random.State.make [| seed |] in
+  let next_tid = ref 0 in
+  let fresh_tid () =
+    let t = !next_tid in
+    incr next_tid;
+    t
+  in
+  let bump_steps () =
+    ctr.c_steps <- ctr.c_steps + 1;
+    if ctr.c_steps > cfg.step_budget then raise Budget
+  in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+
+  (* run a single program to completion with random outcome choices *)
+  let run_solo ~what w prog trace =
+    let rec go w prog trace =
+      match prog with
+      | Sched.Prog.Done v -> (w, v, trace)
+      | Sched.Prog.Atomic { label; action; k } ->
+        bump_steps ();
+        (match action w with
+        | Sched.Prog.Ub reason ->
+          raise
+            (Violation
+               {
+                 reason = Fmt.str "%s hit undefined behaviour at %s: %s" what label reason;
+                 trace = List.rev trace;
+               })
+        | Sched.Prog.Steps [] ->
+          raise
+            (Violation
+               { reason = Fmt.str "%s blocked at %s" what label; trace = List.rev trace })
+        | Sched.Prog.Steps outs ->
+          let w', v = pick outs in
+          go w' (k v) (Fmt.str "%s: %s" what label :: trace))
+    in
+    go w prog trace
+  in
+
+  let run_post w cands trace =
+    let _, _ =
+      List.fold_left
+        (fun (w, cands) (call, prog) ->
+          let tid = fresh_tid () in
+          let cands = tk.add_pending tid call cands in
+          let w, v, trace' = run_solo ~what:"post" w prog trace in
+          let trace' = Fmt.str "post t%d: %a returns %a" tid Spec.pp_call call V.pp v :: trace' in
+          (w, tk.respond tid v trace' cands))
+        (w, cands) cfg.post
+    in
+    ctr.c_executions <- ctr.c_executions + 1
+  in
+
+  (* crash, then recovery (itself subject to random crashes), then the spec
+     crash transition and the post probes *)
+  let do_crash w cands crashes trace =
+    ctr.c_crashes <- ctr.c_crashes + 1;
+    let sat = tk.saturate cands in
+    let rec recover w crashes trace =
+      let rec go w prog trace =
+        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
+          recover (cfg.crash_world w) (crashes + 1) ("CRASH (during recovery)" :: trace)
+        else
+          match prog with
+          | Sched.Prog.Done _ -> (w, trace)
+          | Sched.Prog.Atomic { label; action; k } ->
+            bump_steps ();
+            (match action w with
+            | Sched.Prog.Ub reason ->
+              raise
+                (Violation
+                   {
+                     reason =
+                       Fmt.str "recovery hit undefined behaviour at %s: %s" label reason;
+                     trace = List.rev trace;
+                   })
+            | Sched.Prog.Steps [] ->
+              raise
+                (Violation
+                   { reason = Fmt.str "recovery blocked at %s" label; trace = List.rev trace })
+            | Sched.Prog.Steps outs ->
+              let w', v = pick outs in
+              go w' (k v) (Fmt.str "recovery: %s" label :: trace))
+      in
+      go w cfg.recovery trace
+    in
+    let w, trace = recover (cfg.crash_world w) crashes ("CRASH" :: trace) in
+    run_post w (tk.crash_cands trace sat) trace
+  in
+
+  let walk () =
+    let lives, cands =
+      List.fold_left
+        (fun (lives, cands) ops ->
+          match ops with
+          | [] -> (lives, cands)
+          | (call, prog) :: rest ->
+            let tid = fresh_tid () in
+            ({ tid; call; prog; rest } :: lives, tk.add_pending tid call cands))
+        ([], [ { st = spec.Spec.init; pend = [] } ])
+        cfg.threads
+    in
+    let rec main w lives cands crashes trace =
+      (* settle finished threads first *)
+      let rec settle lives cands trace =
+        let rec find acc = function
+          | [] -> None
+          | ({ prog = Sched.Prog.Done v; _ } as l) :: rest ->
+            Some (List.rev_append acc rest, l, v)
+          | l :: rest -> find (l :: acc) rest
+        in
+        match find [] lives with
+        | None -> (lives, cands, trace)
+        | Some (others, l, v) ->
+          let trace =
+            Fmt.str "t%d: %a returns %a" l.tid Spec.pp_call l.call V.pp v :: trace
+          in
+          let cands = tk.respond l.tid v trace cands in
+          (match l.rest with
+          | [] -> settle others cands trace
+          | (call', prog') :: rest' ->
+            let tid = fresh_tid () in
+            let live' = { tid; call = call'; prog = prog'; rest = rest' } in
+            settle (live' :: others) (tk.add_pending tid call' cands) trace)
+      in
+      let lives, cands, trace = settle lives cands trace in
+      if lives = [] then
+        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
+          do_crash w cands crashes trace
+        else run_post w cands trace
+      else if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
+        do_crash w cands crashes trace
+      else begin
+        (* collect the runnable threads as commit closures (the step's
+           payload type must not escape the match arm) *)
+        let steppable =
+          List.concat
+            (List.mapi
+               (fun i l ->
+                 match l.prog with
+                 | Sched.Prog.Done _ -> []
+                 | Sched.Prog.Atomic { label; action; k } -> (
+                   match action w with
+                   | Sched.Prog.Ub reason ->
+                     raise
+                       (Violation
+                          {
+                            reason =
+                              Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
+                                label reason;
+                            trace = List.rev trace;
+                          })
+                   | Sched.Prog.Steps [] -> []
+                   | Sched.Prog.Steps outs ->
+                     [ (fun () ->
+                         let w', v = pick outs in
+                         let lives' =
+                           List.mapi
+                             (fun j l' -> if i = j then { l' with prog = k v } else l')
+                             lives
+                         in
+                         (w', lives', Fmt.str "t%d: %s" l.tid label :: trace)) ]))
+               lives)
+        in
+        match steppable with
+        | [] ->
+          if crashes < cfg.max_crashes then do_crash w cands crashes trace
+          else if cfg.fail_on_deadlock then
+            raise
+              (Violation
+                 {
+                   reason =
+                     Fmt.str "deadlock: threads %s all blocked"
+                       (String.concat ","
+                          (List.map (fun l -> string_of_int l.tid) lives));
+                   trace = List.rev trace;
+                 })
+          else ()
+        | _ ->
+          bump_steps ();
+          let w', lives', trace' = (pick steppable) () in
+          main w' lives' cands crashes trace'
+      end
+    in
+    main cfg.init_world (List.rev lives) cands 0 []
+  in
+  match
+    for _ = 1 to schedules do
+      try walk () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
+    done
+  with
+  | () -> Refinement_holds (snapshot ctr)
+  | exception Violation f -> Refinement_violated (f, snapshot ctr)
+  | exception Budget -> Budget_exhausted (snapshot ctr)

@@ -1,0 +1,96 @@
+(** Concurrent recovery refinement, checked exhaustively on finite instances.
+
+    This module is the executable counterpart of the paper's definition of
+    correctness (§3.1) and of Theorems 1 and 2 (§5.5): every interleaving of
+    the implementation's atomic steps — including a crash at any step,
+    recovery, and crashes during recovery — must be explained by an atomic
+    interleaving of specification transitions:
+
+    - every completed operation appears to take effect atomically between
+      its invocation and its response, with the observed return value
+      (linearizability against the spec transition system);
+    - a crash + recovery sequence simulates a single atomic spec crash
+      transition, before which any subset of the operations in flight at the
+      crash may appear to have executed (recovery helping, §5.4);
+    - the implementation must never step into code-level undefined behaviour
+      (races, out-of-bounds), while *spec-level* undefined behaviour makes
+      the obligations vacuous for that client (§8.3 "exploiting undefined
+      behaviour").
+
+    The checker tracks a set of linearization candidates (abstract state +
+    per-pending-operation status) through a depth-first exploration of every
+    schedule and crash point. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+
+type ('w, 's) config = {
+  spec : 's Spec.t;
+  init_world : 'w;
+  crash_world : 'w -> 'w;  (** volatile state clears; durable survives *)
+  pp_world : 'w Fmt.t;
+  threads : (Spec.call * ('w, V.t) Sched.Prog.t) list list;
+      (** one inner list per thread: the ops it performs in sequence *)
+  recovery : ('w, V.t) Sched.Prog.t;
+      (** run single-threaded after every crash; may itself crash *)
+  post : (Spec.call * ('w, V.t) Sched.Prog.t) list;
+      (** probe ops run sequentially after normal completion and after
+          recovery — typically reads of all state, to force the abstract
+          and concrete states to agree observably *)
+  max_crashes : int;  (** 0 disables crash injection *)
+  step_budget : int;
+  fail_on_deadlock : bool;
+}
+
+val config :
+  spec:'s Spec.t ->
+  init_world:'w ->
+  crash_world:('w -> 'w) ->
+  pp_world:'w Fmt.t ->
+  threads:(Spec.call * ('w, V.t) Sched.Prog.t) list list ->
+  recovery:('w, V.t) Sched.Prog.t ->
+  ?post:(Spec.call * ('w, V.t) Sched.Prog.t) list ->
+  ?max_crashes:int ->
+  ?step_budget:int ->
+  ?fail_on_deadlock:bool ->
+  unit ->
+  ('w, 's) config
+(** Defaults: no post probes, [max_crashes = 1], [step_budget = 5_000_000],
+    [fail_on_deadlock = true]. *)
+
+type stats = {
+  executions : int;  (** complete explored paths *)
+  steps : int;  (** atomic steps applied across all paths *)
+  crashes_injected : int;
+  vacuous : int;  (** paths pruned by spec-level undefined behaviour *)
+  max_candidates : int;  (** high-water mark of the linearization set *)
+}
+
+val pp_stats : stats Fmt.t
+
+type failure = {
+  reason : string;
+  trace : string list;  (** events on the failing path, oldest first *)
+}
+
+val pp_failure : failure Fmt.t
+
+type result =
+  | Refinement_holds of stats
+  | Refinement_violated of failure * stats
+  | Budget_exhausted of stats
+
+val check : ('w, 's) config -> result
+
+val check_exn : ('w, 's) config -> stats
+(** Like {!check} but raises [Failure] with a rendered report on violation
+    or budget exhaustion; convenient in tests and examples. *)
+
+val check_random :
+  ?schedules:int -> ?seed:int -> ?crash_prob:float -> ('w, 's) config -> result
+(** Randomized exploration: [schedules] independent random walks through the
+    schedule/outcome/crash space, with the same linearization bookkeeping as
+    {!check}.  Use on instances too large to exhaust — a reported violation
+    is a real counterexample; a pass is evidence, not proof.  [crash_prob]
+    is the per-step probability of injecting a crash (while the crash budget
+    lasts). *)

@@ -1,0 +1,1 @@
+lib/disk/block.ml: Fmt String Tslang

@@ -1,0 +1,1 @@
+lib/disk/locks.ml: Fmt Int Printf Sched Set Tslang

@@ -1,0 +1,1 @@
+lib/disk/locks.mli: Fmt Sched

@@ -1,0 +1,1 @@
+lib/disk/single_disk.ml: Block Fmt Int Map Printf Sched Tslang

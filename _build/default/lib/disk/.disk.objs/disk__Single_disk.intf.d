@@ -1,0 +1,1 @@
+lib/disk/single_disk.mli: Block Fmt Sched Tslang

@@ -1,0 +1,1 @@
+lib/disk/two_disk.ml: Block Bool Fmt Option Printf Sched Single_disk Tslang

@@ -1,0 +1,1 @@
+lib/disk/two_disk.mli: Block Fmt Sched Single_disk Tslang

@@ -1,0 +1,14 @@
+(** Disk blocks.  A block is an opaque byte string; [zero] is the content of
+    a freshly initialized disk. *)
+
+type t = string
+
+let zero = "0"
+let of_string s = s
+let to_string b = b
+let equal = String.equal
+let compare = String.compare
+let pp ppf b = Fmt.pf ppf "%S" b
+
+let to_value b = Tslang.Value.str b
+let of_value v = Tslang.Value.get_str v

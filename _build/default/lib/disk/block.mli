@@ -1,0 +1,18 @@
+(** Disk blocks: opaque byte strings.  [zero] is the content of a freshly
+    initialized disk; disks normalize zero blocks so that "never written"
+    and "written zero" are the same state. *)
+
+type t
+
+val zero : t
+val of_string : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val to_value : t -> Tslang.Value.t
+(** Blocks cross the program/spec boundary as universal string values. *)
+
+val of_value : Tslang.Value.t -> t
+(** Partial: raises [Invalid_argument] on a non-string value. *)

@@ -1,0 +1,42 @@
+(** In-memory lock maps, lens-composed into a larger world.
+
+    Locks are volatile: a crash clears them ([empty]).  The runner/checker
+    treats a failed [try_acquire] as a blocked step, so acquisition is
+    naturally fair-less blocking; releasing a lock nobody holds is undefined
+    behaviour (it means the program's lock discipline is broken). *)
+
+module Iset = Set.Make (Int)
+module V = Tslang.Value
+
+type t = Iset.t
+(** The set of currently-held lock ids. *)
+
+let empty = Iset.empty
+let is_held id t = Iset.mem id t
+let equal = Iset.equal
+let compare = Iset.compare
+
+let pp ppf t =
+  Fmt.pf ppf "{held: %a}" (Fmt.list ~sep:Fmt.comma Fmt.int) (Iset.elements t)
+
+(** [acquire ~get ~set id] blocks while [id] is held, then takes it. *)
+let acquire ~get ~set id : ('w, unit) Sched.Prog.t =
+  Sched.Prog.bind
+    (Sched.Prog.blocked_until
+       (Printf.sprintf "acquire(%d)" id)
+       (fun w ->
+         let locks = get w in
+         if Iset.mem id locks then None
+         else Some (set w (Iset.add id locks), V.unit)))
+    (fun _ -> Sched.Prog.return ())
+
+(** [release ~get ~set id] frees the lock; UB if it was not held. *)
+let release ~get ~set id : ('w, unit) Sched.Prog.t =
+  Sched.Prog.bind
+    (Sched.Prog.atomic
+       (Printf.sprintf "release(%d)" id)
+       (fun w ->
+         let locks = get w in
+         if Iset.mem id locks then Sched.Prog.Steps [ (set w (Iset.remove id locks), V.unit) ]
+         else Sched.Prog.Ub (Printf.sprintf "release of un-held lock %d" id)))
+    (fun _ -> Sched.Prog.return ())

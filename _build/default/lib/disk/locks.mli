@@ -1,0 +1,22 @@
+(** In-memory lock maps, lens-composed into a larger world.
+
+    Locks are volatile: a crash clears them ([empty]).  The runner/checker
+    treats a failed acquisition as a blocked step; releasing a lock nobody
+    holds is undefined behaviour (a broken lock discipline). *)
+
+type t
+(** The set of currently-held lock ids. *)
+
+val empty : t
+val is_held : int -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val acquire :
+  get:('w -> t) -> set:('w -> t -> 'w) -> int -> ('w, unit) Sched.Prog.t
+(** Blocks (is unschedulable) while the lock is held, then takes it. *)
+
+val release :
+  get:('w -> t) -> set:('w -> t -> 'w) -> int -> ('w, unit) Sched.Prog.t
+(** Frees the lock; undefined behaviour if it was not held. *)

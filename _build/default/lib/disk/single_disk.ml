@@ -1,0 +1,58 @@
+(** Single-disk semantics (Table 3): one durable array of blocks with atomic
+    per-block reads and writes.  The substrate under the shadow-copy,
+    write-ahead-log and group-commit examples. *)
+
+module V = Tslang.Value
+module IMap = Map.Make (Int)
+
+type t = { size : int; blocks : Block.t IMap.t }
+(** [blocks] maps addresses with non-[zero] content; absent = [Block.zero].
+    A persistent map keeps worlds cheap to snapshot during model checking. *)
+
+let init size = { size; blocks = IMap.empty }
+let size t = t.size
+let in_bounds t a = a >= 0 && a < t.size
+
+let get t a =
+  if not (in_bounds t a) then invalid_arg "Single_disk.get: out of bounds";
+  match IMap.find_opt a t.blocks with Some b -> b | None -> Block.zero
+
+let set t a b =
+  if not (in_bounds t a) then invalid_arg "Single_disk.set: out of bounds";
+  if Block.equal b Block.zero then { t with blocks = IMap.remove a t.blocks }
+  else { t with blocks = IMap.add a b t.blocks }
+
+let equal a b = a.size = b.size && IMap.equal Block.equal a.blocks b.blocks
+
+let compare a b =
+  let c = Int.compare a.size b.size in
+  if c <> 0 then c else IMap.compare Block.compare a.blocks b.blocks
+
+let pp ppf t =
+  let binding ppf (a, b) = Fmt.pf ppf "%d:%a" a Block.pp b in
+  Fmt.pf ppf "disk[%d]{%a}" t.size
+    (Fmt.list ~sep:Fmt.comma binding)
+    (IMap.bindings t.blocks)
+
+(** Disk contents survive crashes unchanged. *)
+let crash t = t
+
+(* Program-level operations, lens-composed into a larger world. *)
+
+let read ~get_disk a : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    (Printf.sprintf "disk_read(%d)" a)
+    (fun w ->
+      let d = get_disk w in
+      if in_bounds d a then Sched.Prog.Steps [ (w, Block.to_value (get d a)) ]
+      else Sched.Prog.Ub (Printf.sprintf "disk_read out of bounds: %d" a))
+
+let write ~get_disk ~set_disk a b : ('w, unit) Sched.Prog.t =
+  Sched.Prog.bind
+    (Sched.Prog.atomic
+       (Printf.sprintf "disk_write(%d)" a)
+       (fun w ->
+         let d = get_disk w in
+         if in_bounds d a then Sched.Prog.Steps [ (set_disk w (set d a b), V.unit) ]
+         else Sched.Prog.Ub (Printf.sprintf "disk_write out of bounds: %d" a)))
+    (fun _ -> Sched.Prog.return ())

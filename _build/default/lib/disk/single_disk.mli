@@ -1,0 +1,33 @@
+(** Single-disk semantics (Table 3): one durable array of blocks with atomic
+    per-block reads and writes — the substrate under the shadow-copy,
+    write-ahead-log and group-commit examples. *)
+
+type t
+
+val init : int -> t
+(** [init size]: all blocks zero. *)
+
+val size : t -> int
+val in_bounds : t -> int -> bool
+
+val get : t -> int -> Block.t
+(** Raises [Invalid_argument] out of bounds (a harness bug; program-level
+    access goes through {!read}, where it is undefined behaviour). *)
+
+val set : t -> int -> Block.t -> t
+(** Raises [Invalid_argument] out of bounds. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val crash : t -> t
+(** Disk contents survive crashes unchanged. *)
+
+(** {1 Program-level operations} (atomic steps, lens-composed) *)
+
+val read : get_disk:('w -> t) -> int -> ('w, Tslang.Value.t) Sched.Prog.t
+(** Out-of-bounds access is undefined behaviour. *)
+
+val write :
+  get_disk:('w -> t) -> set_disk:('w -> t -> 'w) -> int -> Block.t -> ('w, unit) Sched.Prog.t

@@ -1,0 +1,109 @@
+(** Two-disk semantics (Table 3, §1): two physical disks of which at most one
+    may fail, the substrate of the replicated-disk example.
+
+    Failure is modeled explicitly: a read of a failed disk reports failure
+    (the [ok] flag of the paper's [disk_read]), a write to a failed disk is a
+    silent no-op.  In [may_fail] mode every read/write also nondeterministically
+    branches into "this disk just failed", which is how the checker covers
+    fail-over paths.  At most one disk ever fails. *)
+
+module V = Tslang.Value
+
+type id = D1 | D2
+
+let pp_id ppf = function D1 -> Fmt.string ppf "d1" | D2 -> Fmt.string ppf "d2"
+
+type t = {
+  d1 : Single_disk.t option;  (** [None] = failed *)
+  d2 : Single_disk.t option;
+  may_fail : bool;
+}
+
+let init ?(may_fail = false) size =
+  { d1 = Some (Single_disk.init size); d2 = Some (Single_disk.init size); may_fail }
+
+let size t =
+  match t.d1, t.d2 with
+  | Some d, _ | None, Some d -> Single_disk.size d
+  | None, None -> 0
+
+let disk t = function D1 -> t.d1 | D2 -> t.d2
+
+let with_disk t id d =
+  match id with D1 -> { t with d1 = d } | D2 -> { t with d2 = d }
+
+let one_failed t = t.d1 = None || t.d2 = None
+
+let fail t id =
+  if one_failed t then t (* at most one failure *) else with_disk t id None
+
+let equal a b =
+  Option.equal Single_disk.equal a.d1 b.d1
+  && Option.equal Single_disk.equal a.d2 b.d2
+  && Bool.equal a.may_fail b.may_fail
+
+let compare a b =
+  let c = Option.compare Single_disk.compare a.d1 b.d1 in
+  if c <> 0 then c
+  else
+    let c = Option.compare Single_disk.compare a.d2 b.d2 in
+    if c <> 0 then c else Bool.compare a.may_fail b.may_fail
+
+let pp ppf t =
+  let pd ppf = function
+    | Some d -> Single_disk.pp ppf d
+    | None -> Fmt.string ppf "FAILED"
+  in
+  Fmt.pf ppf "@[<h>{d1 = %a; d2 = %a}@]" pd t.d1 pd t.d2
+
+(** Disks (and their failure status) survive crashes. *)
+let crash t = t
+
+(* --- program-level operations --- *)
+
+(** [read ~get ~set id a] returns [Some block] or [None] on a failed disk
+    (encoded as a [Value.Opt]).  With [may_fail] the disk may also fail at
+    this very step. *)
+let read ~get ~set id a : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    (Fmt.str "disk_read(%a,%d)" pp_id id a)
+    (fun w ->
+      let t = get w in
+      if a < 0 || a >= size t then
+        Sched.Prog.Ub (Printf.sprintf "disk_read out of bounds: %d" a)
+      else
+        let normal =
+          match disk t id with
+          | Some d -> (w, V.some (Block.to_value (Single_disk.get d a)))
+          | None -> (w, V.none)
+        in
+        let failure_branch =
+          if t.may_fail && not (one_failed t) then
+            [ (set w (fail t id), V.none) ]
+          else []
+        in
+        Sched.Prog.Steps (normal :: failure_branch))
+
+(** [write ~get ~set id a b]: no-op on a failed disk; with [may_fail] the
+    disk may fail just before the write (so the write is lost). *)
+let write ~get ~set id a b : ('w, unit) Sched.Prog.t =
+  Sched.Prog.bind
+    (Sched.Prog.atomic
+       (Fmt.str "disk_write(%a,%d)" pp_id id a)
+       (fun w ->
+         let t = get w in
+         if a < 0 || a >= size t then
+           Sched.Prog.Ub (Printf.sprintf "disk_write out of bounds: %d" a)
+         else
+           let normal =
+             match disk t id with
+             | Some d -> (set w (with_disk t id (Some (Single_disk.set d a b))), V.unit)
+             | None -> (w, V.unit)
+           in
+           let failure_branch =
+             if t.may_fail && not (one_failed t) then
+               [ (set w (fail t id), V.unit) ]
+             else []
+           in
+           Sched.Prog.Steps (normal :: failure_branch)))
+    (fun _ -> Sched.Prog.return ())

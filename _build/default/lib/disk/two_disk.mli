@@ -1,0 +1,43 @@
+(** Two-disk semantics (Table 3, §1): two physical disks of which at most
+    one may fail — the substrate of the replicated-disk example.
+
+    A read of a failed disk reports failure (the [ok] flag of the paper's
+    [disk_read], encoded as an option value); a write to a failed disk is a
+    silent no-op.  In [may_fail] mode every read/write also
+    nondeterministically branches into "this disk just failed", which is
+    how the checker covers fail-over paths. *)
+
+type id = D1 | D2
+
+val pp_id : id Fmt.t
+
+type t = {
+  d1 : Single_disk.t option;  (** [None] = failed *)
+  d2 : Single_disk.t option;
+  may_fail : bool;
+}
+
+val init : ?may_fail:bool -> int -> t
+val size : t -> int
+val disk : t -> id -> Single_disk.t option
+val one_failed : t -> bool
+
+val fail : t -> id -> t
+(** Fail a disk; a no-op if the other disk already failed (the model
+    tolerates exactly one failure). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val crash : t -> t
+(** Disks, including their failure status, survive crashes. *)
+
+(** {1 Program-level operations} *)
+
+val read :
+  get:('w -> t) -> set:('w -> t -> 'w) -> id -> int -> ('w, Tslang.Value.t) Sched.Prog.t
+(** Returns [Some block] or [None] (failed disk), as a [Value.Opt]. *)
+
+val write :
+  get:('w -> t) -> set:('w -> t -> 'w) -> id -> int -> Block.t -> ('w, unit) Sched.Prog.t

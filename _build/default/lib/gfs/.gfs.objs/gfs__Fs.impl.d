@@ -1,0 +1,1 @@
+lib/gfs/fs.ml: Fmt Int List Map Stdlib String

@@ -1,0 +1,1 @@
+lib/gfs/fs.mli: Fmt

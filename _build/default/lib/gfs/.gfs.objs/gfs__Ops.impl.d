@@ -1,0 +1,1 @@
+lib/gfs/ops.ml: Fs List Printf Sched String Tslang

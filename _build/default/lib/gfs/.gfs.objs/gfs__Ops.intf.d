@@ -1,0 +1,1 @@
+lib/gfs/ops.mli: Fs Sched Tslang

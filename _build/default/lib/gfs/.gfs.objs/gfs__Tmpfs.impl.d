@@ -1,0 +1,1 @@
+lib/gfs/tmpfs.ml: Fs Fun Mutex

@@ -1,0 +1,1 @@
+lib/gfs/tmpfs.mli: Fs

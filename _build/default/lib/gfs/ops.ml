@@ -1,0 +1,92 @@
+(** Program-level (atomic-step) file-system operations, lens-composed into a
+    larger world — the runnable counterpart of the Goose file-system API.
+    Every operation is one atomic step (§6.2).  Results are encoded as
+    {!Tslang.Value.t}: descriptors as [Int], ok-flags as [Bool], data as
+    [Str]. *)
+
+module V = Tslang.Value
+module P = Sched.Prog
+
+let create ~get ~set dir name : ('w, V.t) P.t =
+  P.det
+    (Printf.sprintf "create(%s/%s)" dir name)
+    (fun w ->
+      match Fs.create (get w) dir name with
+      | Some (fs, fd) -> (set w fs, V.pair (V.int fd) (V.bool true))
+      | None -> (w, V.pair (V.int (-1)) (V.bool false)))
+
+let open_read ~get ~set dir name : ('w, V.t) P.t =
+  P.det
+    (Printf.sprintf "open(%s/%s)" dir name)
+    (fun w ->
+      match Fs.open_read (get w) dir name with
+      | Some (fs, fd) -> (set w fs, V.pair (V.int fd) (V.bool true))
+      | None -> (w, V.pair (V.int (-1)) (V.bool false)))
+
+let append ~get ~set fd data : ('w, unit) P.t =
+  P.bind
+    (P.atomic
+       (Printf.sprintf "append(fd%d,%dB)" fd (String.length data))
+       (fun w ->
+         match Fs.append (get w) fd data with
+         | Some fs -> P.Steps [ (set w fs, V.unit) ]
+         | None -> P.Ub (Printf.sprintf "append to invalid descriptor %d" fd)))
+    (fun _ -> P.return ())
+
+(** [fsync]: flush a descriptor's buffered writes to durable storage
+    (deferred-durability mode; a no-op under the paper's sync model). *)
+let fsync ~get ~set fd : ('w, unit) P.t =
+  P.bind
+    (P.atomic
+       (Printf.sprintf "fsync(fd%d)" fd)
+       (fun w ->
+         match Fs.fsync (get w) fd with
+         | Some fs -> P.Steps [ (set w fs, V.unit) ]
+         | None -> P.Ub (Printf.sprintf "fsync of invalid descriptor %d" fd)))
+    (fun _ -> P.return ())
+
+let read_at ~get fd off len : ('w, V.t) P.t =
+  P.atomic
+    (Printf.sprintf "readAt(fd%d,%d,%d)" fd off len)
+    (fun w ->
+      match Fs.read_at (get w) fd off len with
+      | Some data -> P.Steps [ (w, V.str data) ]
+      | None -> P.Ub (Printf.sprintf "read from invalid descriptor %d" fd))
+
+let size ~get fd : ('w, V.t) P.t =
+  P.atomic
+    (Printf.sprintf "size(fd%d)" fd)
+    (fun w ->
+      match Fs.size (get w) fd with
+      | Some n -> P.Steps [ (w, V.int n) ]
+      | None -> P.Ub (Printf.sprintf "size of invalid descriptor %d" fd))
+
+let close ~get ~set fd : ('w, unit) P.t =
+  P.bind
+    (P.atomic
+       (Printf.sprintf "close(fd%d)" fd)
+       (fun w ->
+         match Fs.close (get w) fd with
+         | Some fs -> P.Steps [ (set w fs, V.unit) ]
+         | None -> P.Ub (Printf.sprintf "close of invalid descriptor %d" fd)))
+    (fun _ -> P.return ())
+
+let link ~get ~set ~src ~dst : ('w, V.t) P.t =
+  P.det
+    (Printf.sprintf "link(%s/%s -> %s/%s)" (fst src) (snd src) (fst dst) (snd dst))
+    (fun w ->
+      match Fs.link (get w) ~src ~dst with
+      | Some fs -> (set w fs, V.bool true)
+      | None -> (w, V.bool false))
+
+let delete ~get ~set dir name : ('w, V.t) P.t =
+  P.det
+    (Printf.sprintf "delete(%s/%s)" dir name)
+    (fun w ->
+      match Fs.delete (get w) dir name with
+      | Some fs -> (set w fs, V.bool true)
+      | None -> (w, V.bool false))
+
+let list_dir ~get dir : ('w, V.t) P.t =
+  P.read (Printf.sprintf "list(%s)" dir) (fun w ->
+      V.list (List.map V.str (Fs.list_dir (get w) dir)))

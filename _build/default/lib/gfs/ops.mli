@@ -1,0 +1,43 @@
+(** Program-level (atomic-step) file-system operations, lens-composed into a
+    larger world — the runnable counterpart of the Goose file-system API
+    (§6.2).  Every operation is one atomic step.  Results are encoded as
+    {!Tslang.Value.t}: descriptors as [Int], ok-flags as [Bool], data as
+    [Str], (fd, ok) results as [Pair].
+
+    Misuse of descriptors (stale after a crash, read-only for append) is
+    undefined behaviour, matching the semantics of dangling references. *)
+
+module V := Tslang.Value
+
+val create :
+  get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> string -> string -> ('w, V.t) Sched.Prog.t
+(** Atomic create-if-absent; returns [(fd, ok)]. *)
+
+val open_read :
+  get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> string -> string -> ('w, V.t) Sched.Prog.t
+(** Returns [(fd, ok)]. *)
+
+val append :
+  get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> int -> string -> ('w, unit) Sched.Prog.t
+
+val fsync :
+  get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> int -> ('w, unit) Sched.Prog.t
+(** Flush buffered writes (deferred-durability mode; no-op under [`Sync]). *)
+
+val read_at : get:('w -> Fs.t) -> int -> int -> int -> ('w, V.t) Sched.Prog.t
+val size : get:('w -> Fs.t) -> int -> ('w, V.t) Sched.Prog.t
+val close : get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> int -> ('w, unit) Sched.Prog.t
+
+val link :
+  get:('w -> Fs.t) ->
+  set:('w -> Fs.t -> 'w) ->
+  src:string * string ->
+  dst:string * string ->
+  ('w, V.t) Sched.Prog.t
+(** Returns an ok flag; the Mailboat commit point. *)
+
+val delete :
+  get:('w -> Fs.t) -> set:('w -> Fs.t -> 'w) -> string -> string -> ('w, V.t) Sched.Prog.t
+
+val list_dir : get:('w -> Fs.t) -> string -> ('w, V.t) Sched.Prog.t
+(** Returns the sorted name list. *)

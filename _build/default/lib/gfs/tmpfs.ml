@@ -1,0 +1,76 @@
+(** A mutable, thread-safe in-memory file system with the same API surface
+    as {!Fs} — the "tmpfs" the running mail servers are benchmarked on
+    (§9.3 runs on Linux tmpfs to keep the disk out of the picture).
+
+    A single mutex serializes metadata operations, matching the paper's
+    model of every file-system call being atomic.  The servers' scalability
+    is measured on the discrete-event simulator (see [Mcsim]); this
+    structure is for functional execution with real threads/domains. *)
+
+type t = { mutable fs : Fs.t; lock : Mutex.t }
+
+let init dirs = { fs = Fs.init dirs; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f ())
+
+(** Simulate a crash: drop descriptors (callers' fds dangle, as after a real
+    process restart). *)
+let crash t = with_lock t (fun () -> t.fs <- Fs.crash t.fs)
+
+let snapshot t = with_lock t (fun () -> t.fs)
+
+let create t dir name =
+  with_lock t (fun () ->
+      match Fs.create t.fs dir name with
+      | Some (fs, fd) ->
+        t.fs <- fs;
+        Some fd
+      | None -> None)
+
+let open_read t dir name =
+  with_lock t (fun () ->
+      match Fs.open_read t.fs dir name with
+      | Some (fs, fd) ->
+        t.fs <- fs;
+        Some fd
+      | None -> None)
+
+let append t fd data =
+  with_lock t (fun () ->
+      match Fs.append t.fs fd data with
+      | Some fs ->
+        t.fs <- fs;
+        true
+      | None -> false)
+
+let read_at t fd off len = with_lock t (fun () -> Fs.read_at t.fs fd off len)
+let size t fd = with_lock t (fun () -> Fs.size t.fs fd)
+
+let close t fd =
+  with_lock t (fun () ->
+      match Fs.close t.fs fd with
+      | Some fs ->
+        t.fs <- fs;
+        true
+      | None -> false)
+
+let link t ~src ~dst =
+  with_lock t (fun () ->
+      match Fs.link t.fs ~src ~dst with
+      | Some fs ->
+        t.fs <- fs;
+        true
+      | None -> false)
+
+let delete t dir name =
+  with_lock t (fun () ->
+      match Fs.delete t.fs dir name with
+      | Some fs ->
+        t.fs <- fs;
+        true
+      | None -> false)
+
+let list_dir t dir = with_lock t (fun () -> Fs.list_dir t.fs dir)
+let read_file t dir name = with_lock t (fun () -> Fs.read_file t.fs dir name)

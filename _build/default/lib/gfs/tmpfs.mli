@@ -1,0 +1,29 @@
+(** A mutable, thread-safe in-memory file system with the same semantics as
+    {!Fs} — the "tmpfs" the running mail servers operate on (§9.3 measures
+    on Linux tmpfs to keep the disk out of the picture).
+
+    A single mutex serializes operations, matching the paper's model of
+    every file-system call being atomic; scalability is measured on the
+    discrete-event simulator, not here. *)
+
+type t
+
+val init : string list -> t
+(** Fixed directory layout, as {!Fs.init}; always [`Sync] durability. *)
+
+val crash : t -> unit
+(** Simulate a process crash: callers' descriptors dangle. *)
+
+val snapshot : t -> Fs.t
+(** The current pure state, for assertions. *)
+
+val create : t -> string -> string -> int option
+val open_read : t -> string -> string -> int option
+val append : t -> int -> string -> bool
+val read_at : t -> int -> int -> int -> string option
+val size : t -> int -> int option
+val close : t -> int -> bool
+val link : t -> src:string * string -> dst:string * string -> bool
+val delete : t -> string -> string -> bool
+val list_dir : t -> string -> string list
+val read_file : t -> string -> string -> string option

@@ -1,0 +1,1 @@
+lib/goose/ast.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/goose/gvalue.ml: Bool Fmt Int List Map Printf String Tslang

@@ -1,0 +1,1 @@
+lib/goose/gvalue.mli: Fmt Tslang

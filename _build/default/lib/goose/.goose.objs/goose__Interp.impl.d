@@ -1,0 +1,1 @@
+lib/goose/interp.ml: Ast Bool Char Disk Fmt Gfs Gvalue Int List Map Option Printf Sched String Tslang

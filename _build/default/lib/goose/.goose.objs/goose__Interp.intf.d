@@ -1,0 +1,1 @@
+lib/goose/interp.mli: Ast Disk Fmt Gfs Gvalue Int Map Sched Tslang

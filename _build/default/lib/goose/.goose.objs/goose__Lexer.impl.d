@@ -1,0 +1,1 @@
+lib/goose/lexer.ml: Buffer Fmt List String Token

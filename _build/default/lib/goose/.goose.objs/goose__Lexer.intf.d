@@ -1,0 +1,1 @@
+lib/goose/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/goose/parser.ml: Ast Fmt Lexer List Token

@@ -1,0 +1,1 @@
+lib/goose/parser.mli: Ast

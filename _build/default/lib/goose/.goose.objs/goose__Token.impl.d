@@ -1,0 +1,1 @@
+lib/goose/token.ml: Fmt

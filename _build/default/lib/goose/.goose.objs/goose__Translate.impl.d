@@ -1,0 +1,1 @@
+lib/goose/translate.ml: Ast Buffer Lexer List Parser Printf String Typecheck

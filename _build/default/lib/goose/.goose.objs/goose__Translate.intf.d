@@ -1,0 +1,1 @@
+lib/goose/translate.mli: Ast

@@ -1,0 +1,1 @@
+lib/goose/typecheck.ml: Ast Fmt Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/goose/typecheck.mli: Ast

@@ -1,0 +1,110 @@
+(** Abstract syntax of the Goose subset of Go (§6): slices, maps, structs,
+    pointers, goroutines, and calls into the modeled standard library
+    ([filesys], [machine], [sync]).  Interfaces and first-class functions
+    are outside the subset, exactly as in the paper. *)
+
+type typ =
+  | Tuint64
+  | Tbool
+  | Tstring
+  | Tbyte
+  | Tslice of typ
+  | Tmap of typ * typ
+  | Tptr of typ
+  | Tnamed of string  (** a declared struct type *)
+  | Tunit  (** no results *)
+  | Ttuple of typ list  (** multiple results *)
+
+let rec pp_typ ppf = function
+  | Tuint64 -> Fmt.string ppf "uint64"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tstring -> Fmt.string ppf "string"
+  | Tbyte -> Fmt.string ppf "byte"
+  | Tslice t -> Fmt.pf ppf "[]%a" pp_typ t
+  | Tmap (k, v) -> Fmt.pf ppf "map[%a]%a" pp_typ k pp_typ v
+  | Tptr t -> Fmt.pf ppf "*%a" pp_typ t
+  | Tnamed s -> Fmt.string ppf s
+  | Tunit -> Fmt.string ppf "()"
+  | Ttuple ts -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:Fmt.comma pp_typ) ts
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | And | Or
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+    | And -> "&&" | Or -> "||")
+
+type unop = Not | Neg
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string list * expr list
+      (** qualified call: [["filesys"; "Create"]] or [["helper"]] *)
+  | Index of expr * expr  (** [s[i]] or [m[k]] *)
+  | Field of expr * string  (** [x.f] *)
+  | Slice_lit of typ * expr list  (** [[]T{e1, ...}] *)
+  | Struct_lit of string * (string * expr) list
+  | Make_map of typ * typ
+  | Make_slice of typ * expr
+  | Len of expr
+  | Append of expr * expr list  (** [append(s, xs...)] *)
+  | Sub_slice of expr * expr option * expr option  (** [s[a:b]] *)
+  | Addr_of of expr  (** [&x] *)
+  | Deref of expr  (** [*p] *)
+  | Conv of typ * expr  (** [[]byte(s)], [string(b)], [uint64(n)] *)
+  | Map_lookup2 of expr * expr
+      (** the two-result form [v, ok := m[k]]; produced by the parser when a
+          lookup appears in a two-target define *)
+
+type lvalue =
+  | Lident of string
+  | Lindex of expr * expr
+  | Lfield of expr * string
+  | Lderef of expr
+  | Lwild  (** [_] *)
+
+type stmt =
+  | Define of string list * expr  (** [x, y := e] *)
+  | Assign of lvalue list * expr
+  | Var_decl of string * typ option * expr option
+  | Expr_stmt of expr
+  | If of expr * block * block
+  | For of stmt option * expr option * stmt option * block
+  | For_range of string * string * expr * block  (** [for k, v := range e] *)
+  | Return of expr list
+  | Go_stmt of expr  (** [go f(...)] *)
+  | Break
+  | Continue
+  | Block of block
+
+and block = stmt list
+
+type func_decl = {
+  fname : string;
+  params : (string * typ) list;
+  results : typ list;
+  body : block;
+}
+
+type struct_decl = { sname : string; sfields : (string * typ) list }
+
+type file = {
+  package : string;
+  imports : string list;
+  structs : struct_decl list;
+  consts : (string * expr) list;
+  funcs : func_decl list;
+}
+
+let find_func file name = List.find_opt (fun f -> String.equal f.fname name) file.funcs
+let find_struct file name = List.find_opt (fun s -> String.equal s.sname name) file.structs

@@ -1,0 +1,103 @@
+(** Runtime values and heap cells of the Goose semantics (§6.1).
+
+    Strings and numbers are immutable values; slices, byte slices, maps and
+    pointer cells live on the heap and are accessed through references —
+    each access is an atomic step, which is what makes data races observable
+    to the checker.  Structs are values (Go copies them); [&x] boxes one
+    into a heap cell. *)
+
+module V = Tslang.Value
+module IMap = Map.Make (Int)
+
+type t =
+  | VUnit
+  | VInt of int
+  | VBool of bool
+  | VString of string
+  | VStruct of (string * t) list
+  | VRef of int  (** reference to a heap cell *)
+  | VTuple of t list  (** multiple return values, transient *)
+
+type cell =
+  | CSlice of t list
+  | CBytes of string
+  | CMap of (t * t) list  (** sorted by key *)
+  | CCell of t  (** target of an explicit pointer *)
+
+let rec compare a b =
+  let tag = function
+    | VUnit -> 0 | VInt _ -> 1 | VBool _ -> 2 | VString _ -> 3 | VStruct _ -> 4
+    | VRef _ -> 5 | VTuple _ -> 6
+  in
+  match a, b with
+  | VUnit, VUnit -> 0
+  | VInt x, VInt y -> Int.compare x y
+  | VBool x, VBool y -> Bool.compare x y
+  | VString x, VString y -> String.compare x y
+  | VStruct xs, VStruct ys ->
+    List.compare (fun (f1, v1) (f2, v2) ->
+        let c = String.compare f1 f2 in
+        if c <> 0 then c else compare v1 v2)
+      xs ys
+  | VRef x, VRef y -> Int.compare x y
+  | VTuple xs, VTuple ys -> List.compare compare xs ys
+  | _, _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | VUnit -> Fmt.string ppf "()"
+  | VInt n -> Fmt.int ppf n
+  | VBool b -> Fmt.bool ppf b
+  | VString s -> Fmt.pf ppf "%S" s
+  | VStruct fields ->
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (f, v) -> Fmt.pf ppf "%s: %a" f pp v))
+      fields
+  | VRef r -> Fmt.pf ppf "&%d" r
+  | VTuple vs -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:Fmt.comma pp) vs
+
+let compare_cell a b =
+  match a, b with
+  | CSlice xs, CSlice ys -> List.compare compare xs ys
+  | CBytes x, CBytes y -> String.compare x y
+  | CMap xs, CMap ys ->
+    List.compare (fun (k1, v1) (k2, v2) ->
+        let c = compare k1 k2 in
+        if c <> 0 then c else compare v1 v2)
+      xs ys
+  | CCell x, CCell y -> compare x y
+  | CSlice _, _ -> -1
+  | _, CSlice _ -> 1
+  | CBytes _, _ -> -1
+  | _, CBytes _ -> 1
+  | CMap _, _ -> -1
+  | _, CMap _ -> 1
+
+let pp_cell ppf = function
+  | CSlice vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.semi pp) vs
+  | CBytes s -> Fmt.pf ppf "bytes %S" s
+  | CMap kvs ->
+    Fmt.pf ppf "map{%a}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%a: %a" pp k pp v))
+      kvs
+  | CCell v -> Fmt.pf ppf "cell %a" pp v
+
+(** Deep conversion to a universal {!Tslang.Value.t}, dereferencing through
+    a heap snapshot — used at operation boundaries (return values the
+    refinement checker compares). *)
+let rec to_value lookup = function
+  | VUnit -> V.unit
+  | VInt n -> V.int n
+  | VBool b -> V.bool b
+  | VString s -> V.str s
+  | VStruct fields -> V.list (List.map (fun (f, v) -> V.pair (V.str f) (to_value lookup v)) fields)
+  | VTuple vs -> V.list (List.map (to_value lookup) vs)
+  | VRef r -> (
+    match lookup r with
+    | Some (CSlice vs) -> V.list (List.map (to_value lookup) vs)
+    | Some (CBytes s) -> V.str s
+    | Some (CMap kvs) ->
+      V.list (List.map (fun (k, v) -> V.pair (to_value lookup k) (to_value lookup v)) kvs)
+    | Some (CCell v) -> to_value lookup v
+    | None -> V.str (Printf.sprintf "<dangling ref %d>" r))

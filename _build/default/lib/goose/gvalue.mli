@@ -1,0 +1,31 @@
+(** Runtime values and heap cells of the Goose semantics (§6.1).
+
+    Strings and numbers are immutable values; slices, byte slices, maps and
+    pointer cells live on the heap behind references — each access is an
+    atomic step, which is what makes data races observable.  Structs are
+    values (Go copies them); [&x] boxes one into a heap cell. *)
+
+type t =
+  | VUnit
+  | VInt of int
+  | VBool of bool
+  | VString of string
+  | VStruct of (string * t) list
+  | VRef of int  (** reference to a heap cell *)
+  | VTuple of t list  (** multiple return values, transient *)
+
+type cell =
+  | CSlice of t list
+  | CBytes of string
+  | CMap of (t * t) list  (** sorted by key *)
+  | CCell of t  (** target of an explicit pointer *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val compare_cell : cell -> cell -> int
+val pp_cell : cell Fmt.t
+
+val to_value : (int -> cell option) -> t -> Tslang.Value.t
+(** Deep conversion to a universal value, dereferencing through a heap
+    snapshot — used at operation boundaries. *)

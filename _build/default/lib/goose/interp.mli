@@ -1,0 +1,54 @@
+(** The Goose semantics: an interpreter from the Go-subset AST into
+    atomic-step programs — the "Perennial model" of the code (§6).
+
+    Every heap, lock and file-system access is one atomic step of the
+    resulting {!Sched.Prog.t}; pure local computation costs no steps.  In
+    race-detection mode (the default, matching §6.1), a heap store is
+    {e two} atomic steps — start and end — and any concurrent access to the
+    same cell in between is undefined behaviour.  A crash clears the heap
+    and the locks and drops file descriptors, while file data persists
+    (§6.2). *)
+
+module IMap := Map.Make (Int)
+
+type heap_cell = { content : Gvalue.cell; being_written : bool }
+
+type world = {
+  heap : heap_cell IMap.t;
+  next_ref : int;
+  fs : Gfs.Fs.t;
+  disk : Disk.Single_disk.t;  (** for the [disk.*] package; size 0 if unused *)
+  tdisk : Disk.Two_disk.t;  (** for the [twodisk.*] package (§1's substrate) *)
+  locks : Disk.Locks.t;
+}
+
+val init_world :
+  ?dirs:string list -> ?disk_size:int -> ?tdisk_size:int -> ?may_fail:bool -> unit -> world
+val crash_world : world -> world
+val compare_world : world -> world -> int
+val pp_world : world Fmt.t
+
+type config = {
+  race_detect : bool;  (** model stores as two steps (§6.1) *)
+  random_universe : int list;  (** the values RandomUint64 may produce *)
+}
+
+val default_config : config
+(** Race detection on; random universe [[0; 1]]. *)
+
+exception Goose_error of string
+(** Static errors: unsupported constructs, unknown identifiers.  Dynamic
+    misbehaviour inside a run is undefined behaviour instead. *)
+
+type t
+(** A loaded program: a parsed file plus its interpreter configuration. *)
+
+val make : ?cfg:config -> Ast.file -> t
+
+val run_func : t -> string -> Gvalue.t list -> (world, Gvalue.t) Sched.Prog.t
+(** The named function as an atomic-step program. *)
+
+val run_func_value : t -> string -> Gvalue.t list -> (world, Tslang.Value.t) Sched.Prog.t
+(** Like {!run_func}, converting the result to a universal value by
+    dereferencing through the final heap — the form the refinement checker
+    compares against the spec. *)

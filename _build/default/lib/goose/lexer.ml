@@ -1,0 +1,147 @@
+(** Hand-written lexer for the Goose subset of Go, including Go's automatic
+    semicolon insertion: a newline terminates a statement when the previous
+    token could end one (identifier, literal, closer, return/break/continue). *)
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+let error line fmt = Fmt.kstr (fun message -> raise (Lex_error { line; message })) fmt
+
+type lexed = { token : Token.t; line : int }
+
+let ends_statement = function
+  | Token.IDENT _ | Token.INT _ | Token.STRING _ | Token.TRUE | Token.FALSE | Token.NIL
+  | Token.RPAREN | Token.RBRACE | Token.RBRACKET | Token.RETURN | Token.BREAK
+  | Token.CONTINUE ->
+    true
+  | _ -> false
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := { token = tok; line = !line } :: !tokens in
+  let last_token () = match !tokens with [] -> None | { token; _ } :: _ -> Some token in
+  let maybe_semi () =
+    match last_token () with
+    | Some t when ends_statement t -> emit Token.SEMI
+    | _ -> ()
+  in
+  let rec go i =
+    if i >= n then begin
+      maybe_semi ();
+      emit Token.EOF
+    end
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        maybe_semi ();
+        incr line;
+        go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec skip j =
+          if j + 1 >= n then error !line "unterminated block comment"
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else begin
+            if src.[j] = '\n' then incr line;
+            skip (j + 1)
+          end
+        in
+        go (skip (i + 2))
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then error !line "unterminated string literal"
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              let e =
+                match src.[j + 1] with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | '\\' -> '\\'
+                | '"' -> '"'
+                | c -> error !line "unknown escape \\%c" c
+              in
+              Buffer.add_char buf e;
+              str (j + 2)
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (Token.STRING (Buffer.contents buf));
+        go j
+      | c when is_digit c ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num i in
+        emit (Token.INT (int_of_string (String.sub src i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec ident j = if j < n && is_ident_char src.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub src i (j - i) in
+        (match Token.keyword_of_string word with
+        | Some kw -> emit kw
+        | None -> emit (Token.IDENT word));
+        go j
+      | ':' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.DEFINE;
+        go (i + 2)
+      | '=' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.EQ;
+        go (i + 2)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.NE;
+        go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.LE;
+        go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.GE;
+        go (i + 2)
+      | '&' when i + 1 < n && src.[i + 1] = '&' ->
+        emit Token.ANDAND;
+        go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' ->
+        emit Token.OROR;
+        go (i + 2)
+      | '+' when i + 1 < n && src.[i + 1] = '=' ->
+        emit Token.PLUSEQ;
+        go (i + 2)
+      | '(' -> emit Token.LPAREN; go (i + 1)
+      | ')' -> emit Token.RPAREN; go (i + 1)
+      | '{' -> emit Token.LBRACE; go (i + 1)
+      | '}' -> emit Token.RBRACE; go (i + 1)
+      | '[' -> emit Token.LBRACKET; go (i + 1)
+      | ']' -> emit Token.RBRACKET; go (i + 1)
+      | ',' -> emit Token.COMMA; go (i + 1)
+      | ';' -> emit Token.SEMI; go (i + 1)
+      | ':' -> emit Token.COLON; go (i + 1)
+      | '.' -> emit Token.DOT; go (i + 1)
+      | '=' -> emit Token.ASSIGN; go (i + 1)
+      | '+' -> emit Token.PLUS; go (i + 1)
+      | '-' -> emit Token.MINUS; go (i + 1)
+      | '*' -> emit Token.STAR; go (i + 1)
+      | '/' -> emit Token.SLASH; go (i + 1)
+      | '%' -> emit Token.PERCENT; go (i + 1)
+      | '<' -> emit Token.LT; go (i + 1)
+      | '>' -> emit Token.GT; go (i + 1)
+      | '!' -> emit Token.NOT; go (i + 1)
+      | '&' -> emit Token.AMP; go (i + 1)
+      | c -> error !line "unexpected character %C" c
+  in
+  go 0;
+  List.rev !tokens

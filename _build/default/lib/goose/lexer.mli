@@ -1,0 +1,12 @@
+(** Hand-written lexer for the Goose subset of Go, including Go's automatic
+    semicolon insertion: a newline terminates a statement when the previous
+    token could end one (identifier, literal, closer, return/break/continue). *)
+
+type error = { line : int; message : string }
+
+exception Lex_error of error
+
+type lexed = { token : Token.t; line : int }
+
+val tokenize : string -> lexed list
+(** Always ends with [EOF]; raises {!Lex_error} on malformed input. *)

@@ -1,0 +1,628 @@
+(** Recursive-descent parser for the Goose subset of Go.
+
+    Follows Go's grammar closely for the constructs in the subset; notable
+    restrictions (matching the paper's Goose): no interfaces, no function
+    literals, no channels, no select, and composite literals only for
+    declared struct types and slices. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let error line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message })) fmt
+
+type state = { mutable toks : Lexer.lexed list }
+
+let peek st = match st.toks with [] -> Token.EOF | { token; _ } :: _ -> token
+
+let peek2 st =
+  match st.toks with _ :: { token; _ } :: _ -> token | _ -> Token.EOF
+
+let line st = match st.toks with [] -> 0 | { line; _ } :: _ -> line
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error (line st) "expected %a, found %a" Token.pp tok Token.pp (peek st)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> error (line st) "expected identifier, found %a" Token.pp t
+
+let skip_semis st =
+  while peek st = Token.SEMI do
+    advance st
+  done
+
+(* --- types --- *)
+
+let rec parse_type st : Ast.typ =
+  match peek st with
+  | Token.IDENT "uint64" -> advance st; Ast.Tuint64
+  | Token.IDENT "bool" -> advance st; Ast.Tbool
+  | Token.IDENT "string" -> advance st; Ast.Tstring
+  | Token.IDENT "byte" -> advance st; Ast.Tbyte
+  | Token.IDENT "map" ->
+    advance st;
+    expect st Token.LBRACKET;
+    let k = parse_type st in
+    expect st Token.RBRACKET;
+    let v = parse_type st in
+    Ast.Tmap (k, v)
+  | Token.IDENT name -> advance st; Ast.Tnamed name
+  | Token.LBRACKET ->
+    advance st;
+    expect st Token.RBRACKET;
+    Ast.Tslice (parse_type st)
+  | Token.STAR -> advance st; Ast.Tptr (parse_type st)
+  | Token.LPAREN ->
+    advance st;
+    expect st Token.RPAREN;
+    Ast.Tunit
+  | t -> error (line st) "expected type, found %a" Token.pp t
+
+(* --- expressions --- *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Token.OROR then begin
+    advance st;
+    Ast.Binop (Ast.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = Token.ANDAND then begin
+    advance st;
+    Ast.Binop (Ast.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NE -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.GT -> Some Ast.Gt
+    | Token.LE -> Some Ast.Le
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Token.MINUS ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+      advance st;
+      go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.NOT ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | Token.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.AMP ->
+    advance st;
+    Ast.Addr_of (parse_unary st)
+  | Token.STAR ->
+    advance st;
+    Ast.Deref (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Token.DOT ->
+      advance st;
+      let field = expect_ident st in
+      (* qualified call like filesys.Create(...) *)
+      if peek st = Token.LPAREN then
+        match e with
+        | Ast.Ident pkg ->
+          advance st;
+          let args = parse_args st in
+          go (Ast.Call ([ pkg; field ], args))
+        | _ -> error (line st) "method calls are not in the Goose subset"
+      else go (Ast.Field (e, field))
+    | Token.LBRACKET ->
+      advance st;
+      (* index or slice expression *)
+      let lo = if peek st = Token.COLON then None else Some (parse_expr st) in
+      if peek st = Token.COLON then begin
+        advance st;
+        let hi = if peek st = Token.RBRACKET then None else Some (parse_expr st) in
+        expect st Token.RBRACKET;
+        go (Ast.Sub_slice (e, lo, hi))
+      end
+      else begin
+        expect st Token.RBRACKET;
+        match lo with
+        | Some ix -> go (Ast.Index (e, ix))
+        | None -> error (line st) "empty index"
+      end
+    | Token.LPAREN -> (
+      match e with
+      | Ast.Ident name ->
+        advance st;
+        let args = parse_args st in
+        go (builtin_call st name args)
+      | _ -> error (line st) "only named functions can be called"
+    )
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and builtin_call st name args =
+  match name, args with
+  | "len", [ e ] -> Ast.Len e
+  | "len", _ -> error (line st) "len takes one argument"
+  | "append", s :: rest when rest <> [] -> Ast.Append (s, rest)
+  | "append", _ -> error (line st) "append needs a slice and elements"
+  | "uint64", [ e ] -> Ast.Conv (Ast.Tuint64, e)
+  | "string", [ e ] -> Ast.Conv (Ast.Tstring, e)
+  | "byte", [ e ] -> Ast.Conv (Ast.Tbyte, e)
+  | _ -> Ast.Call ([ name ], args)
+
+and parse_args st =
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match peek st with
+      | Token.COMMA ->
+        advance st;
+        go (e :: acc)
+      | Token.RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | t -> error (line st) "expected , or ) in arguments, found %a" Token.pp t
+    in
+    go []
+
+and parse_primary st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Ast.Int_lit n
+  | Token.STRING s ->
+    advance st;
+    Ast.Str_lit s
+  | Token.TRUE ->
+    advance st;
+    Ast.Bool_lit true
+  | Token.FALSE ->
+    advance st;
+    Ast.Bool_lit false
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.LBRACKET ->
+    (* slice literal []T{...} or conversion []byte(s) *)
+    advance st;
+    expect st Token.RBRACKET;
+    let t = parse_type st in
+    (match peek st with
+    | Token.LBRACE ->
+      advance st;
+      let rec go acc =
+        if peek st = Token.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else
+          let e = parse_expr st in
+          (match peek st with
+          | Token.COMMA -> advance st
+          | Token.RBRACE -> ()
+          | t -> error (line st) "expected , or } in slice literal, found %a" Token.pp t);
+          go (e :: acc)
+      in
+      Ast.Slice_lit (t, go [])
+    | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      Ast.Conv (Ast.Tslice t, e)
+    | t -> error (line st) "expected {...} or (...) after slice type, found %a" Token.pp t)
+  | Token.IDENT "make" ->
+    advance st;
+    expect st Token.LPAREN;
+    let t = parse_type st in
+    (match t, peek st with
+    | Ast.Tmap (k, v), Token.RPAREN ->
+      advance st;
+      Ast.Make_map (k, v)
+    | Ast.Tslice elt, Token.COMMA ->
+      advance st;
+      let n = parse_expr st in
+      expect st Token.RPAREN;
+      Ast.Make_slice (elt, n)
+    | _ -> error (line st) "unsupported make(...)")
+  | Token.IDENT name -> (
+    advance st;
+    (* struct literal Name{f: e, ...} — only when immediately followed by
+       an opening brace and a field list; flagged by the caller context.
+       We use the simple heuristic: IDENT '{' IDENT ':' starts a literal. *)
+    match peek st, peek2 st with
+    | Token.LBRACE, Token.IDENT _ when peek_field_colon st ->
+      advance st;
+      let rec go acc =
+        if peek st = Token.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let f = expect_ident st in
+          expect st Token.COLON;
+          let e = parse_expr st in
+          (match peek st with
+          | Token.COMMA -> advance st
+          | Token.RBRACE -> ()
+          | t -> error (line st) "expected , or } in struct literal, found %a" Token.pp t);
+          go ((f, e) :: acc)
+        end
+      in
+      Ast.Struct_lit (name, go [])
+    | _ -> Ast.Ident name)
+  | t -> error (line st) "expected expression, found %a" Token.pp t
+
+and peek_field_colon st =
+  match st.toks with
+  | _ :: _ :: { token = Token.COLON; _ } :: _ -> true
+  | _ -> false
+
+(* --- statements --- *)
+
+let expr_to_lvalue st = function
+  | Ast.Ident "_" -> Ast.Lwild
+  | Ast.Ident x -> Ast.Lident x
+  | Ast.Index (e, i) -> Ast.Lindex (e, i)
+  | Ast.Field (e, f) -> Ast.Lfield (e, f)
+  | Ast.Deref e -> Ast.Lderef e
+  | _ -> error (line st) "not assignable"
+
+let rec parse_block st : Ast.block =
+  expect st Token.LBRACE;
+  let rec go acc =
+    skip_semis st;
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else
+      let s = parse_stmt st in
+      go (s :: acc)
+  in
+  go []
+
+and parse_simple_stmt st : Ast.stmt =
+  let first = parse_expr st in
+  match peek st with
+  | Token.DEFINE ->
+    advance st;
+    let rhs = parse_expr st in
+    let names =
+      match first with
+      | Ast.Ident x -> [ x ]
+      | _ -> error (line st) "bad := target"
+    in
+    Ast.Define (names, rhs)
+  | Token.ASSIGN ->
+    advance st;
+    let rhs = parse_expr st in
+    Ast.Assign ([ expr_to_lvalue st first ], rhs)
+  | Token.PLUSEQ ->
+    advance st;
+    let rhs = parse_expr st in
+    let lv = expr_to_lvalue st first in
+    Ast.Assign ([ lv ], Ast.Binop (Ast.Add, first, rhs))
+  | Token.COMMA ->
+    (* multi-target define/assign: a, b := e  |  a, b = e *)
+    advance st;
+    let second = parse_expr st in
+    let rec more acc =
+      if peek st = Token.COMMA then begin
+        advance st;
+        more (parse_expr st :: acc)
+      end
+      else List.rev acc
+    in
+    let targets = first :: second :: more [] in
+    (match peek st with
+    | Token.DEFINE ->
+      advance st;
+      let rhs = parse_expr st in
+      let names =
+        List.map
+          (function
+            | Ast.Ident x -> x
+            | _ -> error (line st) "bad := target")
+          targets
+      in
+      (* v, ok := m[k] becomes an explicit two-result lookup *)
+      let rhs =
+        match rhs, names with
+        | Ast.Index (m, k), [ _; _ ] -> Ast.Map_lookup2 (m, k)
+        | _ -> rhs
+      in
+      Ast.Define (names, rhs)
+    | Token.ASSIGN ->
+      advance st;
+      let rhs = parse_expr st in
+      let rhs =
+        match rhs, targets with
+        | Ast.Index (m, k), [ _; _ ] -> Ast.Map_lookup2 (m, k)
+        | _ -> rhs
+      in
+      Ast.Assign (List.map (expr_to_lvalue st) targets, rhs)
+    | t -> error (line st) "expected := or = after targets, found %a" Token.pp t)
+  | _ -> Ast.Expr_stmt first
+
+and parse_stmt st : Ast.stmt =
+  match peek st with
+  | Token.VAR ->
+    advance st;
+    let name = expect_ident st in
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      let e = parse_expr st in
+      Ast.Var_decl (name, None, Some e)
+    end
+    else begin
+      let t = parse_type st in
+      if peek st = Token.ASSIGN then begin
+        advance st;
+        let e = parse_expr st in
+        Ast.Var_decl (name, Some t, Some e)
+      end
+      else Ast.Var_decl (name, Some t, None)
+    end
+  | Token.IF -> parse_if st
+  | Token.FOR -> parse_for st
+  | Token.RETURN ->
+    advance st;
+    if peek st = Token.SEMI || peek st = Token.RBRACE then Ast.Return []
+    else
+      let rec go acc =
+        let e = parse_expr st in
+        if peek st = Token.COMMA then begin
+          advance st;
+          go (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      Ast.Return (go [])
+  | Token.GO ->
+    advance st;
+    Ast.Go_stmt (parse_expr st)
+  | Token.BREAK ->
+    advance st;
+    Ast.Break
+  | Token.CONTINUE ->
+    advance st;
+    Ast.Continue
+  | Token.LBRACE -> Ast.Block (parse_block st)
+  | _ -> parse_simple_stmt st
+
+and parse_if st : Ast.stmt =
+  expect st Token.IF;
+  let cond = parse_expr st in
+  let then_ = parse_block st in
+  let else_ =
+    if peek st = Token.ELSE then begin
+      advance st;
+      if peek st = Token.IF then [ parse_if st ] else parse_block st
+    end
+    else []
+  in
+  Ast.If (cond, then_, else_)
+
+and parse_for st : Ast.stmt =
+  expect st Token.FOR;
+  match peek st with
+  | Token.LBRACE ->
+    (* for { ... } : infinite loop *)
+    Ast.For (None, None, None, parse_block st)
+  | Token.IDENT _ when peek2 st = Token.COMMA || (peek2 st = Token.DEFINE && range_follows st) ->
+    (* for k, v := range e  |  for x := range e *)
+    let k = expect_ident st in
+    let v =
+      if peek st = Token.COMMA then begin
+        advance st;
+        expect_ident st
+      end
+      else "_"
+    in
+    expect st Token.DEFINE;
+    expect st Token.RANGE;
+    let e = parse_expr st in
+    Ast.For_range (k, v, e, parse_block st)
+  | _ ->
+    (* for init; cond; post { } or for cond { } *)
+    let first =
+      if peek st = Token.SEMI then None else Some (parse_simple_stmt st)
+    in
+    if peek st = Token.SEMI then begin
+      advance st;
+      let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+      expect st Token.SEMI;
+      let post = if peek st = Token.LBRACE then None else Some (parse_simple_stmt st) in
+      Ast.For (first, cond, post, parse_block st)
+    end
+    else
+      (* while-style: the "init" was actually the condition expression *)
+      match first with
+      | Some (Ast.Expr_stmt cond) -> Ast.For (None, Some cond, None, parse_block st)
+      | _ -> error (line st) "malformed for header"
+
+and range_follows st =
+  match st.toks with
+  | _ :: _ :: { token = Token.RANGE; _ } :: _ -> true
+  | _ -> false
+
+(* --- top level --- *)
+
+let parse_params st : (string * Ast.typ) list =
+  expect st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let name = expect_ident st in
+      let t = parse_type st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go ((name, t) :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev ((name, t) :: acc)
+      end
+    in
+    go []
+
+let parse_results st : Ast.typ list =
+  match peek st with
+  | Token.LBRACE -> []
+  | Token.LPAREN ->
+    advance st;
+    let rec go acc =
+      let t = parse_type st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (t :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (t :: acc)
+      end
+    in
+    go []
+  | _ -> [ parse_type st ]
+
+let parse_file (src : string) : Ast.file =
+  let st = { toks = Lexer.tokenize src } in
+  skip_semis st;
+  expect st Token.PACKAGE;
+  let package = expect_ident st in
+  skip_semis st;
+  let imports = ref [] in
+  while peek st = Token.IMPORT do
+    advance st;
+    (match peek st with
+    | Token.STRING s ->
+      advance st;
+      imports := s :: !imports
+    | Token.LPAREN ->
+      advance st;
+      skip_semis st;
+      while peek st <> Token.RPAREN do
+        (match peek st with
+        | Token.STRING s ->
+          advance st;
+          imports := s :: !imports
+        | t -> error (line st) "expected import path, found %a" Token.pp t);
+        skip_semis st
+      done;
+      advance st
+    | t -> error (line st) "expected import path, found %a" Token.pp t);
+    skip_semis st
+  done;
+  let structs = ref [] and funcs = ref [] and consts = ref [] in
+  let rec go () =
+    skip_semis st;
+    match peek st with
+    | Token.EOF -> ()
+    | Token.TYPE ->
+      advance st;
+      let sname = expect_ident st in
+      expect st Token.STRUCT;
+      expect st Token.LBRACE;
+      skip_semis st;
+      let rec fields acc =
+        if peek st = Token.RBRACE then begin
+          advance st;
+          List.rev acc
+        end
+        else begin
+          let fname = expect_ident st in
+          let t = parse_type st in
+          skip_semis st;
+          fields ((fname, t) :: acc)
+        end
+      in
+      structs := { Ast.sname; sfields = fields [] } :: !structs;
+      go ()
+    | Token.CONST ->
+      advance st;
+      let name = expect_ident st in
+      (* optional type annotation ignored *)
+      if peek st <> Token.ASSIGN then ignore (parse_type st);
+      expect st Token.ASSIGN;
+      let e = parse_expr st in
+      consts := (name, e) :: !consts;
+      go ()
+    | Token.FUNC ->
+      advance st;
+      let fname = expect_ident st in
+      let params = parse_params st in
+      let results = parse_results st in
+      let body = parse_block st in
+      funcs := { Ast.fname; params; results; body } :: !funcs;
+      go ()
+    | t -> error (line st) "expected top-level declaration, found %a" Token.pp t
+  in
+  go ();
+  {
+    Ast.package;
+    imports = List.rev !imports;
+    structs = List.rev !structs;
+    consts = List.rev !consts;
+    funcs = List.rev !funcs;
+  }

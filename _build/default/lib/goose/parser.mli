@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the Goose subset of Go (§6).
+
+    Restrictions match the paper's Goose: no interfaces, no function
+    literals, no channels; composite literals only for declared struct
+    types and slices. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val parse_file : string -> Ast.file
+(** Parse a whole source file; raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)

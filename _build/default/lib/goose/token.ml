@@ -1,0 +1,96 @@
+(** Tokens of the Goose subset of Go (§6). *)
+
+type t =
+  (* literals and names *)
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  (* keywords *)
+  | PACKAGE | IMPORT | FUNC | TYPE | STRUCT | VAR | CONST
+  | IF | ELSE | FOR | RANGE | RETURN | GO | BREAK | CONTINUE
+  | TRUE | FALSE | NIL
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT
+  (* operators *)
+  | ASSIGN  (** = *)
+  | DEFINE  (** := *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | GT | LE | GE
+  | ANDAND | OROR | NOT
+  | AMP  (** & *)
+  | PLUSEQ  (** += *)
+  | EOF
+
+let pp ppf = function
+  | IDENT s -> Fmt.pf ppf "ident(%s)" s
+  | INT n -> Fmt.pf ppf "int(%d)" n
+  | STRING s -> Fmt.pf ppf "string(%S)" s
+  | PACKAGE -> Fmt.string ppf "package"
+  | IMPORT -> Fmt.string ppf "import"
+  | FUNC -> Fmt.string ppf "func"
+  | TYPE -> Fmt.string ppf "type"
+  | STRUCT -> Fmt.string ppf "struct"
+  | VAR -> Fmt.string ppf "var"
+  | CONST -> Fmt.string ppf "const"
+  | IF -> Fmt.string ppf "if"
+  | ELSE -> Fmt.string ppf "else"
+  | FOR -> Fmt.string ppf "for"
+  | RANGE -> Fmt.string ppf "range"
+  | RETURN -> Fmt.string ppf "return"
+  | GO -> Fmt.string ppf "go"
+  | BREAK -> Fmt.string ppf "break"
+  | CONTINUE -> Fmt.string ppf "continue"
+  | TRUE -> Fmt.string ppf "true"
+  | FALSE -> Fmt.string ppf "false"
+  | NIL -> Fmt.string ppf "nil"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | COMMA -> Fmt.string ppf ","
+  | SEMI -> Fmt.string ppf ";"
+  | COLON -> Fmt.string ppf ":"
+  | DOT -> Fmt.string ppf "."
+  | ASSIGN -> Fmt.string ppf "="
+  | DEFINE -> Fmt.string ppf ":="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | PERCENT -> Fmt.string ppf "%%"
+  | EQ -> Fmt.string ppf "=="
+  | NE -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | GT -> Fmt.string ppf ">"
+  | LE -> Fmt.string ppf "<="
+  | GE -> Fmt.string ppf ">="
+  | ANDAND -> Fmt.string ppf "&&"
+  | OROR -> Fmt.string ppf "||"
+  | NOT -> Fmt.string ppf "!"
+  | AMP -> Fmt.string ppf "&"
+  | PLUSEQ -> Fmt.string ppf "+="
+  | EOF -> Fmt.string ppf "<eof>"
+
+let keyword_of_string = function
+  | "package" -> Some PACKAGE
+  | "import" -> Some IMPORT
+  | "func" -> Some FUNC
+  | "type" -> Some TYPE
+  | "struct" -> Some STRUCT
+  | "var" -> Some VAR
+  | "const" -> Some CONST
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "for" -> Some FOR
+  | "range" -> Some RANGE
+  | "return" -> Some RETURN
+  | "go" -> Some GO
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "nil" -> Some NIL
+  | _ -> None

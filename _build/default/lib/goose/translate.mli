@@ -1,0 +1,11 @@
+(** The Goose translator's output stage (§7): pretty-print a parsed Go file
+    as the Coq-flavoured "Perennial model", one [Definition] per function in
+    monadic notation — the same human-auditable shape the paper's goose
+    tool emits. *)
+
+val to_coq : Ast.file -> string
+
+val translate : string -> (string, string) result
+(** The full pipeline on Go source: lex, parse, typecheck, emit.  [Error]
+    carries a located message for lex/parse failures or the typechecker's
+    reason for rejecting code outside the subset. *)

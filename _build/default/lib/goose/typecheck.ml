@@ -1,0 +1,344 @@
+(** A lightweight typechecker for the Goose subset.
+
+    Plays the role the paper assigns to Coq's typechecker on the translated
+    output: rejecting code the model does not cover before any reasoning
+    happens.  Checks identifier scoping, call arity and argument types for
+    the modeled standard library, struct fields, operator operand types and
+    return arities. *)
+
+module SMap = Map.Make (String)
+open Ast
+
+exception Type_error of string
+
+let failf fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let rec equal_typ a b =
+  match a, b with
+  | Tuint64, Tuint64 | Tbool, Tbool | Tstring, Tstring | Tbyte, Tbyte | Tunit, Tunit -> true
+  (* bytes index as uint64 in this model *)
+  | Tuint64, Tbyte | Tbyte, Tuint64 -> true
+  | Tslice x, Tslice y -> equal_typ x y
+  | Tmap (k1, v1), Tmap (k2, v2) -> equal_typ k1 k2 && equal_typ v1 v2
+  | Tptr x, Tptr y -> equal_typ x y
+  | Tnamed x, Tnamed y -> String.equal x y
+  | Ttuple xs, Ttuple ys -> List.length xs = List.length ys && List.for_all2 equal_typ xs ys
+  | _, _ -> false
+
+type ctx = {
+  file : file;
+  vars : typ SMap.t;
+  results : typ list;  (** of the enclosing function *)
+  in_loop : bool;
+}
+
+let stdlib_sigs : (string * (typ list * typ list)) list =
+  [
+    ("filesys.Create", ([ Tstring; Tstring ], [ Tuint64; Tbool ]));
+    ("filesys.Open", ([ Tstring; Tstring ], [ Tuint64; Tbool ]));
+    ("filesys.Append", ([ Tuint64; Tslice Tbyte ], []));
+    ("filesys.Close", ([ Tuint64 ], []));
+    ("filesys.Fsync", ([ Tuint64 ], []));
+    ("filesys.ReadAt", ([ Tuint64; Tuint64; Tuint64 ], [ Tslice Tbyte ]));
+    ("filesys.Size", ([ Tuint64 ], [ Tuint64 ]));
+    ("filesys.Link", ([ Tstring; Tstring; Tstring; Tstring ], [ Tbool ]));
+    ("filesys.Delete", ([ Tstring; Tstring ], [ Tbool ]));
+    ("filesys.List", ([ Tstring ], [ Tslice Tstring ]));
+    ("disk.Read", ([ Tuint64 ], [ Tslice Tbyte ]));
+    ("disk.Write", ([ Tuint64; Tslice Tbyte ], []));
+    ("disk.Size", ([], [ Tuint64 ]));
+    ("twodisk.Read", ([ Tuint64; Tuint64 ], [ Tslice Tbyte; Tbool ]));
+    ("twodisk.Write", ([ Tuint64; Tuint64; Tslice Tbyte ], []));
+    ("twodisk.Size", ([], [ Tuint64 ]));
+    ("machine.RandomUint64", ([], [ Tuint64 ]));
+    ("machine.UInt64ToString", ([ Tuint64 ], [ Tstring ]));
+    ("sync.Lock", ([ Tuint64 ], []));
+    ("sync.Unlock", ([ Tuint64 ], []));
+  ]
+
+let results_to_typ = function
+  | [] -> Tunit
+  | [ t ] -> t
+  | ts -> Ttuple ts
+
+let struct_fields ctx name =
+  match find_struct ctx.file name with
+  | Some d -> d.sfields
+  | None -> failf "unknown struct type %s" name
+
+let rec infer ctx (e : expr) : typ =
+  match e with
+  | Int_lit _ -> Tuint64
+  | Bool_lit _ -> Tbool
+  | Str_lit _ -> Tstring
+  | Ident x -> (
+    match SMap.find_opt x ctx.vars with
+    | Some t -> t
+    | None -> (
+      match List.assoc_opt x ctx.file.consts with
+      | Some ce -> infer ctx ce
+      | None -> failf "unbound identifier %s" x))
+  | Binop (op, a, b) -> (
+    let ta = infer ctx a and tb = infer ctx b in
+    if not (equal_typ ta tb) then
+      failf "operands of %a have different types (%a vs %a)" pp_binop op pp_typ ta pp_typ tb;
+    match op with
+    | Add -> (
+      match ta with
+      | Tuint64 | Tbyte | Tstring -> ta
+      | _ -> failf "+ needs numbers or strings")
+    | Sub | Mul | Div | Mod ->
+      if equal_typ ta Tuint64 then Tuint64 else failf "arithmetic needs uint64"
+    | Eq | Ne -> Tbool
+    | Lt | Gt | Le | Ge -> (
+      match ta with
+      | Tuint64 | Tbyte | Tstring -> Tbool
+      | _ -> failf "comparison needs ordered operands")
+    | And | Or -> if equal_typ ta Tbool then Tbool else failf "&&/|| need booleans")
+  | Unop (Not, a) ->
+    if equal_typ (infer ctx a) Tbool then Tbool else failf "! needs bool"
+  | Unop (Neg, a) ->
+    if equal_typ (infer ctx a) Tuint64 then Tuint64 else failf "unary - needs uint64"
+  | Call (path, args) -> infer_call ctx path args
+  | Index (e1, e2) -> (
+    let t1 = infer ctx e1 in
+    match t1 with
+    | Tslice t ->
+      if equal_typ (infer ctx e2) Tuint64 then t else failf "slice index must be uint64"
+    | Tstring ->
+      if equal_typ (infer ctx e2) Tuint64 then Tbyte else failf "string index must be uint64"
+    | Tmap (k, v) ->
+      if equal_typ (infer ctx e2) k then v else failf "map key type mismatch"
+    | t -> failf "cannot index a %a" pp_typ t)
+  | Map_lookup2 (me, ke) -> (
+    match infer ctx me with
+    | Tmap (k, v) ->
+      if equal_typ (infer ctx ke) k then Ttuple [ v; Tbool ]
+      else failf "map key type mismatch"
+    | t -> failf "two-result lookup on %a" pp_typ t)
+  | Field (e1, f) -> (
+    match infer ctx e1 with
+    | Tnamed name | Tptr (Tnamed name) -> (
+      match List.assoc_opt f (struct_fields ctx name) with
+      | Some t -> t
+      | None -> failf "struct %s has no field %s" name f)
+    | t -> failf "field access on %a" pp_typ t)
+  | Slice_lit (t, elems) ->
+    List.iter
+      (fun e ->
+        let te = infer ctx e in
+        if not (equal_typ te t) then
+          failf "slice literal element has type %a, expected %a" pp_typ te pp_typ t)
+      elems;
+    Tslice t
+  | Struct_lit (name, fields) ->
+    let decl = struct_fields ctx name in
+    List.iter
+      (fun (f, e) ->
+        match List.assoc_opt f decl with
+        | Some t ->
+          let te = infer ctx e in
+          if not (equal_typ te t) then
+            failf "field %s of %s has type %a, given %a" f name pp_typ t pp_typ te
+        | None -> failf "struct %s has no field %s" name f)
+      fields;
+    Tnamed name
+  | Make_map (k, v) -> Tmap (k, v)
+  | Make_slice (t, n) ->
+    if equal_typ (infer ctx n) Tuint64 then Tslice t else failf "make length must be uint64"
+  | Len e1 -> (
+    match infer ctx e1 with
+    | Tslice _ | Tstring | Tmap _ -> Tuint64
+    | t -> failf "len of %a" pp_typ t)
+  | Append (s, elems) -> (
+    match infer ctx s with
+    | Tslice t ->
+      List.iter
+        (fun e ->
+          if not (equal_typ (infer ctx e) t) then failf "append element type mismatch")
+        elems;
+      Tslice t
+    | t -> failf "append to %a" pp_typ t)
+  | Sub_slice (s, lo, hi) -> (
+    let check_ix = function
+      | Some e ->
+        if not (equal_typ (infer ctx e) Tuint64) then failf "slice bound must be uint64"
+      | None -> ()
+    in
+    check_ix lo;
+    check_ix hi;
+    match infer ctx s with
+    | Tslice t -> Tslice t
+    | Tstring -> Tstring
+    | t -> failf "slicing a %a" pp_typ t)
+  | Addr_of e1 -> Tptr (infer ctx e1)
+  | Deref e1 -> (
+    match infer ctx e1 with
+    | Tptr t -> t
+    | t -> failf "dereference of %a" pp_typ t)
+  | Conv (t, e1) -> (
+    let te = infer ctx e1 in
+    match t, te with
+    | Tstring, Tslice Tbyte
+    | Tslice Tbyte, Tstring
+    | Tuint64, (Tuint64 | Tbyte)
+    | Tbyte, Tuint64
+    | Tstring, Tstring ->
+      t
+    | _ -> failf "unsupported conversion %a(%a)" pp_typ t pp_typ te)
+
+and infer_call ctx path args : typ =
+  let arg_types = List.map (infer ctx) args in
+  let check_sig name (params, results) =
+    if List.length params <> List.length arg_types then
+      failf "%s expects %d arguments, given %d" name (List.length params)
+        (List.length arg_types);
+    List.iteri
+      (fun i (p, a) ->
+        if not (equal_typ p a) then
+          failf "%s argument %d has type %a, expected %a" name (i + 1) pp_typ a pp_typ p)
+      (List.combine params arg_types);
+    results_to_typ results
+  in
+  match path with
+  | [ pkg; fn ] -> (
+    let qualified = pkg ^ "." ^ fn in
+    match List.assoc_opt qualified stdlib_sigs with
+    | Some s -> check_sig qualified s
+    | None -> failf "unknown library function %s" qualified)
+  | [ name ] -> (
+    match find_func ctx.file name with
+    | Some f -> check_sig name (List.map snd f.params, f.results)
+    | None -> failf "unknown function %s" name)
+  | _ -> failf "malformed call path"
+
+let rec check_block ctx (b : block) : unit =
+  ignore (List.fold_left check_stmt ctx b)
+
+and check_stmt ctx (s : stmt) : ctx =
+  match s with
+  | Define (names, e) -> (
+    let t = infer ctx e in
+    match names, t with
+    | [ x ], t -> { ctx with vars = SMap.add x t ctx.vars }
+    | xs, Ttuple ts when List.length xs = List.length ts ->
+      { ctx with
+        vars = List.fold_left2 (fun m x t -> if x = "_" then m else SMap.add x t m) ctx.vars xs ts
+      }
+    | xs, t -> failf "%d names := a %a" (List.length xs) pp_typ t)
+  | Var_decl (x, Some t, init) ->
+    (match init with
+    | Some e ->
+      let te = infer ctx e in
+      if not (equal_typ te t) then failf "var %s: initializer has type %a" x pp_typ te
+    | None -> ());
+    { ctx with vars = SMap.add x t ctx.vars }
+  | Var_decl (x, None, Some e) -> { ctx with vars = SMap.add x (infer ctx e) ctx.vars }
+  | Var_decl (x, None, None) -> failf "var %s needs a type or initializer" x
+  | Assign (lvs, e) -> (
+    let t = infer ctx e in
+    let check_lv lv t =
+      match lv with
+      | Lwild -> ()
+      | Lident x -> (
+        match SMap.find_opt x ctx.vars with
+        | Some tx ->
+          if not (equal_typ tx t) then failf "assigning %a to %s : %a" pp_typ t x pp_typ tx
+        | None -> failf "assignment to undeclared %s" x)
+      | Lindex (se, ie) -> (
+        match infer ctx se with
+        | Tslice et ->
+          if not (equal_typ (infer ctx ie) Tuint64) then failf "slice index must be uint64";
+          if not (equal_typ et t) then failf "slice element type mismatch in store"
+        | Tmap (k, v) ->
+          if not (equal_typ (infer ctx ie) k) then failf "map key type mismatch in store";
+          if not (equal_typ v t) then failf "map value type mismatch in store"
+        | ty -> failf "indexed store on %a" pp_typ ty)
+      | Lfield (se, f) -> (
+        match infer ctx se with
+        | Tnamed name | Tptr (Tnamed name) -> (
+          match List.assoc_opt f (struct_fields ctx name) with
+          | Some tf ->
+            if not (equal_typ tf t) then failf "field %s type mismatch in store" f
+          | None -> failf "no field %s" f)
+        | ty -> failf "field store on %a" pp_typ ty)
+      | Lderef pe -> (
+        match infer ctx pe with
+        | Tptr tp -> if not (equal_typ tp t) then failf "pointer store type mismatch"
+        | ty -> failf "store through %a" pp_typ ty)
+    in
+    match lvs, t with
+    | [ lv ], t ->
+      check_lv lv t;
+      ctx
+    | lvs, Ttuple ts when List.length lvs = List.length ts ->
+      List.iter2 check_lv lvs ts;
+      ctx
+    | _ -> failf "arity mismatch in assignment")
+  | Expr_stmt e ->
+    ignore (infer ctx e);
+    ctx
+  | If (c, t, f) ->
+    if not (equal_typ (infer ctx c) Tbool) then failf "if condition must be bool";
+    check_block ctx t;
+    check_block ctx f;
+    ctx
+  | For (init, cond, post, body) ->
+    let ctx' = match init with Some s -> check_stmt ctx s | None -> ctx in
+    (match cond with
+    | Some c ->
+      if not (equal_typ (infer ctx' c) Tbool) then failf "for condition must be bool"
+    | None -> ());
+    let ctx_loop = { ctx' with in_loop = true } in
+    (match post with Some s -> ignore (check_stmt ctx_loop s) | None -> ());
+    check_block ctx_loop body;
+    ctx
+  | For_range (kx, vx, e, body) -> (
+    let bind k v =
+      let vars = if kx = "_" then ctx.vars else SMap.add kx k ctx.vars in
+      let vars = if vx = "_" then vars else SMap.add vx v vars in
+      check_block { ctx with vars; in_loop = true } body;
+      ctx
+    in
+    match infer ctx e with
+    | Tslice t -> bind Tuint64 t
+    | Tstring -> bind Tuint64 Tbyte
+    | Tmap (k, v) -> bind k v
+    | t -> failf "range over %a" pp_typ t)
+  | Return es ->
+    let ts = List.map (infer ctx) es in
+    if List.length ts <> List.length ctx.results then
+      failf "return arity: %d values, function declares %d" (List.length ts)
+        (List.length ctx.results);
+    List.iteri
+      (fun i (t, r) ->
+        if not (equal_typ t r) then
+          failf "return value %d has type %a, expected %a" (i + 1) pp_typ t pp_typ r)
+      (List.combine ts ctx.results);
+    ctx
+  | Go_stmt e -> (
+    match e with
+    | Call (path, args) ->
+      ignore (infer_call ctx path args);
+      ctx
+    | _ -> failf "go must be applied to a call")
+  | Break | Continue -> if ctx.in_loop then ctx else failf "break/continue outside loop"
+  | Block b ->
+    check_block ctx b;
+    ctx
+
+let check_file (file : file) : unit =
+  (* duplicate declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then failf "duplicate function %s" f.fname;
+      Hashtbl.add seen f.fname ())
+    file.funcs;
+  List.iter
+    (fun f ->
+      let vars =
+        List.fold_left (fun m (p, t) -> SMap.add p t m) SMap.empty f.params
+      in
+      check_block { file; vars; results = f.results; in_loop = false } f.body)
+    file.funcs

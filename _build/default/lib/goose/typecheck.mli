@@ -1,0 +1,11 @@
+(** A lightweight typechecker for the Goose subset — the role the paper
+    assigns to Coq's typechecker on the translated output: rejecting code
+    the model does not cover before any reasoning happens.  Checks
+    identifier scoping, call arity and argument types (including the
+    modeled [filesys]/[machine]/[sync] library), struct fields, operator
+    operand types and return arities. *)
+
+exception Type_error of string
+
+val check_file : Ast.file -> unit
+(** Raises {!Type_error} on the first problem. *)

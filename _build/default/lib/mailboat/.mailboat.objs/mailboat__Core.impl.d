@@ -1,0 +1,1 @@
+lib/mailboat/core.ml: Core_ids Disk Fmt Fun Gfs List Map Perennial_core Printf Sched String Tslang

@@ -1,0 +1,1 @@
+lib/mailboat/core.mli: Disk Fmt Gfs Map Perennial_core Sched String Tslang

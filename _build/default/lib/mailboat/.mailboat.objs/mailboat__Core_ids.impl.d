@@ -1,0 +1,1 @@
+lib/mailboat/core_ids.ml:

@@ -1,0 +1,1 @@
+lib/mailboat/goose_src.ml:

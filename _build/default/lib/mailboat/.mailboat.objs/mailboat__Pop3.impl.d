@@ -1,0 +1,1 @@
+lib/mailboat/pop3.ml: List Printf Server String

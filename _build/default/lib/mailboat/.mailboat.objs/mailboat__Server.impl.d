@@ -1,0 +1,1 @@
+lib/mailboat/server.ml: Array Core Gfs List Mutex Option Printf Random String Thread_yield

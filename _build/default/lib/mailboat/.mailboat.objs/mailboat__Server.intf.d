@@ -1,0 +1,1 @@
+lib/mailboat/server.mli: Gfs Mutex Random

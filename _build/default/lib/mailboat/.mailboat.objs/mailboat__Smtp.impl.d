@@ -1,0 +1,1 @@
+lib/mailboat/smtp.ml: Buffer List Server String

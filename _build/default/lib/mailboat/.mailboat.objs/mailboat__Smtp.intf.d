@@ -1,0 +1,1 @@
+lib/mailboat/smtp.mli: Server

@@ -1,0 +1,1 @@
+lib/mailboat/thread_yield.ml: Domain

@@ -1,0 +1,1 @@
+lib/mailboat/workload.ml: Array Atomic Fmt List Pop3 Printf Random Smtp String

@@ -1,0 +1,1 @@
+lib/mailboat/workload.mli: Atomic Fmt Server

@@ -1,0 +1,358 @@
+(** The Mailboat mail server core (paper §8): deliver, pickup, delete over a
+    Maildir-like layout, with crash recovery that cleans the spool.
+
+    This module is the *verified-core equivalent*: the specification as a
+    transition system, and the implementation as an atomic-step program over
+    the pure {!Gfs.Fs} world, which the refinement checker explores
+    exhaustively (interleavings × crash points).  The runnable server over
+    the mutable tmpfs is {!Server}.
+
+    Key mechanisms (§8.2):
+    - Pickup/Delete take a per-user lock; delivery is lock-free;
+    - Deliver spools the message under a random name, then atomically links
+      it into the mailbox and deletes the spool entry (shadow-copy pattern);
+    - random-name allocation retries on collision (create-if-absent);
+    - Recover deletes everything in the spool. *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module SMap = Map.Make (String)
+
+let spool = "spool"
+let user_dir u = Printf.sprintf "user%d" u
+let dirs ~users = spool :: List.init users user_dir
+
+(* ------------------------------------------------------------------ *)
+(* Specification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = string SMap.t SMap.t
+(** user directory name -> message id -> contents *)
+
+(** Message IDs the spec (and the model of the random generator) draws
+    from; small to keep exhaustive checking tractable. *)
+let id_universe = Core_ids.ids
+
+let spec_init ~users : state =
+  List.fold_left (fun st u -> SMap.add (user_dir u) SMap.empty st) SMap.empty
+    (List.init users Fun.id)
+
+let spec ~users : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "mailboat";
+    init = spec_init ~users;
+    compare_state = SMap.compare (SMap.compare String.compare);
+    pp_state =
+      (fun ppf st ->
+        let mailbox ppf (u, msgs) =
+          Fmt.pf ppf "%s:{%a}" u
+            (Fmt.list ~sep:Fmt.comma (fun ppf (i, c) -> Fmt.pf ppf "%s=%S" i c))
+            (SMap.bindings msgs)
+        in
+        Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.sp mailbox) (SMap.bindings st));
+    step =
+      (fun op args ->
+        match op, args with
+        | "deliver", [ V.Int u; V.Str msg ] ->
+          let* st = T.reads in
+          (match SMap.find_opt (user_dir u) st with
+          | None -> T.undefined
+          | Some mbox ->
+            (* the spec allocates any unused ID nondeterministically *)
+            let fresh = List.filter (fun id -> not (SMap.mem id mbox)) id_universe in
+            let* id = T.choose fresh in
+            let* () =
+              T.modify (SMap.add (user_dir u) (SMap.add id msg mbox))
+            in
+            T.ret V.unit)
+        | "pickup", [ V.Int u ] ->
+          let* st = T.reads in
+          (match SMap.find_opt (user_dir u) st with
+          | None -> T.undefined
+          | Some mbox ->
+            T.ret
+              (V.list
+                 (List.map (fun (id, c) -> V.pair (V.str id) (V.str c)) (SMap.bindings mbox))))
+        | "delete", [ V.Int u; V.Str id ] ->
+          let* st = T.reads in
+          (match SMap.find_opt (user_dir u) st with
+          | None -> T.undefined
+          | Some mbox ->
+            if not (SMap.mem id mbox) then
+              (* the paper's contract: only IDs returned by Pickup *)
+              T.undefined
+            else
+              let* () = T.modify (SMap.add (user_dir u) (SMap.remove id mbox)) in
+              T.ret V.unit)
+        | "unlock", [ V.Int _ ] -> T.ret V.unit
+        | _ -> invalid_arg "mailboat spec: unknown op");
+    crash = T.ret () (* delivered mail survives crashes *);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type world = { fs : Gfs.Fs.t; locks : Disk.Locks.t }
+
+let init_world ?(durability = `Sync) ~users () =
+  { fs = Gfs.Fs.init ~durability (dirs ~users); locks = Disk.Locks.empty }
+let crash_world w = { fs = Gfs.Fs.crash w.fs; locks = Disk.Locks.empty }
+
+let pp_world ppf w = Fmt.pf ppf "%a %a" Gfs.Fs.pp w.fs Disk.Locks.pp w.locks
+
+let get_fs w = w.fs
+let set_fs w fs = { w with fs }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let lock u = Disk.Locks.acquire ~get:get_locks ~set:set_locks u
+let unlock_l u = Disk.Locks.release ~get:get_locks ~set:set_locks u
+
+let fs_create dir name = Gfs.Ops.create ~get:get_fs ~set:set_fs dir name
+let fs_open dir name = Gfs.Ops.open_read ~get:get_fs ~set:set_fs dir name
+let fs_append fd data = Gfs.Ops.append ~get:get_fs ~set:set_fs fd data
+let fs_read_at fd off len = Gfs.Ops.read_at ~get:get_fs fd off len
+let fs_close fd = Gfs.Ops.close ~get:get_fs ~set:set_fs fd
+let fs_fsync fd = Gfs.Ops.fsync ~get:get_fs ~set:set_fs fd
+let fs_link ~src ~dst = Gfs.Ops.link ~get:get_fs ~set:set_fs ~src ~dst
+let fs_delete dir name = Gfs.Ops.delete ~get:get_fs ~set:set_fs dir name
+let fs_list dir = Gfs.Ops.list_dir ~get:get_fs dir
+
+(** Model of [machine.RandomUint64]: a nondeterministic draw.  Taking it
+    without replacement keeps exhaustive exploration finite while still
+    covering every collision scenario. *)
+let random_id candidates : ('w, V.t) P.t =
+  P.atomic "random_id" (fun w -> P.Steps (List.map (fun id -> (w, V.str id)) candidates))
+
+(* ------------------------------------------------------------------ *)
+(* Implementation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+open P.Syntax
+
+(** Message chunk size for writes and reads (the paper's 4 KB writes and
+    the §9.5 512-byte read loop, scaled down to keep checking cheap). *)
+let chunk_size = 2
+
+let rec write_chunks fd msg : (world, unit) P.t =
+  if String.length msg = 0 then P.return ()
+  else
+    let n = min chunk_size (String.length msg) in
+    let* () = fs_append fd (String.sub msg 0 n) in
+    write_chunks fd (String.sub msg n (String.length msg - n))
+
+let read_all fd : (world, V.t) P.t =
+  let rec go off acc =
+    let* chunk = fs_read_at fd off chunk_size in
+    let data = V.get_str chunk in
+    if String.length data < chunk_size then P.return (V.str (acc ^ data))
+    else go (off + String.length data) (acc ^ data)
+  in
+  go 0 ""
+
+(** Allocate-and-create a fresh file name in [dir] by drawing random IDs
+    until [create] succeeds (create is atomic create-if-absent).
+
+    The unbounded retry loop of the real code is modeled as rounds of
+    draws-without-replacement over the finite ID universe, with the pool
+    reset between rounds: names can be *freed* concurrently (a finished
+    delivery unspools its temporary file), so a name that failed once may
+    succeed later.  The round bound keeps exhaustive exploration finite;
+    exceeding it means the instance genuinely overcommits the namespace. *)
+let alloc_create dir prefix universe : (world, V.t) P.t =
+  let rec round candidates rounds_left =
+    match candidates with
+    | [] ->
+      if rounds_left > 0 then round universe (rounds_left - 1)
+      else P.ub "message-ID space exhausted"
+    | _ ->
+      let* id = random_id candidates in
+      let name = prefix ^ V.get_str id in
+      let* r = fs_create dir name in
+      let fd, ok = V.get_pair r in
+      if V.get_bool ok then P.return (V.pair (V.str name) fd)
+      else round (List.filter (fun c -> c <> V.get_str id) candidates) rounds_left
+  in
+  round universe 2
+
+(** Deliver: spool under a fresh name, link into the mailbox (the atomic
+    commit point), then unspool.  No locks (§8.2 Pickup/Deliver).  With
+    [fsync] the spooled contents are flushed before the link — required for
+    correctness under deferred durability, a no-op under the paper's
+    always-durable model. *)
+let deliver_gen ~fsync u msg : (world, V.t) P.t =
+  let* spooled = alloc_create spool "tmp-" Core_ids.ids in
+  let tmp_name, fd = V.get_pair spooled in
+  let tmp_name = V.get_str tmp_name in
+  let* () = write_chunks (V.get_int fd) msg in
+  let* () = if fsync then fs_fsync (V.get_int fd) else P.return () in
+  let* () = fs_close (V.get_int fd) in
+  (* mailbox names are only ever *added* while we retry (deletes need the
+     user lock, but a concurrent delete session can also free one), so the
+     same round-based retry applies *)
+  let link_loop universe =
+    let rec round candidates rounds_left =
+      match candidates with
+      | [] ->
+        if rounds_left > 0 then round universe (rounds_left - 1)
+        else P.ub "mailbox ID space exhausted"
+      | _ ->
+        let* id = random_id candidates in
+        let id = V.get_str id in
+        let* ok = fs_link ~src:(spool, tmp_name) ~dst:(user_dir u, id) in
+        if V.get_bool ok then P.return ()
+        else round (List.filter (fun c -> c <> id) candidates) rounds_left
+    in
+    round universe 2
+  in
+  let* () = link_loop Core_ids.ids in
+  let* _ = fs_delete spool tmp_name in
+  P.return V.unit
+
+let deliver_prog u msg = deliver_gen ~fsync:false u msg
+
+(** The deferred-durability-correct delivery: fsync before the commit
+    point. *)
+let deliver_fsync_prog u msg = deliver_gen ~fsync:true u msg
+
+(** Pickup: under the user lock, list the mailbox and read every message. *)
+let pickup_prog u : (world, V.t) P.t =
+  let* () = lock u in
+  let* names = fs_list (user_dir u) in
+  let rec read_each acc = function
+    | [] -> P.return (V.list (List.rev acc))
+    | name :: rest ->
+      let name = V.get_str name in
+      let* r = fs_open (user_dir u) name in
+      let fd, ok = V.get_pair r in
+      if not (V.get_bool ok) then P.ub ("pickup: mailbox entry vanished: " ^ name)
+      else
+        let* contents = read_all (V.get_int fd) in
+        let* () = fs_close (V.get_int fd) in
+        read_each (V.pair (V.str name) contents :: acc) rest
+  in
+  read_each [] (V.get_list names)
+
+(** Delete: requires the user lock to be held (taken by Pickup). *)
+let delete_prog u id : (world, V.t) P.t =
+  let* ok = fs_delete (user_dir u) id in
+  if V.get_bool ok then P.return V.unit else P.ub ("delete of unknown message " ^ id)
+
+let unlock_prog u : (world, V.t) P.t =
+  let* () = unlock_l u in
+  P.return V.unit
+
+(** Recover: unspool everything (§8.2: frees space; no helping needed). *)
+let recover_prog : (world, V.t) P.t =
+  let* names = fs_list spool in
+  let rec del = function
+    | [] -> P.return V.unit
+    | name :: rest ->
+      let* _ = fs_delete spool (V.get_str name) in
+      del rest
+  in
+  del (V.get_list names)
+
+(* ------------------------------------------------------------------ *)
+(* Calls and checker configuration                                      *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_call u msg = (Spec.call "deliver" [ V.int u; V.str msg ], deliver_prog u msg)
+
+let deliver_fsync_call u msg =
+  (Spec.call "deliver" [ V.int u; V.str msg ], deliver_fsync_prog u msg)
+let pickup_call u = (Spec.call "pickup" [ V.int u ], pickup_prog u)
+let delete_call u id = (Spec.call "delete" [ V.int u; V.str id ], delete_prog u id)
+let unlock_call u = (Spec.call "unlock" [ V.int u ], unlock_prog u)
+
+(** A pickup-and-unlock session, the common probe. *)
+let session_calls u = [ pickup_call u; unlock_call u ]
+
+let checker_config ?(users = 1) ?(max_crashes = 1) ?(step_budget = 20_000_000)
+    ?(durability = `Sync) threads : (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec:(spec ~users)
+    ~init_world:(init_world ~durability ~users ())
+    ~crash_world ~pp_world ~threads ~recovery:recover_prog
+    ~post:(List.concat_map session_calls (List.init users Fun.id))
+    ~max_crashes ~step_budget ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs (§9.5)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** The paper's §9.5 bug: a message larger than one chunk makes Pickup
+      loop forever (the offset never advances). *)
+  let pickup_infinite_loop u : (world, V.t) P.t =
+    let* () = lock u in
+    let* names = fs_list (user_dir u) in
+    let rec read_each acc = function
+      | [] -> P.return (V.list (List.rev acc))
+      | name :: rest ->
+        let name = V.get_str name in
+        let* r = fs_open (user_dir u) name in
+        let fd, _ok = V.get_pair r in
+        let rec read_loop acc_data =
+          let* chunk = fs_read_at (V.get_int fd) 0 chunk_size in
+          (* bug: always reads offset 0 *)
+          let data = V.get_str chunk in
+          if String.length data < chunk_size then P.return (acc_data ^ data)
+          else read_loop (acc_data ^ data)
+        in
+        let* contents = read_loop "" in
+        let* () = fs_close (V.get_int fd) in
+        read_each (V.pair (V.str name) (V.str contents) :: acc) rest
+    in
+    read_each [] (V.get_list names)
+
+  (** Deliver without spooling: writes chunks directly into the mailbox, so
+      concurrent pickups (or crashes) observe partial messages. *)
+  let deliver_unspooled u msg : (world, V.t) P.t =
+    let* r = alloc_create (user_dir u) "" Core_ids.ids in
+    let _, fd = V.get_pair r in
+    let* () = write_chunks (V.get_int fd) msg in
+    let* () = fs_close (V.get_int fd) in
+    P.return V.unit
+
+  let deliver_call_unspooled u msg =
+    (Spec.call "deliver" [ V.int u; V.str msg ], deliver_unspooled u msg)
+
+  (** Pickup without taking the user lock: races with Delete. *)
+  let pickup_unlocked u : (world, V.t) P.t =
+    let* names = fs_list (user_dir u) in
+    let rec read_each acc = function
+      | [] -> P.return (V.list (List.rev acc))
+      | name :: rest ->
+        let name = V.get_str name in
+        let* r = fs_open (user_dir u) name in
+        let fd, ok = V.get_pair r in
+        if not (V.get_bool ok) then P.ub ("pickup raced with delete on " ^ name)
+        else
+          let* contents = read_all (V.get_int fd) in
+          let* () = fs_close (V.get_int fd) in
+          read_each (V.pair (V.str name) contents :: acc) rest
+    in
+    read_each [] (V.get_list names)
+
+  let pickup_call_unlocked u = (Spec.call "pickup" [ V.int u ], pickup_unlocked u)
+
+  (** Recovery that deletes the *mailboxes* instead of the spool. *)
+  let recover_wrong_dir ~users : (world, V.t) P.t =
+    let rec per_user u =
+      if u >= users then P.return V.unit
+      else
+        let* names = fs_list (user_dir u) in
+        let rec del = function
+          | [] -> per_user (u + 1)
+          | name :: rest ->
+            let* _ = fs_delete (user_dir u) (V.get_str name) in
+            del rest
+        in
+        del (V.get_list names)
+    in
+    per_user 0
+end

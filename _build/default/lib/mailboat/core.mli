@@ -1,0 +1,86 @@
+(** The Mailboat mail server core (paper §8): deliver, pickup, delete over a
+    Maildir-like layout, with crash recovery that cleans the spool.
+
+    This module is the {e verified-core equivalent}: the specification as a
+    transition system and the implementation as an atomic-step program over
+    the pure {!Gfs.Fs} world, which the refinement checker explores
+    exhaustively.  The runnable server over the mutable tmpfs is
+    {!Server}.  Mechanisms (§8.2): pickup/delete take a per-user lock while
+    delivery is lock-free; delivery spools under a random name and
+    atomically links into the mailbox; recovery unspools. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+module SMap := Map.Make (String)
+
+val spool : string
+val user_dir : int -> string
+val dirs : users:int -> string list
+
+(** {1 Specification} *)
+
+type state = string SMap.t SMap.t
+(** user directory name -> message id -> contents *)
+
+val id_universe : string list
+(** The finite message-ID universe shared by the spec's nondeterministic
+    allocator and the model of [machine.RandomUint64]. *)
+
+val spec_init : users:int -> state
+val spec : users:int -> state Spec.t
+
+(** {1 World} *)
+
+type world = { fs : Gfs.Fs.t; locks : Disk.Locks.t }
+
+val init_world : ?durability:Gfs.Fs.durability -> users:int -> unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+(** {1 Implementation programs} *)
+
+val chunk_size : int
+(** Message I/O chunk size (the paper's 4 KB / 512 B, scaled down to keep
+    exhaustive checking cheap). *)
+
+val deliver_prog : int -> string -> (world, V.t) P.t
+val deliver_fsync_prog : int -> string -> (world, V.t) P.t
+(** The deferred-durability-correct delivery: fsync before the commit
+    link.  Identical to {!deliver_prog} under the paper's sync model. *)
+
+val pickup_prog : int -> (world, V.t) P.t
+val delete_prog : int -> string -> (world, V.t) P.t
+val unlock_prog : int -> (world, V.t) P.t
+val recover_prog : (world, V.t) P.t
+
+(** {1 Checker plumbing} *)
+
+val deliver_call : int -> string -> Spec.call * (world, V.t) P.t
+val deliver_fsync_call : int -> string -> Spec.call * (world, V.t) P.t
+val pickup_call : int -> Spec.call * (world, V.t) P.t
+val delete_call : int -> string -> Spec.call * (world, V.t) P.t
+val unlock_call : int -> Spec.call * (world, V.t) P.t
+val session_calls : int -> (Spec.call * (world, V.t) P.t) list
+
+val checker_config :
+  ?users:int ->
+  ?max_crashes:int ->
+  ?step_budget:int ->
+  ?durability:Gfs.Fs.durability ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+(** {1 Seeded bugs (§9.5)} *)
+
+module Buggy : sig
+  val pickup_infinite_loop : int -> (world, V.t) P.t
+  (** The paper's §9.5 bug: the read offset never advances, so any message
+      longer than one chunk loops forever. *)
+
+  val deliver_unspooled : int -> string -> (world, V.t) P.t
+  val deliver_call_unspooled : int -> string -> Spec.call * (world, V.t) P.t
+  val pickup_unlocked : int -> (world, V.t) P.t
+  val pickup_call_unlocked : int -> Spec.call * (world, V.t) P.t
+  val recover_wrong_dir : users:int -> (world, V.t) P.t
+end

@@ -1,0 +1,4 @@
+(* The small message-ID universe shared by the specification's
+   nondeterministic allocator and the implementation's model of
+   machine.RandomUint64, keeping exhaustive exploration finite. *)
+let ids = [ "m0"; "m1" ]

@@ -1,0 +1,147 @@
+(** Mailboat's implementation in Goose source (the Go subset of §6) — the same code shape as the paper's artifact, processed by our translator pipeline.  Generated from examples/goose/mailboat.go (the canonical file). *)
+
+let source = {goo|
+package mailboat
+
+import (
+	"filesys"
+	"machine"
+	"sync"
+)
+
+type Message struct {
+	ID       string
+	Contents string
+}
+
+const SpoolDir = "spool"
+
+func userDir(user uint64) string {
+	return "user" + machine.UInt64ToString(user)
+}
+
+// writeAll appends data to fd in small chunks (the paper writes 4 KB at a
+// time; the model uses 2-byte chunks to keep exhaustive checking cheap).
+func writeAll(fd uint64, data []byte) {
+	var off uint64 = 0
+	for off < len(data) {
+		end := off + 2
+		if end > len(data) {
+			end = len(data)
+		}
+		filesys.Append(fd, data[off:end])
+		off = end
+	}
+}
+
+// readAll reads the whole file in 2-byte chunks (cf. the §9.5 bug: the
+// original looped forever on messages longer than one chunk).
+func readAll(fd uint64) string {
+	contents := ""
+	var off uint64 = 0
+	for {
+		chunk := filesys.ReadAt(fd, off, 2)
+		contents = contents + string(chunk)
+		off = off + len(chunk)
+		if len(chunk) < 2 {
+			break
+		}
+	}
+	return contents
+}
+
+// createTmp spools the message under a fresh random name.
+func createTmp(msg []byte) string {
+	for {
+		id := machine.RandomUint64()
+		name := "tmp" + machine.UInt64ToString(id)
+		fd, ok := filesys.Create(SpoolDir, name)
+		if ok {
+			writeAll(fd, msg)
+			filesys.Close(fd)
+			return name
+		}
+	}
+}
+
+// Deliver stores a message in the user's mailbox: spool, atomically link
+// into the mailbox (the commit point), then unspool.  Lock-free.
+func Deliver(user uint64, msg []byte) {
+	tmpName := createTmp(msg)
+	for {
+		id := machine.RandomUint64()
+		ok := filesys.Link(SpoolDir, tmpName, userDir(user), "m"+machine.UInt64ToString(id))
+		if ok {
+			break
+		}
+	}
+	filesys.Delete(SpoolDir, tmpName)
+}
+
+// createTmpFsync is createTmp with an fsync before close: required for
+// correctness under deferred durability (buffered writes), a no-op under
+// the always-durable model.
+func createTmpFsync(msg []byte) string {
+	for {
+		id := machine.RandomUint64()
+		name := "tmp" + machine.UInt64ToString(id)
+		fd, ok := filesys.Create(SpoolDir, name)
+		if ok {
+			writeAll(fd, msg)
+			filesys.Fsync(fd)
+			filesys.Close(fd)
+			return name
+		}
+	}
+}
+
+// DeliverFsync is Deliver with the spooled contents flushed before the
+// commit link.
+func DeliverFsync(user uint64, msg []byte) {
+	tmpName := createTmpFsync(msg)
+	for {
+		id := machine.RandomUint64()
+		ok := filesys.Link(SpoolDir, tmpName, userDir(user), "m"+machine.UInt64ToString(id))
+		if ok {
+			break
+		}
+	}
+	filesys.Delete(SpoolDir, tmpName)
+}
+
+// Pickup lists and reads the user's mailbox; it leaves the per-user lock
+// held so the caller may Delete, until Unlock.
+func Pickup(user uint64) []Message {
+	sync.Lock(user)
+	names := filesys.List(userDir(user))
+	var messages []Message = []Message{}
+	for _, name := range names {
+		fd, ok := filesys.Open(userDir(user), name)
+		if ok {
+			contents := readAll(fd)
+			filesys.Close(fd)
+			messages = append(messages, Message{ID: name, Contents: contents})
+		}
+	}
+	return messages
+}
+
+// Delete removes a message; the caller must hold the user lock (via
+// Pickup) and pass an ID that Pickup returned.
+func Delete(user uint64, id string) {
+	filesys.Delete(userDir(user), id)
+}
+
+// Unlock ends a Pickup session.
+func Unlock(user uint64) {
+	sync.Unlock(user)
+}
+
+// Recover cleans the spool after a crash; delivered mail needs no repair.
+func Recover() {
+	names := filesys.List(SpoolDir)
+	for _, name := range names {
+		filesys.Delete(SpoolDir, name)
+	}
+}
+|goo}

@@ -1,0 +1,105 @@
+(** A minimal POP3 server session (RFC 1939 subset) over the Mailboat
+    library — the retrieval half of the unverified protocol shell (§8.2).
+
+    Connecting and authenticating performs [Pickup] (which takes the user
+    lock, §8.1); QUIT commits deletions and performs [Unlock]. *)
+
+type state =
+  | Auth_user  (** waiting for USER *)
+  | Auth_pass of int  (** got USER, waiting for PASS *)
+  | Transaction of {
+      user : int;
+      messages : (string * string) list;  (** from Pickup, fixed for the session *)
+      mutable deleted : string list;
+    }
+  | Closed
+
+type session = { server : Server.t; mutable state : state }
+
+let create server = { server; state = Auth_user }
+
+let banner = "+OK mailboat POP3 ready"
+
+let upper_prefix line prefix =
+  String.length line >= String.length prefix
+  && String.uppercase_ascii (String.sub line 0 (String.length prefix)) = prefix
+
+let arg_of line =
+  match String.index_opt line ' ' with
+  | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
+  | None -> ""
+
+let parse_user name =
+  if String.length name > 4 && String.sub name 0 4 = "user" then
+    int_of_string_opt (String.sub name 4 (String.length name - 4))
+  else None
+
+let input (s : session) (line : string) : string list =
+  let line_t = String.trim line in
+  match s.state with
+  | Closed -> [ "-ERR closed" ]
+  | Auth_user ->
+    if upper_prefix line_t "USER" then (
+      match parse_user (arg_of line_t) with
+      | Some u when u >= 0 && u < s.server.Server.users ->
+        s.state <- Auth_pass u;
+        [ "+OK user accepted" ]
+      | Some _ | None -> [ "-ERR no such user" ])
+    else if upper_prefix line_t "QUIT" then begin
+      s.state <- Closed;
+      [ "+OK bye" ]
+    end
+    else [ "-ERR authenticate first" ]
+  | Auth_pass u ->
+    if upper_prefix line_t "PASS" then begin
+      (* authentication always succeeds; Pickup starts the locked session *)
+      let messages = Server.pickup s.server ~user:u in
+      s.state <- Transaction { user = u; messages; deleted = [] };
+      [ Printf.sprintf "+OK %d messages" (List.length messages) ]
+    end
+    else if upper_prefix line_t "QUIT" then begin
+      s.state <- Closed;
+      [ "+OK bye" ]
+    end
+    else [ "-ERR PASS expected" ]
+  | Transaction t ->
+    let alive () = List.filter (fun (id, _) -> not (List.mem id t.deleted)) t.messages in
+    if upper_prefix line_t "STAT" then
+      let msgs = alive () in
+      let octets = List.fold_left (fun a (_, c) -> a + String.length c) 0 msgs in
+      [ Printf.sprintf "+OK %d %d" (List.length msgs) octets ]
+    else if upper_prefix line_t "LIST" then
+      let msgs = alive () in
+      (Printf.sprintf "+OK %d messages" (List.length msgs)
+      :: List.mapi (fun i (_, c) -> Printf.sprintf "%d %d" (i + 1) (String.length c)) msgs)
+      @ [ "." ]
+    else if upper_prefix line_t "RETR" then (
+      match int_of_string_opt (arg_of line_t) with
+      | Some n when n >= 1 && n <= List.length (alive ()) ->
+        let _, contents = List.nth (alive ()) (n - 1) in
+        [ "+OK message follows"; contents; "." ]
+      | Some _ | None -> [ "-ERR no such message" ])
+    else if upper_prefix line_t "DELE" then (
+      match int_of_string_opt (arg_of line_t) with
+      | Some n when n >= 1 && n <= List.length (alive ()) ->
+        let id, _ = List.nth (alive ()) (n - 1) in
+        t.deleted <- id :: t.deleted;
+        [ "+OK deleted" ]
+      | Some _ | None -> [ "-ERR no such message" ])
+    else if upper_prefix line_t "RSET" then begin
+      t.deleted <- [];
+      [ "+OK" ]
+    end
+    else if upper_prefix line_t "NOOP" then [ "+OK" ]
+    else if upper_prefix line_t "QUIT" then begin
+      (* commit deletions under the session lock, then unlock (§8.1) *)
+      List.iter (fun id -> Server.delete s.server ~user:t.user id) t.deleted;
+      Server.unlock s.server ~user:t.user;
+      s.state <- Closed;
+      [ "+OK bye" ]
+    end
+    else [ "-ERR unrecognized command" ]
+
+let run_script server lines =
+  let s = create server in
+  banner :: List.concat_map (input s) lines

@@ -1,0 +1,18 @@
+(** A minimal POP3 server session (RFC 1939 subset) over the Mailboat
+    library — the retrieval half of the unverified protocol shell (§8.2).
+
+    Authenticating ([USER user<N>] / [PASS ...]) performs [Pickup], which
+    takes the per-user lock (§8.1); the session's message list is fixed at
+    that point.  [DELE] marks deletions, [RSET] clears them, and [QUIT]
+    commits deletions and performs [Unlock]. *)
+
+type session
+
+val create : Server.t -> session
+
+val banner : string
+
+val input : session -> string -> string list
+(** Feed one command line; returns the response line(s). *)
+
+val run_script : Server.t -> string list -> string list

@@ -1,0 +1,192 @@
+(** Runnable mail servers over the mutable tmpfs — Mailboat and the two
+    §9.3 baselines, GoMail and CMAIL.
+
+    All three share the Maildir-like layout; they differ in exactly the
+    mechanisms the paper credits for the performance gaps:
+
+    - {b Mailboat}: in-memory per-user mutexes for pickup/delete, lock-free
+      delivery, lookups relative to cached directory handles;
+    - {b GoMail}: the unverified Go baseline — same structure but per-user
+      *file locks* (create-if-absent lock files with spinning), costing
+      extra file-system calls per lock operation;
+    - {b CMAIL}: the verified-in-CSPEC baseline — file locks like GoMail
+      plus the extracted-Haskell execution overhead, which the simulator
+      accounts as a per-operation CPU multiplier (§9.3 attributes GoMail's
+      34% single-core advantage over CMAIL to Go vs extracted Haskell).
+
+    Functionally the three behave identically (the differences are
+    performance-shaped); the discrete-event simulator [Mcsim] assigns each
+    server kind its cost profile for the Figure 11 reproduction, and this
+    module also really runs them (tests drive them from multiple domains).
+*)
+
+type kind = Mailboat_server | Gomail | Cmail
+
+let kind_name = function
+  | Mailboat_server -> "Mailboat"
+  | Gomail -> "GoMail"
+  | Cmail -> "CMAIL"
+
+type t = {
+  kind : kind;
+  fs : Gfs.Tmpfs.t;
+  users : int;
+  user_mutexes : Mutex.t array;  (** Mailboat only *)
+  rng : Random.State.t;
+  rng_mutex : Mutex.t;
+  (* operation counters, for tests and the simulator's cost calibration *)
+  mutable fs_calls : int;
+  mutable lock_ops : int;
+}
+
+let spool = Core.spool
+let user_dir = Core.user_dir
+
+let create ?(seed = 1) ~kind ~users () =
+  {
+    kind;
+    fs = Gfs.Tmpfs.init (Core.dirs ~users);
+    users;
+    user_mutexes = Array.init users (fun _ -> Mutex.create ());
+    rng = Random.State.make [| seed |];
+    rng_mutex = Mutex.create ();
+    fs_calls = 0;
+    lock_ops = 0;
+  }
+
+let random_id t =
+  Mutex.lock t.rng_mutex;
+  let n = Random.State.bits t.rng in
+  Mutex.unlock t.rng_mutex;
+  string_of_int n
+
+let count_fs t n = t.fs_calls <- t.fs_calls + n
+
+(* --- locking strategies --- *)
+
+let lock_file u = Printf.sprintf ".lock-%d" u
+
+(** File locks (GoMail/CMAIL): spin on atomic create of a lock file.  Each
+    acquire/release costs file-system calls — the paper's explanation for
+    Mailboat's single-core advantage. *)
+let rec file_lock_acquire t u =
+  count_fs t 2 (* create attempt + close *);
+  match Gfs.Tmpfs.create t.fs (user_dir u) (lock_file u) with
+  | Some fd ->
+    ignore (Gfs.Tmpfs.close t.fs fd);
+    ()
+  | None ->
+    Thread_yield.yield ();
+    file_lock_acquire t u
+
+let file_lock_release t u =
+  count_fs t 1;
+  ignore (Gfs.Tmpfs.delete t.fs (user_dir u) (lock_file u))
+
+let lock_user t u =
+  t.lock_ops <- t.lock_ops + 1;
+  match t.kind with
+  | Mailboat_server -> Mutex.lock t.user_mutexes.(u)
+  | Gomail | Cmail -> file_lock_acquire t u
+
+let unlock_user t u =
+  t.lock_ops <- t.lock_ops + 1;
+  match t.kind with
+  | Mailboat_server -> Mutex.unlock t.user_mutexes.(u)
+  | Gomail | Cmail -> file_lock_release t u
+
+(* --- operations (§8.1 API) --- *)
+
+(** Deliver: spool, link, unspool; lock-free in all three servers. *)
+let deliver t ~user msg =
+  let rec create_tmp () =
+    let name = "tmp" ^ random_id t in
+    count_fs t 1;
+    match Gfs.Tmpfs.create t.fs spool name with
+    | Some fd -> (name, fd)
+    | None -> create_tmp ()
+  in
+  let tmp_name, fd = create_tmp () in
+  (* write in 4 KB chunks like the paper's implementation *)
+  let chunk = 4096 in
+  let len = String.length msg in
+  let rec write off =
+    if off < len then begin
+      count_fs t 1;
+      ignore (Gfs.Tmpfs.append t.fs fd (String.sub msg off (min chunk (len - off))));
+      write (off + chunk)
+    end
+  in
+  write 0;
+  count_fs t 1;
+  ignore (Gfs.Tmpfs.close t.fs fd);
+  let rec link_loop () =
+    let id = "m" ^ random_id t in
+    count_fs t 1;
+    if Gfs.Tmpfs.link t.fs ~src:(spool, tmp_name) ~dst:(user_dir user, id) then id
+    else link_loop ()
+  in
+  let id = link_loop () in
+  count_fs t 1;
+  ignore (Gfs.Tmpfs.delete t.fs spool tmp_name);
+  id
+
+(** Pickup: take the user lock, list and read every message.  The lock
+    stays held until {!unlock} (the POP3 session pattern). *)
+let pickup t ~user =
+  lock_user t user;
+  count_fs t 1;
+  let names = Gfs.Tmpfs.list_dir t.fs (user_dir user) in
+  let names = List.filter (fun n -> not (String.length n > 0 && n.[0] = '.')) names in
+  List.filter_map
+    (fun name ->
+      count_fs t 2 (* open + close *);
+      match Gfs.Tmpfs.open_read t.fs (user_dir user) name with
+      | None -> None
+      | Some fd ->
+        let size = match Gfs.Tmpfs.size t.fs fd with Some s -> s | None -> 0 in
+        let rec read off acc =
+          if off >= size then acc
+          else begin
+            count_fs t 1;
+            match Gfs.Tmpfs.read_at t.fs fd off 4096 with
+            | Some chunk when chunk <> "" -> read (off + String.length chunk) (acc ^ chunk)
+            | Some _ | None -> acc
+          end
+        in
+        let contents = read 0 "" in
+        ignore (Gfs.Tmpfs.close t.fs fd);
+        Some (name, contents))
+    names
+
+(** Delete a message; caller must hold the user lock (via pickup). *)
+let delete t ~user id =
+  count_fs t 1;
+  ignore (Gfs.Tmpfs.delete t.fs (user_dir user) id)
+
+let unlock t ~user = unlock_user t user
+
+(** Crash recovery: clean the spool (and, for the file-lock servers, clear
+    stale lock files — their equivalent of losing in-memory locks). *)
+let recover t =
+  List.iter
+    (fun name ->
+      count_fs t 1;
+      ignore (Gfs.Tmpfs.delete t.fs spool name))
+    (Gfs.Tmpfs.list_dir t.fs spool);
+  match t.kind with
+  | Mailboat_server -> ()
+  | Gomail | Cmail ->
+    for u = 0 to t.users - 1 do
+      ignore (Gfs.Tmpfs.delete t.fs (user_dir u) (lock_file u))
+    done
+
+let crash t = Gfs.Tmpfs.crash t.fs
+
+(** All messages of a user, without locking — test observation only. *)
+let peek_mailbox t ~user =
+  List.filter_map
+    (fun name ->
+      if String.length name > 0 && name.[0] = '.' then None
+      else Option.map (fun c -> (name, c)) (Gfs.Tmpfs.read_file t.fs (user_dir user) name))
+    (Gfs.Tmpfs.list_dir t.fs (user_dir user))

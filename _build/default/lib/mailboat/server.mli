@@ -1,0 +1,48 @@
+(** Runnable mail servers over the mutable tmpfs — Mailboat and the two
+    §9.3 baselines, GoMail and CMAIL.
+
+    All three share the Maildir-like layout and behave identically; they
+    differ in the mechanisms the paper credits for the performance gaps
+    (in-memory vs file locks, lookup style, execution engine), which the
+    {!Mcsim} cost model turns into the Figure 11 curves. *)
+
+type kind = Mailboat_server | Gomail | Cmail
+
+val kind_name : kind -> string
+
+type t = {
+  kind : kind;
+  fs : Gfs.Tmpfs.t;
+  users : int;
+  user_mutexes : Mutex.t array;  (** Mailboat's in-memory per-user locks *)
+  rng : Random.State.t;
+  rng_mutex : Mutex.t;
+  mutable fs_calls : int;  (** operation counter, for tests and calibration *)
+  mutable lock_ops : int;
+}
+
+val create : ?seed:int -> kind:kind -> users:int -> unit -> t
+
+val deliver : t -> user:int -> string -> string
+(** Spool, atomically link into the mailbox, unspool; lock-free (§8.2).
+    Returns the allocated message ID. *)
+
+val pickup : t -> user:int -> (string * string) list
+(** Take the user lock and read the whole mailbox; the lock stays held
+    until {!unlock} (the POP3 session pattern, §8.1). *)
+
+val delete : t -> user:int -> string -> unit
+(** Remove a message; the caller must hold the user lock via {!pickup} and
+    pass an ID that {!pickup} returned (the paper's §9.2 assumption). *)
+
+val unlock : t -> user:int -> unit
+
+val recover : t -> unit
+(** Crash recovery: clean the spool; the file-lock servers additionally
+    clear stale lock files. *)
+
+val crash : t -> unit
+(** Simulate a process crash on the underlying tmpfs (drops descriptors). *)
+
+val peek_mailbox : t -> user:int -> (string * string) list
+(** All messages of a user, without locking — test observation only. *)

@@ -1,0 +1,116 @@
+(** A minimal SMTP server session (RFC 5321 subset) over the Mailboat
+    library — the unverified protocol shell of §8.2 ("we used the library to
+    implement an SMTP- and POP3-compatible mail server").
+
+    The session is a pure state machine from input lines to response lines,
+    so it can be driven by tests, by the postal-style workload generator,
+    or by a real socket loop in [bin/mailboat_server]. *)
+
+type state =
+  | Greeting  (** waiting for HELO/EHLO *)
+  | Ready  (** waiting for MAIL FROM *)
+  | Has_sender  (** waiting for RCPT TO *)
+  | Has_rcpt of int list  (** recipients so far; waiting for RCPT/DATA *)
+  | In_data of int list * Buffer.t  (** reading message lines until "." *)
+  | Closed
+
+type session = { server : Server.t; mutable state : state }
+
+let create server = { server; state = Greeting }
+
+let banner = "220 mailboat ESMTP ready"
+
+(** Parse "user<N>@..." into a user id. *)
+let parse_user_addr s =
+  let s = String.trim s in
+  let s =
+    match String.index_opt s '<' with
+    | Some i -> (
+      match String.index_opt s '>' with
+      | Some j when j > i -> String.sub s (i + 1) (j - i - 1)
+      | _ -> s)
+    | None -> s
+  in
+  match String.index_opt s '@' with
+  | Some i ->
+    let local = String.sub s 0 i in
+    if String.length local > 4 && String.sub local 0 4 = "user" then
+      int_of_string_opt (String.sub local 4 (String.length local - 4))
+    else None
+  | None -> None
+
+let upper_prefix line prefix =
+  String.length line >= String.length prefix
+  && String.uppercase_ascii (String.sub line 0 (String.length prefix)) = prefix
+
+let arg_after line prefix = String.sub line (String.length prefix) (String.length line - String.length prefix)
+
+(** Feed one input line; returns the response line(s). *)
+let input (s : session) (line : string) : string list =
+  match s.state with
+  | Closed -> [ "421 closed" ]
+  | In_data (rcpts, buf) ->
+    if String.trim line = "." then begin
+      let msg = Buffer.contents buf in
+      List.iter (fun u -> ignore (Server.deliver s.server ~user:u msg)) rcpts;
+      s.state <- Ready;
+      [ "250 OK: queued" ]
+    end
+    else begin
+      (* dot-stuffing: a leading ".." encodes a literal "." *)
+      let line =
+        if String.length line >= 2 && line.[0] = '.' && line.[1] = '.' then
+          String.sub line 1 (String.length line - 1)
+        else line
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      []
+    end
+  | (Greeting | Ready | Has_sender | Has_rcpt _) as st ->
+    let line_t = String.trim line in
+    if upper_prefix line_t "QUIT" then begin
+      s.state <- Closed;
+      [ "221 bye" ]
+    end
+    else if upper_prefix line_t "HELO" || upper_prefix line_t "EHLO" then begin
+      s.state <- (if st = Greeting then Ready else s.state);
+      [ "250 mailboat" ]
+    end
+    else if upper_prefix line_t "MAIL FROM:" then (
+      match st with
+      | Ready | Has_sender | Has_rcpt _ ->
+        s.state <- Has_sender;
+        [ "250 OK" ]
+      | Greeting -> [ "503 bad sequence: HELO first" ]
+      | In_data _ | Closed -> assert false)
+    else if upper_prefix line_t "RCPT TO:" then (
+      match st with
+      | Has_sender | Has_rcpt _ -> (
+        match parse_user_addr (arg_after line_t "RCPT TO:") with
+        | Some u when u >= 0 && u < s.server.Server.users ->
+          let rcpts = match st with Has_rcpt rs -> rs | _ -> [] in
+          s.state <- Has_rcpt (u :: rcpts);
+          [ "250 OK" ]
+        | Some _ | None -> [ "550 no such user" ])
+      | Greeting | Ready -> [ "503 bad sequence: MAIL FROM first" ]
+      | In_data _ | Closed -> assert false)
+    else if upper_prefix line_t "DATA" then (
+      match st with
+      | Has_rcpt rcpts ->
+        s.state <- In_data (rcpts, Buffer.create 256);
+        [ "354 end with ." ]
+      | Greeting | Ready | Has_sender -> [ "503 bad sequence: RCPT first" ]
+      | In_data _ | Closed -> assert false)
+    else if upper_prefix line_t "NOOP" then [ "250 OK" ]
+    else if upper_prefix line_t "RSET" then begin
+      s.state <- Ready;
+      [ "250 OK" ]
+    end
+    else [ "500 unrecognized command" ]
+
+(** Convenience driver: run a whole scripted session, returning all
+    responses (with the banner first). *)
+let run_script server lines =
+  let s = create server in
+  banner :: List.concat_map (input s) lines

@@ -1,0 +1,22 @@
+(** A minimal SMTP server session (RFC 5321 subset) over the Mailboat
+    library — the delivery half of the unverified protocol shell (§8.2).
+
+    A session is a state machine from input lines to response lines, so it
+    can be driven by tests, by the workload generator, or by a socket loop
+    ([bin/mailboat_server]).  Recipients are addresses of the form
+    [user<N>@...]; DATA bodies use standard dot termination with
+    dot-stuffing. *)
+
+type session
+
+val create : Server.t -> session
+
+val banner : string
+(** The 220 greeting a server sends on connect. *)
+
+val input : session -> string -> string list
+(** Feed one input line; returns zero or more response lines (zero while
+    accumulating DATA body lines). *)
+
+val run_script : Server.t -> string list -> string list
+(** Run a whole scripted session; responses with the banner first. *)

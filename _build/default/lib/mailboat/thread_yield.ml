@@ -1,0 +1,3 @@
+(* Cooperative yield used by spinning file locks.  Domain.cpu_relax is the
+   OCaml 5 hint for busy-wait loops. *)
+let yield () = Domain.cpu_relax ()

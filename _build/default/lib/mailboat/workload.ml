@@ -1,0 +1,70 @@
+(** The §9.3 workload: an equal mix of SMTP deliveries and POP3 pickups
+    (pickup + delete + unlock), each request choosing one of [users] users
+    uniformly at random, issued in a closed loop per core.
+
+    [request] describes one logical request; [generate] produces a seeded,
+    reproducible stream.  The same stream drives both the real servers (for
+    functional tests, via {!perform}) and the discrete-event simulator (for
+    the Figure 11 reproduction, via its cost model). *)
+
+type request =
+  | Smtp_deliver of { user : int; msg : string }
+  | Pop3_session of { user : int }  (** pickup, delete everything, unlock *)
+
+let pp_request ppf = function
+  | Smtp_deliver { user; msg } ->
+    Fmt.pf ppf "deliver(user%d, %dB)" user (String.length msg)
+  | Pop3_session { user } -> Fmt.pf ppf "pickup(user%d)" user
+
+(** The postal benchmark's message shape: small text messages; we use a
+    fixed size so runs are reproducible. *)
+let message_body = String.make 1024 'x'
+
+let generate ~seed ~users ~n : request list
+    =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun _ ->
+      let user = Random.State.int rng users in
+      if Random.State.bool rng then Smtp_deliver { user; msg = message_body }
+      else Pop3_session { user })
+
+(** Execute one request against a real server through the protocol layer
+    (SMTP/POP3 codecs included, as in the paper's measurement setup). *)
+let perform server (req : request) : unit =
+  match req with
+  | Smtp_deliver { user; msg } ->
+    let responses =
+      Smtp.run_script server
+        [ "HELO bench"; "MAIL FROM:<bench@local>";
+          Printf.sprintf "RCPT TO:<user%d@local>" user; "DATA"; msg; "."; "QUIT" ]
+    in
+    if not (List.exists (fun r -> String.length r >= 3 && String.sub r 0 3 = "250") responses)
+    then failwith "smtp delivery failed"
+  | Pop3_session { user } ->
+    let s = Pop3.create server in
+    ignore (Pop3.input s (Printf.sprintf "USER user%d" user));
+    ignore (Pop3.input s "PASS x");
+    (* delete every message currently in the mailbox, newest first *)
+    let rec delete_all () =
+      match Pop3.input s "DELE 1" with
+      | [ r ] when String.length r >= 3 && String.sub r 0 3 = "+OK" -> delete_all ()
+      | _ -> ()
+    in
+    delete_all ();
+    ignore (Pop3.input s "QUIT")
+
+(** Run a closed-loop worker: perform requests until the shared counter is
+    exhausted; returns the number of requests this worker completed. *)
+let closed_loop server ~requests ~next () =
+  let completed = ref 0 in
+  let n = Array.length requests in
+  let rec go () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      perform server requests.(i);
+      incr completed;
+      go ()
+    end
+  in
+  go ();
+  !completed

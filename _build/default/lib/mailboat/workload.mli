@@ -1,0 +1,26 @@
+(** The §9.3 workload: an equal mix of SMTP deliveries and POP3 pickup
+    sessions (pickup + delete everything + unlock), each request choosing
+    one of [users] users uniformly at random, issued in a closed loop per
+    core.  The same seeded stream drives the real servers (functional
+    tests) and the discrete-event simulator (Figure 11). *)
+
+type request =
+  | Smtp_deliver of { user : int; msg : string }
+  | Pop3_session of { user : int }
+
+val pp_request : request Fmt.t
+
+val message_body : string
+(** The fixed 1 KB message body, for reproducibility. *)
+
+val generate : seed:int -> users:int -> n:int -> request list
+
+val perform : Server.t -> request -> unit
+(** Execute one request through the SMTP/POP3 codecs, as in the paper's
+    measurement setup.  Raises [Failure] if the protocol dialogue fails. *)
+
+val closed_loop :
+  Server.t -> requests:request array -> next:int Atomic.t -> unit -> int
+(** A closed-loop worker: perform requests from the shared counter until
+    exhausted; returns how many this worker completed.  Run one per
+    domain. *)

@@ -1,0 +1,1 @@
+lib/mcsim/heap.ml: Array Obj

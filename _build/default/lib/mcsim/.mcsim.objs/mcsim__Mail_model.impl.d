@@ -1,0 +1,1 @@
+lib/mcsim/mail_model.ml: Array Hashtbl List Mailboat Sim

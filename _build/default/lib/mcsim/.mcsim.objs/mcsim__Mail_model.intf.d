@@ -1,0 +1,1 @@
+lib/mcsim/mail_model.mli: Mailboat Sim

@@ -1,0 +1,1 @@
+lib/mcsim/sim.ml: Array Hashtbl Heap List Printf

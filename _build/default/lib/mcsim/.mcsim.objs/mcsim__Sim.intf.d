@@ -1,0 +1,1 @@
+lib/mcsim/sim.mli:

@@ -1,0 +1,57 @@
+(** A small binary min-heap keyed by float, for the event queue. *)
+
+type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+let create () = { data = Array.make 64 (0., Obj.magic 0); size = 0 }
+
+let is_empty h = h.size = 0
+
+let grow h =
+  if h.size = Array.length h.data then begin
+    let data = Array.make (2 * h.size) h.data.(0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h key v =
+  grow h;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.data.(!i) <- (key, v);
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if fst h.data.(!i) < fst h.data.(parent) then begin
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end

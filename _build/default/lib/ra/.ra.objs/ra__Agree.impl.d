@@ -1,0 +1,1 @@
+lib/ra/agree.ml: Fmt Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/auth.ml: Fmt Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/excl.ml: Fmt Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/fin_map.ml: Fmt List Map Ra_intf

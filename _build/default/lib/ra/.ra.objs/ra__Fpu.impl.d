@@ -1,0 +1,1 @@
+lib/ra/fpu.ml: List Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/frac.ml: Q

@@ -1,0 +1,1 @@
+lib/ra/gset.ml: Fmt Ra_intf Set

@@ -1,0 +1,1 @@
+lib/ra/laws.ml: List Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/lease.ml: Fmt List Option Ra_intf

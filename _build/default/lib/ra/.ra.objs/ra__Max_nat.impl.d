@@ -1,0 +1,1 @@
+lib/ra/max_nat.ml: Fmt Int

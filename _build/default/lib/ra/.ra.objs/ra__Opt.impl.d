@@ -1,0 +1,1 @@
+lib/ra/opt.ml: Fmt Option Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/prod.ml: Fmt Ra_intf

@@ -1,0 +1,1 @@
+lib/ra/q.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/ra/ra_intf.ml: Fmt

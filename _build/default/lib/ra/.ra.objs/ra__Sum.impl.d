@@ -1,0 +1,1 @@
+lib/ra/sum.ml: Fmt Option Ra_intf

@@ -1,0 +1,37 @@
+(** Agreement camera Ag(A): freely duplicable knowledge that everyone must
+    agree on — composing two different values is invalid.  Used for facts
+    like "inode i is the file for (dir, name)". *)
+
+module Make (A : Ra_intf.EQ) : sig
+  include Ra_intf.S
+
+  val ag : A.t -> t
+  val bot : t
+  val get : t -> A.t option
+end = struct
+  type t = Ag of A.t | Bot
+
+  let ag a = Ag a
+  let bot = Bot
+  let get = function Ag a -> Some a | Bot -> None
+
+  let equal x y =
+    match x, y with
+    | Ag a, Ag b -> A.equal a b
+    | Bot, Bot -> true
+    | (Ag _ | Bot), _ -> false
+
+  let valid = function Ag _ -> true | Bot -> false
+
+  let op x y =
+    match x, y with
+    | Ag a, Ag b when A.equal a b -> Ag a
+    | (Ag _ | Bot), _ -> Bot
+
+  (* Agreement is wholly persistent: every element is its own core. *)
+  let core x = Some x
+
+  let pp ppf = function
+    | Ag a -> Fmt.pf ppf "Ag %a" A.pp a
+    | Bot -> Fmt.string ppf "AgBot"
+end

@@ -1,0 +1,67 @@
+(** Authoritative camera Auth(M) over a unital, ordered M.
+
+    [auth a] (written ●a) is the single authoritative element — the "real"
+    state, held by an invariant; [frag b] (◯b) is a fragment a thread owns.
+    Validity of [●a ⋅ ◯b] requires [b ≼ a]: fragments never lie about the
+    authoritative state.  This is the camera behind the master/lease split
+    and the [source σ] refinement resource (paper §4-§5). *)
+
+module Make (M : sig
+  include Ra_intf.UNITAL
+
+  val included : t -> t -> bool
+end) : sig
+  include Ra_intf.S
+
+  val auth : M.t -> t
+  val frag : M.t -> t
+  val both : M.t -> M.t -> t
+  val get_auth : t -> M.t option
+  val get_frag : t -> M.t
+end = struct
+  type authority = No_auth | The_auth of M.t | Auth_bot
+
+  type t = { a : authority; f : M.t }
+
+  let auth a = { a = The_auth a; f = M.unit }
+  let frag f = { a = No_auth; f }
+  let both a f = { a = The_auth a; f }
+  let get_auth x = match x.a with The_auth a -> Some a | No_auth | Auth_bot -> None
+  let get_frag x = x.f
+
+  let equal_authority x y =
+    match x, y with
+    | No_auth, No_auth -> true
+    | The_auth a, The_auth b -> M.equal a b
+    | Auth_bot, Auth_bot -> true
+    | (No_auth | The_auth _ | Auth_bot), _ -> false
+
+  let equal x y = equal_authority x.a y.a && M.equal x.f y.f
+
+  let valid x =
+    match x.a with
+    | Auth_bot -> false
+    | No_auth -> M.valid x.f
+    | The_auth a -> M.valid a && M.included x.f a
+
+  let op x y =
+    let a =
+      match x.a, y.a with
+      | No_auth, z | z, No_auth -> z
+      | (The_auth _ | Auth_bot), _ -> Auth_bot
+    in
+    { a; f = M.op x.f y.f }
+
+  let core x =
+    match M.core x.f with
+    | Some c -> Some { a = No_auth; f = c }
+    | None -> Some { a = No_auth; f = M.unit }
+
+  let pp ppf x =
+    match x.a with
+    | No_auth -> Fmt.pf ppf "◯%a" M.pp x.f
+    | The_auth a ->
+      if M.equal x.f M.unit then Fmt.pf ppf "●%a" M.pp a
+      else Fmt.pf ppf "●%a ⋅ ◯%a" M.pp a M.pp x.f
+    | Auth_bot -> Fmt.string ppf "AuthBot"
+end

@@ -1,0 +1,34 @@
+(** Exclusive camera Ex(A): at most one owner, no core.
+    The camera behind plain points-to capabilities [a ↦ v]. *)
+
+module Make (A : Ra_intf.EQ) : sig
+  include Ra_intf.S
+
+  val ex : A.t -> t
+  val bot : t
+
+  val get : t -> A.t option
+  (** The payload, if the element is a valid exclusive token. *)
+end = struct
+  type t = Ex of A.t | Bot
+
+  let ex a = Ex a
+  let bot = Bot
+  let get = function Ex a -> Some a | Bot -> None
+
+  let equal x y =
+    match x, y with
+    | Ex a, Ex b -> A.equal a b
+    | Bot, Bot -> true
+    | (Ex _ | Bot), _ -> false
+
+  let valid = function Ex _ -> true | Bot -> false
+
+  (* Two exclusive tokens can never coexist. *)
+  let op _ _ = Bot
+  let core _ = None
+
+  let pp ppf = function
+    | Ex a -> Fmt.pf ppf "Ex %a" A.pp a
+    | Bot -> Fmt.string ppf "ExBot"
+end

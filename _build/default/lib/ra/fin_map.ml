@@ -1,0 +1,50 @@
+(** Finite-map camera (Iris's gmap): pointwise composition; absent keys act
+    as units.  The camera of heaps — a key is an address, the payload camera
+    an exclusive or agreement cell. *)
+
+module Make (K : Ra_intf.EQ) (M : Ra_intf.S) : sig
+  include Ra_intf.UNITAL
+
+  val singleton : K.t -> M.t -> t
+  val of_list : (K.t * M.t) list -> t
+  val to_list : t -> (K.t * M.t) list
+  val find : K.t -> t -> M.t option
+  val add : K.t -> M.t -> t -> t
+  val remove : K.t -> t -> t
+  val included : t -> t -> bool
+end = struct
+  module Km = Map.Make (struct
+    type t = K.t
+
+    let compare = K.compare
+  end)
+
+  type t = M.t Km.t
+
+  let singleton = Km.singleton
+  let of_list l = List.fold_left (fun m (k, v) -> Km.add k v m) Km.empty l
+  let to_list = Km.bindings
+  let find = Km.find_opt
+  let add = Km.add
+  let remove = Km.remove
+  let equal = Km.equal M.equal
+  let valid m = Km.for_all (fun _ v -> M.valid v) m
+
+  let op a b =
+    Km.union (fun _ x y -> Some (M.op x y)) a b
+
+  (* The core keeps only keys whose payload has a core. *)
+  let core m = Some (Km.filter_map (fun _ v -> M.core v) m)
+  let unit = Km.empty
+
+  (* a ≼ b pointwise, approximating payload inclusion by equality (exact for
+     exclusive payloads). *)
+  let included a b =
+    Km.for_all
+      (fun k v -> match Km.find_opt k b with Some w -> M.equal v w | None -> false)
+      a
+
+  let pp ppf m =
+    let binding ppf (k, v) = Fmt.pf ppf "%a ↦ %a" K.pp k M.pp v in
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma binding) (Km.bindings m)
+end

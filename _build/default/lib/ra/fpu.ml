@@ -1,0 +1,27 @@
+(** Frame-preserving updates, checked by enumeration.
+
+    [a ⇝ B] holds when for every frame [f] compatible with [a], some [b ∈ B]
+    is compatible with [f].  This is the soundness condition for ghost-state
+    updates: no other thread's capabilities can be invalidated.  In Coq this
+    is a lemma per update; here it is checked against a finite universe of
+    frames, which is exhaustive for the finite instances our systems use. *)
+
+module Make (M : Ra_intf.S) = struct
+  let ok ~frames a bs =
+    (* The empty frame is always a frame: a valid a must go somewhere. *)
+    let no_frame = (not (M.valid a)) || List.exists M.valid bs in
+    no_frame
+    && List.for_all
+         (fun f ->
+           (not (M.valid (M.op a f))) || List.exists (fun b -> M.valid (M.op b f)) bs)
+         frames
+
+  let ok1 ~frames a b = ok ~frames a [ b ]
+
+  (** Find a frame witnessing that an update is *not* frame-preserving:
+      evidence used by tests that deliberately break the rules. *)
+  let counterexample ~frames a bs =
+    List.find_opt
+      (fun f -> M.valid (M.op a f) && not (List.exists (fun b -> M.valid (M.op b f)) bs))
+      frames
+end

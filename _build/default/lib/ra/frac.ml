@@ -1,0 +1,16 @@
+(** Fractional camera: permissions in (0, 1]; composition adds and overflows
+    past 1 become invalid.  [one] is full (exclusive-like) ownership. *)
+
+type t = Q.t
+
+let of_q q = q
+let to_q q = q
+let one = Q.one
+let half = Q.half
+let quarter = Q.div2 Q.half
+let equal = Q.equal
+let valid q = Q.lt Q.zero q && Q.leq q Q.one
+let op = Q.add
+let core _ = None
+let split q = Q.div2 q
+let pp = Q.pp

@@ -1,0 +1,32 @@
+(** Grow-only set camera: composition is union; fully persistent.  Models
+    monotone knowledge such as "these message IDs have been allocated". *)
+
+module Make (A : Ra_intf.EQ) : sig
+  include Ra_intf.UNITAL
+
+  val of_list : A.t list -> t
+  val to_list : t -> A.t list
+  val mem : A.t -> t -> bool
+  val add : A.t -> t -> t
+  val included : t -> t -> bool
+end = struct
+  module S = Set.Make (struct
+    type t = A.t
+
+    let compare = A.compare
+  end)
+
+  type t = S.t
+
+  let of_list = S.of_list
+  let to_list = S.elements
+  let mem = S.mem
+  let add = S.add
+  let equal = S.equal
+  let valid _ = true
+  let op = S.union
+  let core s = Some s
+  let unit = S.empty
+  let included = S.subset
+  let pp ppf s = Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma A.pp) (S.elements s)
+end

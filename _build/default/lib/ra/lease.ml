@@ -1,0 +1,119 @@
+(** The recovery-lease camera (paper §5.3).
+
+    For one durable location this camera has two token kinds:
+    - [master n v] — the master copy [d[a] ↦ₙ v], kept in the crash invariant;
+    - [lease n v]  — the temporary lease [leaseₙ(d[a], v)], protected by locks.
+
+    Both are exclusive *per version*: two masters never compose, nor do two
+    leases at the same version.  When a master and a lease at the same
+    version coexist they must agree on the value — that is what lets the
+    lock invariant (holding the lease) and the crash invariant (holding the
+    master) talk about the same durable state without duplicating a
+    capability.
+
+    Frame-preserving updates (validated in the test suite with {!Fpu}):
+    - write:     [master n v₀ ⋅ lease n v₀ ⇝ master n v ⋅ lease n v]
+    - synthesis: [master n v ⇝ master (n+1) v ⋅ lease (n+1) v], sound
+      against frames at versions ≤ n (version freshness is discharged by the
+      versioned Hoare triples of §5.2, which rule out capabilities from the
+      future). *)
+
+module Make (A : Ra_intf.EQ) : sig
+  include Ra_intf.UNITAL
+
+  val master : int -> A.t -> t
+  val lease : int -> A.t -> t
+
+  val write : t -> A.t -> t option
+  (** [write x v] performs the write update if [x] contains a matching
+      master/lease pair at some version; [None] otherwise. *)
+
+  val synthesize : t -> t option
+  (** [synthesize x] turns a bare master at version [n] into a master+lease
+      pair at [n+1] (the crash rule); [None] if [x] is not a bare master. *)
+
+  val get_master : t -> (int * A.t) option
+  val get_lease : int -> t -> A.t option
+end = struct
+  type content = { master : (int * A.t) option; leases : (int * A.t) list }
+  (* [leases] sorted by version, one per version. *)
+
+  type t = Bot | El of content
+
+  let unit = El { master = None; leases = [] }
+  let master n v = El { master = Some (n, v); leases = [] }
+  let lease n v = El { master = None; leases = [ (n, v) ] }
+
+  let get_master = function El { master; _ } -> master | Bot -> None
+
+  let get_lease n = function
+    | El { leases; _ } -> List.assoc_opt n leases
+    | Bot -> None
+
+  let equal x y =
+    match x, y with
+    | Bot, Bot -> true
+    | El a, El b ->
+      Option.equal (fun (n1, v1) (n2, v2) -> n1 = n2 && A.equal v1 v2) a.master b.master
+      && List.equal (fun (n1, v1) (n2, v2) -> n1 = n2 && A.equal v1 v2) a.leases b.leases
+    | (Bot | El _), _ -> false
+
+  let valid = function
+    | Bot -> false
+    | El { master; leases } ->
+      (match master with
+      | None -> true
+      | Some (n, v) ->
+        (match List.assoc_opt n leases with
+        | None -> true
+        | Some v' -> A.equal v v'))
+
+  let merge_leases a b =
+    let rec go acc = function
+      | [], rest | rest, [] -> Some (List.rev_append acc rest)
+      | ((n1, _) :: _ as l1), ((n2, v2) :: t2) when n2 < n1 -> go ((n2, v2) :: acc) (l1, t2)
+      | (n1, v1) :: t1, ((n2, _) :: _ as l2) when n1 < n2 -> go ((n1, v1) :: acc) (t1, l2)
+      | (_, _) :: _, (_, _) :: _ -> None (* same version twice: invalid *)
+    in
+    go [] (a, b)
+
+  let op x y =
+    match x, y with
+    | Bot, _ | _, Bot -> Bot
+    | El a, El b ->
+      let master =
+        match a.master, b.master with
+        | None, m | m, None -> Some m
+        | Some _, Some _ -> None (* two masters *)
+      in
+      (match master, merge_leases a.leases b.leases with
+      | Some master, Some leases -> El { master; leases }
+      | None, _ | _, None -> Bot)
+
+  let core _ = Some unit
+
+  let write x v =
+    match x with
+    | El { master = Some (n, v0); leases = [ (n', v0') ] }
+      when n = n' && A.equal v0 v0' ->
+      Some (El { master = Some (n, v); leases = [ (n, v) ] })
+    | Bot | El _ -> None
+
+  let synthesize = function
+    | El { master = Some (n, v); leases = [] } ->
+      Some (El { master = Some (n + 1, v); leases = [ (n + 1, v) ] })
+    | Bot | El _ -> None
+
+  let pp ppf = function
+    | Bot -> Fmt.string ppf "LeaseBot"
+    | El { master; leases } ->
+      let pp_master ppf (n, v) = Fmt.pf ppf "master_%d %a" n A.pp v in
+      let pp_lease ppf (n, v) = Fmt.pf ppf "lease_%d %a" n A.pp v in
+      (match master, leases with
+      | None, [] -> Fmt.string ppf "ε"
+      | _, _ ->
+        Fmt.pf ppf "%a%s%a"
+          (Fmt.option pp_master) master
+          (if master <> None && leases <> [] then " ⋅ " else "")
+          (Fmt.list ~sep:(Fmt.any " ⋅ ") pp_lease) leases)
+end

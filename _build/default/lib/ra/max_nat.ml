@@ -1,0 +1,16 @@
+(** Max-nat camera: composition is [max]; fully persistent.  The camera of
+    monotone counters — Perennial's crash generation number lives here: a
+    thread holding [n] knows the generation is at least [n], and generations
+    only grow. *)
+
+type t = int
+
+let of_int n = if n < 0 then invalid_arg "Max_nat.of_int: negative" else n
+let to_int n = n
+let equal = Int.equal
+let valid n = n >= 0
+let op = Int.max
+let core n = Some n
+let unit = 0
+let included a b = a <= b
+let pp = Fmt.int

@@ -1,0 +1,37 @@
+(** Option camera: adds a unit to any camera, i.e. makes it unital.
+    [None] is the unit; [Some a ⋅ Some b = Some (a ⋅ b)]. *)
+
+module Make (M : Ra_intf.S) : sig
+  include Ra_intf.UNITAL with type t = M.t option
+
+  val included : t -> t -> bool
+end = struct
+  type t = M.t option
+
+  let equal x y = Option.equal M.equal x y
+  let valid = function None -> true | Some a -> M.valid a
+
+  let op x y =
+    match x, y with
+    | None, z | z, None -> z
+    | Some a, Some b -> Some (M.op a b)
+
+  let core = function
+    | None -> Some None
+    | Some a -> (match M.core a with None -> Some None | Some c -> Some (Some c))
+
+  let unit = None
+
+  (* a ≼ b in the option camera: the unit is below everything; Some a ≼ Some b
+     iff a = b or some c with a ⋅ c = b — we approximate inclusion by equality
+     plus unit, which is exact for exclusive payloads (the only use here). *)
+  let included x y =
+    match x, y with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some a, Some b -> M.equal a b
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "ε"
+    | Some a -> M.pp ppf a
+end

@@ -1,0 +1,18 @@
+(** Product camera: componentwise composition and validity. *)
+
+module Make (A : Ra_intf.S) (B : Ra_intf.S) : sig
+  include Ra_intf.S with type t = A.t * B.t
+end = struct
+  type t = A.t * B.t
+
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let valid (a, b) = A.valid a && B.valid b
+  let op (a1, b1) (a2, b2) = (A.op a1 a2, B.op b1 b2)
+
+  let core (a, b) =
+    match A.core a, B.core b with
+    | Some ca, Some cb -> Some (ca, cb)
+    | _, _ -> None
+
+  let pp ppf (a, b) = Fmt.pf ppf "(%a, %a)" A.pp a B.pp b
+end

@@ -1,0 +1,24 @@
+type t = { n : int; d : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make n d =
+  if d <= 0 then invalid_arg "Q.make: nonpositive denominator";
+  let sign = if n < 0 then -1 else 1 in
+  let n' = abs n in
+  let g = if n' = 0 then d else gcd (max n' d) (min n' d) in
+  { n = sign * (n' / g); d = d / g }
+
+let zero = { n = 0; d = 1 }
+let one = { n = 1; d = 1 }
+let half = { n = 1; d = 2 }
+let num q = q.n
+let den q = q.d
+let add a b = make ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
+let sub a b = make ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
+let div2 a = make a.n (a.d * 2)
+let equal a b = a.n = b.n && a.d = b.d
+let compare a b = Int.compare (a.n * b.d) (b.n * a.d)
+let leq a b = compare a b <= 0
+let lt a b = compare a b < 0
+let pp ppf q = if q.d = 1 then Fmt.int ppf q.n else Fmt.pf ppf "%d/%d" q.n q.d

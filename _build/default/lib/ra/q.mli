@@ -1,0 +1,28 @@
+(** Arbitrary small rationals, normalized, for fractional permissions.
+
+    Only the operations fractional cameras need: construction, addition,
+    subtraction, comparison against 0 and 1.  Numerator/denominator are kept
+    in native ints; fractions arising from permission splitting stay tiny. *)
+
+type t
+
+val make : int -> int -> t
+(** [make num den] normalizes; raises [Invalid_argument] if [den <= 0]. *)
+
+val zero : t
+val one : t
+val half : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val div2 : t -> t
+(** Halve a fraction: the canonical permission split. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val pp : t Fmt.t

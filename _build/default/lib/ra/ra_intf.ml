@@ -1,0 +1,56 @@
+(** Signatures for resource algebras (Iris "cameras", discrete fragment).
+
+    A resource algebra is a commutative semigroup [op] with a validity
+    predicate and a partial [core] extracting the duplicable part of an
+    element.  Capabilities in the logic (points-to facts, leases, refinement
+    tokens) are elements of such algebras; separating conjunction is [op] and
+    "the capabilities are compatible" is [valid] (paper §4). *)
+
+module type EQ = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val valid : t -> bool
+
+  val op : t -> t -> t
+  (** Total composition; incompatible elements compose to an *invalid*
+      element rather than failing, as in Iris. *)
+
+  val core : t -> t option
+  (** The duplicable core: [core a = Some c] means [c] may be shared freely
+      ([op c a = a] and [core c = Some c]).  [None] for wholly exclusive
+      elements. *)
+
+  val pp : t Fmt.t
+end
+
+module type UNITAL = sig
+  include S
+
+  val unit : t
+  (** Identity of [op]; always valid; its own core. *)
+end
+
+(** Algebras with a decidable inclusion order, needed by [Auth]:
+    [included a b] iff there is [c] with [op a c = b] (or [a = b]). *)
+module type ORDERED = sig
+  include S
+
+  val included : t -> t -> bool
+end
+
+(** A finite sample of the algebra's carrier, used to property-check laws and
+    frame-preserving updates by enumeration. *)
+module type FINITE = sig
+  include S
+
+  val sample : t list
+end

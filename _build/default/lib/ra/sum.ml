@@ -1,0 +1,44 @@
+(** Sum camera: an element is in the left or the right algebra; mixing sides
+    is invalid.  Used for state machines whose resource changes flavour
+    (e.g. "uncommitted" vs "committed" transaction tokens). *)
+
+module Make (A : Ra_intf.S) (B : Ra_intf.S) : sig
+  include Ra_intf.S
+
+  val inl : A.t -> t
+  val inr : B.t -> t
+  val get_l : t -> A.t option
+  val get_r : t -> B.t option
+end = struct
+  type t = Inl of A.t | Inr of B.t | Bot
+
+  let inl a = Inl a
+  let inr b = Inr b
+  let get_l = function Inl a -> Some a | Inr _ | Bot -> None
+  let get_r = function Inr b -> Some b | Inl _ | Bot -> None
+
+  let equal x y =
+    match x, y with
+    | Inl a, Inl b -> A.equal a b
+    | Inr a, Inr b -> B.equal a b
+    | Bot, Bot -> true
+    | (Inl _ | Inr _ | Bot), _ -> false
+
+  let valid = function Inl a -> A.valid a | Inr b -> B.valid b | Bot -> false
+
+  let op x y =
+    match x, y with
+    | Inl a, Inl b -> Inl (A.op a b)
+    | Inr a, Inr b -> Inr (B.op a b)
+    | (Inl _ | Inr _ | Bot), _ -> Bot
+
+  let core = function
+    | Inl a -> Option.map (fun c -> Inl c) (A.core a)
+    | Inr b -> Option.map (fun c -> Inr c) (B.core b)
+    | Bot -> Some Bot
+
+  let pp ppf = function
+    | Inl a -> Fmt.pf ppf "inl %a" A.pp a
+    | Inr b -> Fmt.pf ppf "inr %a" B.pp b
+    | Bot -> Fmt.string ppf "SumBot"
+end

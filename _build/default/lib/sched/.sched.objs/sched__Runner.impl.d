@@ -1,0 +1,1 @@
+lib/sched/runner.ml: Array List Printf Prog Random String Tslang

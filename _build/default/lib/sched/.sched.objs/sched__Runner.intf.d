@@ -1,0 +1,1 @@
+lib/sched/runner.mli: Prog Tslang

@@ -1,0 +1,52 @@
+module V = Tslang.Value
+
+type ('w, 'b) step_result =
+  | Steps of ('w * 'b) list
+  | Ub of string
+
+type ('w, 'a) t =
+  | Done of 'a
+  | Atomic : {
+      label : string;
+      action : 'w -> ('w, 'b) step_result;
+      k : 'b -> ('w, 'a) t;
+    }
+      -> ('w, 'a) t
+
+let return a = Done a
+
+let rec bind : type a b. ('w, a) t -> (a -> ('w, b) t) -> ('w, b) t =
+ fun m f ->
+  match m with
+  | Done a -> f a
+  | Atomic { label; action; k } -> Atomic { label; action; k = (fun v -> bind (k v) f) }
+
+let map f m = bind m (fun a -> Done (f a))
+let atomic label action = Atomic { label; action; k = (fun v -> Done v) }
+let det label f = atomic label (fun w -> Steps [ f w ])
+let read label f = det label (fun w -> (w, f w))
+
+let write label f =
+  bind (det label (fun w -> (f w, V.unit))) (fun _ -> Done ())
+
+let blocked_until label f =
+  atomic label (fun w -> match f w with None -> Steps [] | Some out -> Steps [ out ])
+
+let ub reason =
+  Atomic
+    {
+      label = "UB";
+      action = (fun _ -> (Ub reason : ('w, unit) step_result));
+      k = (fun () -> assert false);
+    }
+
+let rec seq = function
+  | [] -> Done ()
+  | m :: rest -> bind m (fun () -> seq rest)
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+let label_of = function Done _ -> None | Atomic { label; _ } -> Some label

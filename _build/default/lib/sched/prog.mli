@@ -1,0 +1,68 @@
+(** Resumable concurrent programs over an explicit world.
+
+    A [('w, 'a) t] is a program whose every primitive step is an explicit
+    atomic action on a world of type ['w].  Programs are *data*: a scheduler
+    (or the refinement checker) picks which thread steps next, applies the
+    action, and resumes the continuation.  This is the execution format every
+    implementation in the repository compiles to — the primitive storage
+    language of the Table 3 examples and the Goose interpreter both target
+    it.
+
+    Atomic actions are nondeterministic ([Steps] lists every possible
+    outcome, e.g. a disk read that may fail over) and may be *blocked*
+    (empty list: a lock that is currently held) or *undefined* (a detected
+    race, paper §6.1).  The intermediate type ['b] carried between an action
+    and its continuation is existential — schedulers apply the action and
+    feed each outcome to [k] without inspecting it.
+
+    Actions MUST be pure functions of the world: schedulers probe an action
+    (to detect blocking) without committing its outcome, and the exhaustive
+    checker applies the same action along many branches.  Worlds are
+    immutable values; effects happen only by returning an updated world. *)
+
+type ('w, 'b) step_result =
+  | Steps of ('w * 'b) list
+      (** possible outcomes; [[]] means blocked at this instant *)
+  | Ub of string  (** undefined behaviour, with a reason for diagnostics *)
+
+type ('w, 'a) t =
+  | Done of 'a
+  | Atomic : {
+      label : string;  (** for traces, e.g. ["disk_write d1[0]"] *)
+      action : 'w -> ('w, 'b) step_result;
+      k : 'b -> ('w, 'a) t;
+    }
+      -> ('w, 'a) t
+
+val return : 'a -> ('w, 'a) t
+val bind : ('w, 'a) t -> ('a -> ('w, 'b) t) -> ('w, 'b) t
+val map : ('a -> 'b) -> ('w, 'a) t -> ('w, 'b) t
+
+val atomic : string -> ('w -> ('w, 'b) step_result) -> ('w, 'b) t
+(** One atomic step. *)
+
+val det : string -> ('w -> 'w * 'b) -> ('w, 'b) t
+(** Deterministic atomic step. *)
+
+val read : string -> ('w -> 'b) -> ('w, 'b) t
+(** Deterministic read-only step. *)
+
+val write : string -> ('w -> 'w) -> ('w, unit) t
+(** Deterministic world update returning unit. *)
+
+val blocked_until : string -> ('w -> ('w * 'b) option) -> ('w, 'b) t
+(** Step that blocks (is unschedulable) while the function returns [None] —
+    the shape of lock acquisition. *)
+
+val ub : string -> ('w, 'a) t
+(** Immediately-undefined program. *)
+
+val seq : ('w, unit) t list -> ('w, unit) t
+
+module Syntax : sig
+  val ( let* ) : ('w, 'a) t -> ('a -> ('w, 'b) t) -> ('w, 'b) t
+  val ( let+ ) : ('w, 'a) t -> ('a -> 'b) -> ('w, 'b) t
+end
+
+val label_of : ('w, 'a) t -> string option
+(** Label of the next step, if the program is not finished. *)

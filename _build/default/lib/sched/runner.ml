@@ -1,0 +1,118 @@
+module V = Tslang.Value
+
+type policy =
+  | Round_robin
+  | Random of int
+  | Fixed of int list
+
+type 'w outcome = {
+  world : 'w;
+  results : V.t array;
+  trace : (int * string) list;
+  steps : int;
+}
+
+exception Undefined_behaviour of string
+exception Deadlock of string
+
+type 'w thread_state =
+  | Running of ('w, V.t) Prog.t
+  | Finished of V.t
+
+let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
+  let n = List.length threads in
+  let states = Array.of_list (List.map (fun p -> Running p) threads) in
+  let world = ref world in
+  let trace = ref [] in
+  let steps = ref 0 in
+  let rng = match policy with Random seed -> Some (Random.State.make [| seed |]) | Round_robin | Fixed _ -> None
+  in
+  let fixed = ref (match policy with Fixed l -> l | Round_robin | Random _ -> []) in
+  let rr = ref 0 in
+  (* A thread is runnable if unfinished and its next action is not blocked. *)
+  (* Returns the next step of thread [i] as (label, outcome count, commit):
+     [commit idx] applies outcome [idx] and resumes the continuation.  The
+     closure keeps the step's existential payload type from escaping. *)
+  let step_of i =
+    match states.(i) with
+    | Finished _ -> None
+    | Running (Prog.Done v) ->
+      states.(i) <- Finished v;
+      None
+    | Running (Prog.Atomic { label; action; k }) ->
+      (match action !world with
+      | Prog.Ub reason ->
+        raise (Undefined_behaviour (Printf.sprintf "thread %d at %s: %s" i label reason))
+      | Prog.Steps [] -> None (* blocked *)
+      | Prog.Steps outs ->
+        let commit idx =
+          let w', v = List.nth outs idx in
+          world := w';
+          states.(i) <- Running (k v)
+        in
+        Some (label, List.length outs, commit))
+  in
+  let unfinished () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      (match states.(i) with
+      | Running (Prog.Done v) -> states.(i) <- Finished v
+      | Running _ | Finished _ -> ());
+      match states.(i) with Running _ -> acc := i :: !acc | Finished _ -> ()
+    done;
+    !acc
+  in
+  let pick runnable =
+    match rng with
+    | Some st -> List.nth runnable (Random.State.int st (List.length runnable))
+    | None ->
+      (match !fixed with
+      | i :: rest when List.mem i runnable ->
+        fixed := rest;
+        i
+      | _ :: rest ->
+        fixed := rest;
+        (* fall through to round-robin on a blocked/finished choice *)
+        (match List.find_opt (fun i -> i >= !rr) runnable with
+        | Some i -> i
+        | None -> List.hd runnable)
+      | [] ->
+        (match List.find_opt (fun i -> i >= !rr) runnable with
+        | Some i -> i
+        | None -> List.hd runnable))
+  in
+  let rec loop () =
+    match unfinished () with
+    | [] -> ()
+    | pending ->
+      let runnable = List.filter (fun i -> step_of i <> None) pending in
+      (match runnable with
+      | [] ->
+        raise
+          (Deadlock
+             (Printf.sprintf "threads %s blocked"
+                (String.concat "," (List.map string_of_int pending))))
+      | _ ->
+        let i = pick runnable in
+        (match step_of i with
+        | None -> ()
+        | Some (label, n_outs, commit) ->
+          let idx =
+            match rng with Some st -> Random.State.int st n_outs | None -> 0
+          in
+          commit idx;
+          trace := (i, label) :: !trace;
+          incr steps;
+          if !steps > max_steps then failwith "Runner.run: step budget exceeded");
+        rr := (i + 1) mod n;
+        loop ())
+  in
+  loop ();
+  let results =
+    Array.map (function Finished v -> v | Running _ -> assert false) states
+  in
+  { world = !world; results; trace = List.rev !trace; steps = !steps }
+
+let run1 world prog =
+  let out = run world [ prog ] in
+  (out.world, out.results.(0))

@@ -1,0 +1,1 @@
+lib/seplogic/assertion.ml: Fmt List Printf Pure String Sval Tslang

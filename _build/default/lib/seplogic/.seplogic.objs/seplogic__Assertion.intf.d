@@ -1,0 +1,1 @@
+lib/seplogic/assertion.mli: Fmt Pure Sval

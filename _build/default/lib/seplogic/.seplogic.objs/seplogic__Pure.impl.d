@@ -1,0 +1,1 @@
+lib/seplogic/pure.ml: Fmt List Map String Sval Tslang

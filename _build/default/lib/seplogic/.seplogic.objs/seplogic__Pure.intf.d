@@ -1,0 +1,1 @@
+lib/seplogic/pure.mli: Fmt Sval

@@ -1,0 +1,1 @@
+lib/seplogic/sval.ml: Fmt Map String Tslang

@@ -1,0 +1,1 @@
+lib/seplogic/sval.mli: Fmt Tslang

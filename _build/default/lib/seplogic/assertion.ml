@@ -1,0 +1,333 @@
+(** The assertion language of the outline checker: symbolic heaps in
+    disjunctive normal form.
+
+    An {!atom} is one capability (paper §4-§5): durable master copies,
+    volatile leases and points-to facts, abstract-state cells (the [source σ]
+    resource split per key), refinement tokens [j ⤇ op] / [j ⤇ ret v], the
+    crash tokens [⤇Crashing]/[⤇Done], and named ghost tokens.  A {!heap} is
+    a separating conjunction of atoms plus pure facts; an {!t} is a
+    disjunction of heaps.
+
+    Entailment ({!match_heap}) is syntactic up to unification: each pattern
+    atom must be matched by a distinct scrutinee atom, pattern variables are
+    solved for, pattern pures must follow from scrutinee pures, and the
+    unmatched scrutinee atoms are returned as the frame — giving the frame
+    rule operationally. *)
+
+module V = Tslang.Value
+
+type crash_phase = Crashing | Done_crash
+
+type atom =
+  | Master of { loc : string; value : Sval.t }
+      (** durable master copy [d[a] ↦ₙ v]; survives crashes *)
+  | Lease of { loc : string; value : Sval.t }
+      (** volatile lease [leaseₙ(d[a], v)]; invalidated by crashes *)
+  | Pts of { ptr : string; value : Sval.t }  (** volatile memory [p ↦ₙ v] *)
+  | Spec_cell of { key : string; value : Sval.t }
+      (** one cell of the authoritative abstract state ([source σ]) *)
+  | Spec_tok of { j : Sval.t; op : string; args : Sval.t list }
+      (** [j ⤇ op]: thread [j]'s pending operation; a ghost, survives crash
+          (the basis of recovery helping, §5.4) *)
+  | Spec_ret of { j : Sval.t; value : Sval.t }  (** [j ⤇ ret v] *)
+  | Crash_tok of crash_phase  (** [⤇Crashing] / [⤇Done] (§5.5) *)
+  | Tok of string  (** named volatile ghost token *)
+  | Dtok of string  (** named durable ghost token *)
+
+type heap = { atoms : atom list; pures : Pure.t list }
+
+type t = heap list  (** disjunction *)
+
+(* --- constructors --- *)
+
+let master loc value = Master { loc; value }
+let lease loc value = Lease { loc; value }
+let pts ptr value = Pts { ptr; value }
+let spec_cell key value = Spec_cell { key; value }
+let spec_tok j op args = Spec_tok { j; op; args }
+let spec_ret j value = Spec_ret { j; value }
+let crash_tok phase = Crash_tok phase
+let tok name = Tok name
+let dtok name = Dtok name
+
+let heap ?(pures = []) atoms = { atoms; pures }
+let emp = { atoms = []; pures = [] }
+let disj hs = hs
+let star h1 h2 = { atoms = h1.atoms @ h2.atoms; pures = h1.pures @ h2.pures }
+
+(* --- predicates --- *)
+
+(** Does the atom survive a crash?  Masters, abstract state, pending spec
+    tokens and durable ghost tokens do; memory, leases, receipts and
+    volatile tokens do not (§5.2). *)
+let durable = function
+  | Master _ | Spec_cell _ | Spec_tok _ | Crash_tok _ | Dtok _ -> true
+  | Lease _ | Pts _ | Spec_ret _ | Tok _ -> false
+
+(** Structural invalidity: two copies of the same exclusive capability can
+    never be owned together (camera validity), so a heap containing them
+    describes an impossible state — proofs may treat it as vacuous. *)
+let heap_invalid h =
+  let rec dup = function
+    | [] -> false
+    | a :: rest ->
+      let clash b =
+        match a, b with
+        | Master { loc = l1; _ }, Master { loc = l2; _ }
+        | Lease { loc = l1; _ }, Lease { loc = l2; _ }
+        | Pts { ptr = l1; _ }, Pts { ptr = l2; _ }
+        | Spec_cell { key = l1; _ }, Spec_cell { key = l2; _ }
+        | Tok l1, Tok l2
+        | Dtok l1, Dtok l2 ->
+          String.equal l1 l2
+        | Crash_tok _, Crash_tok _ -> true
+        | ( ( Master _ | Lease _ | Pts _ | Spec_cell _ | Spec_tok _ | Spec_ret _
+            | Crash_tok _ | Tok _ | Dtok _ ),
+            _ ) ->
+          false
+      in
+      List.exists clash rest || dup rest
+  in
+  dup h.atoms
+
+(* --- printing --- *)
+
+let pp_phase ppf = function
+  | Crashing -> Fmt.string ppf "⤇Crashing"
+  | Done_crash -> Fmt.string ppf "⤇Done"
+
+let pp_atom ppf = function
+  | Master { loc; value } -> Fmt.pf ppf "%s ↦ %a" loc Sval.pp value
+  | Lease { loc; value } -> Fmt.pf ppf "lease(%s, %a)" loc Sval.pp value
+  | Pts { ptr; value } -> Fmt.pf ppf "%s ↦m %a" ptr Sval.pp value
+  | Spec_cell { key; value } -> Fmt.pf ppf "σ[%s] = %a" key Sval.pp value
+  | Spec_tok { j; op; args } ->
+    Fmt.pf ppf "%a ⤇ %s(%a)" Sval.pp j op (Fmt.list ~sep:Fmt.comma Sval.pp) args
+  | Spec_ret { j; value } -> Fmt.pf ppf "%a ⤇ ret %a" Sval.pp j Sval.pp value
+  | Crash_tok phase -> pp_phase ppf phase
+  | Tok name -> Fmt.pf ppf "tok(%s)" name
+  | Dtok name -> Fmt.pf ppf "dtok(%s)" name
+
+let pp_heap ppf { atoms; pures } =
+  match atoms, pures with
+  | [], [] -> Fmt.string ppf "emp"
+  | _ ->
+    let parts =
+      List.map (Fmt.to_to_string pp_atom) atoms
+      @ List.map (Fmt.to_to_string Pure.pp) pures
+    in
+    Fmt.pf ppf "@[<hov>%s@]" (String.concat " ∗ " parts)
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "False"
+  | [ h ] -> pp_heap ppf h
+  | hs -> Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,∨ ") pp_heap) hs
+
+(* --- substitution --- *)
+
+let apply_atom subst = function
+  | Master { loc; value } -> Master { loc; value = Sval.apply subst value }
+  | Lease { loc; value } -> Lease { loc; value = Sval.apply subst value }
+  | Pts { ptr; value } -> Pts { ptr; value = Sval.apply subst value }
+  | Spec_cell { key; value } -> Spec_cell { key; value = Sval.apply subst value }
+  | Spec_tok { j; op; args } ->
+    Spec_tok { j = Sval.apply subst j; op; args = List.map (Sval.apply subst) args }
+  | Spec_ret { j; value } ->
+    Spec_ret { j = Sval.apply subst j; value = Sval.apply subst value }
+  | (Crash_tok _ | Tok _ | Dtok _) as a -> a
+
+let apply_heap subst { atoms; pures } =
+  { atoms = List.map (apply_atom subst) atoms; pures = List.map (Pure.apply subst) pures }
+
+let apply subst hs = List.map (apply_heap subst) hs
+
+(* --- variables --- *)
+
+let vars_of_sval acc sv = Sval.vars acc sv
+
+let vars_of_atom acc = function
+  | Master { value; _ } | Lease { value; _ } | Pts { value; _ } | Spec_cell { value; _ } ->
+    vars_of_sval acc value
+  | Spec_tok { j; args; _ } -> List.fold_left vars_of_sval (vars_of_sval acc j) args
+  | Spec_ret { j; value } -> vars_of_sval (vars_of_sval acc j) value
+  | Crash_tok _ | Tok _ | Dtok _ -> acc
+
+let vars_of_heap h =
+  let acc = List.fold_left vars_of_atom [] h.atoms in
+  let acc =
+    List.fold_left
+      (fun acc -> function
+        | Pure.Eq (a, b) | Pure.Neq (a, b) -> vars_of_sval (vars_of_sval acc a) b)
+      acc h.pures
+  in
+  List.sort_uniq String.compare acc
+
+(* --- directed matching of atoms --- *)
+
+(* Pattern variables are renamed to a reserved "$" namespace before matching
+   so that only they may be bound; scrutinee variables are rigid and
+   mismatches against them become pure proof obligations. *)
+let bindable x = String.length x > 0 && x.[0] = '$'
+
+let match_list acc xs ys =
+  if List.length xs <> List.length ys then None
+  else
+    List.fold_left2
+      (fun acc x y ->
+        match acc with None -> None | Some a -> Sval.match_directed ~bindable a x y)
+      (Some acc) xs ys
+
+(** Attempt to match a pattern atom against a scrutinee atom, extending the
+    substitution and obligation list. *)
+let match_atom acc pat scr =
+  match pat, scr with
+  | Master { loc = l1; value = v1 }, Master { loc = l2; value = v2 }
+  | Lease { loc = l1; value = v1 }, Lease { loc = l2; value = v2 }
+  | Pts { ptr = l1; value = v1 }, Pts { ptr = l2; value = v2 }
+  | Spec_cell { key = l1; value = v1 }, Spec_cell { key = l2; value = v2 } ->
+    if String.equal l1 l2 then Sval.match_directed ~bindable acc v1 v2 else None
+  | Spec_tok { j = j1; op = o1; args = a1 }, Spec_tok { j = j2; op = o2; args = a2 } ->
+    if String.equal o1 o2 then
+      match Sval.match_directed ~bindable acc j1 j2 with
+      | Some a -> match_list a a1 a2
+      | None -> None
+    else None
+  | Spec_ret { j = j1; value = v1 }, Spec_ret { j = j2; value = v2 } -> (
+    match Sval.match_directed ~bindable acc j1 j2 with
+    | Some a -> Sval.match_directed ~bindable a v1 v2
+    | None -> None)
+  | Crash_tok p1, Crash_tok p2 -> if p1 = p2 then Some acc else None
+  | Tok n1, Tok n2 | Dtok n1, Dtok n2 -> if String.equal n1 n2 then Some acc else None
+  | ( ( Master _ | Lease _ | Pts _ | Spec_cell _ | Spec_tok _ | Spec_ret _ | Crash_tok _
+      | Tok _ | Dtok _ ),
+      _ ) ->
+    None
+
+(* --- entailment with frame inference --- *)
+
+type match_result = { subst : Sval.Subst.t; frame : atom list }
+
+let freshen_counter = ref 0
+
+(** Rename a heap's variables into the reserved bindable namespace (except
+    the [rigid] ones), returning the renamed heap and the renaming
+    (original -> fresh var). *)
+let freshen_heap ?(rigid = []) h =
+  incr freshen_counter;
+  let tag = Printf.sprintf "$%d_" !freshen_counter in
+  let renaming =
+    List.fold_left
+      (fun s x ->
+        if List.mem x rigid then s else Sval.Subst.add x (Sval.Var (tag ^ x)) s)
+      Sval.Subst.empty (vars_of_heap h)
+  in
+  (apply_heap renaming h, renaming)
+
+(** [match_heap ~scrutinee ~pattern] finds an injective matching of
+    [pattern.atoms] into [scrutinee.atoms] and a substitution for pattern
+    variables such that [pattern.pures] (and the residual matching
+    obligations) follow from [scrutinee.pures]; unmatched scrutinee atoms
+    are the frame.  Pattern variables are treated as existentials; the
+    returned substitution is keyed by the pattern's *original* variable
+    names.  Returns the first solution. *)
+let match_heap ?(rigid = []) ~scrutinee ~pattern () =
+  if Pure.inconsistent scrutinee.pures then
+    (* An inconsistent hypothesis entails anything with an empty frame. *)
+    Some { subst = Sval.Subst.empty; frame = [] }
+  else
+    let fresh_pattern, renaming = freshen_heap ~rigid pattern in
+    let check_pures subst obls =
+      let goals =
+        List.map (fun (a, b) -> Pure.Eq (Sval.apply subst a, b)) obls
+        @ List.map (Pure.apply subst) fresh_pattern.pures
+      in
+      Pure.entails_all scrutinee.pures goals
+    in
+    let rec go subst obls pat_atoms avail =
+      match pat_atoms with
+      | [] -> if check_pures subst obls then Some (subst, avail) else None
+      | p :: rest ->
+        let rec try_each before = function
+          | [] -> None
+          | s :: after -> (
+            match match_atom (subst, obls) (apply_atom subst p) s with
+            | Some (subst', obls') -> (
+              match go subst' obls' rest (List.rev_append before after) with
+              | Some _ as r -> r
+              | None -> try_each (s :: before) after)
+            | None -> try_each (s :: before) after)
+        in
+        try_each [] avail
+    in
+    match go Sval.Subst.empty [] fresh_pattern.atoms scrutinee.atoms with
+    | Some (subst, frame) ->
+      (* Compose: original var -> fresh var -> solution. *)
+      let original =
+        List.fold_left
+          (fun s (x, fresh) -> Sval.Subst.add x (Sval.apply subst fresh) s)
+          Sval.Subst.empty
+          (Sval.Subst.bindings renaming)
+      in
+      Some { subst = original; frame }
+    | None -> None
+
+(** [entails ~scrutinee ~pattern]: does one heap entail a DNF assertion
+    (some disjunct matches)?  Returns the matching disjunct index and
+    result. *)
+let entails ?(rigid = []) ~scrutinee ~(pattern : t) () =
+  let rec go i = function
+    | [] -> None
+    | d :: rest -> (
+      match match_heap ~rigid ~scrutinee ~pattern:d () with
+      | Some r -> Some (i, r)
+      | None -> go (i + 1) rest)
+  in
+  go 0 pattern
+
+(* --- helpers for the checker --- *)
+
+(** Remove exactly one occurrence of an atom matching [pred]. *)
+let take_atom pred h =
+  let rec go before = function
+    | [] -> None
+    | a :: rest ->
+      if pred a then Some (a, { h with atoms = List.rev_append before rest })
+      else go (a :: before) rest
+  in
+  go [] h.atoms
+
+let add_atom a h = { h with atoms = a :: h.atoms }
+let add_pure p h = { h with pures = p :: h.pures }
+
+(** Value held at a durable location (master), normalized by the pures. *)
+let find_master loc h =
+  List.find_map
+    (function
+      | Master { loc = l; value } when String.equal l loc ->
+        Some (Pure.normalize h.pures value)
+      | _ -> None)
+    h.atoms
+
+let find_lease loc h =
+  List.find_map
+    (function
+      | Lease { loc = l; value } when String.equal l loc ->
+        Some (Pure.normalize h.pures value)
+      | _ -> None)
+    h.atoms
+
+let find_pts ptr h =
+  List.find_map
+    (function
+      | Pts { ptr = p; value } when String.equal p ptr ->
+        Some (Pure.normalize h.pures value)
+      | _ -> None)
+    h.atoms
+
+let find_spec_cell key h =
+  List.find_map
+    (function
+      | Spec_cell { key = k; value } when String.equal k key ->
+        Some (Pure.normalize h.pures value)
+      | _ -> None)
+    h.atoms

@@ -1,0 +1,103 @@
+(** The assertion language of the outline checker: symbolic heaps in
+    disjunctive normal form.
+
+    An {!atom} is one capability (paper §4-§5); a {!heap} is a separating
+    conjunction of atoms plus pure facts; a {!t} is a disjunction of heaps.
+    Entailment ({!match_heap}) is syntactic up to directed unification:
+    each pattern atom is matched by a distinct scrutinee atom, pattern
+    variables are solved for, pattern pures must follow from scrutinee
+    pures, and unmatched scrutinee atoms are the frame — the frame rule,
+    operationally. *)
+
+type crash_phase = Crashing | Done_crash
+
+type atom =
+  | Master of { loc : string; value : Sval.t }
+      (** durable master copy [d[a] ↦ₙ v]; survives crashes *)
+  | Lease of { loc : string; value : Sval.t }
+      (** volatile lease [leaseₙ(d[a], v)]; invalidated by crashes *)
+  | Pts of { ptr : string; value : Sval.t }  (** volatile memory [p ↦ₙ v] *)
+  | Spec_cell of { key : string; value : Sval.t }
+      (** one cell of the authoritative abstract state ([source σ]) *)
+  | Spec_tok of { j : Sval.t; op : string; args : Sval.t list }
+      (** [j ⤇ op]: a pending operation; durable — the basis of recovery
+          helping (§5.4) *)
+  | Spec_ret of { j : Sval.t; value : Sval.t }  (** [j ⤇ ret v] *)
+  | Crash_tok of crash_phase  (** [⤇Crashing] / [⤇Done] (§5.5) *)
+  | Tok of string  (** named volatile ghost token *)
+  | Dtok of string  (** named durable ghost token *)
+
+type heap = { atoms : atom list; pures : Pure.t list }
+
+type t = heap list  (** disjunction *)
+
+(** {1 Constructors} *)
+
+val master : string -> Sval.t -> atom
+val lease : string -> Sval.t -> atom
+val pts : string -> Sval.t -> atom
+val spec_cell : string -> Sval.t -> atom
+val spec_tok : Sval.t -> string -> Sval.t list -> atom
+val spec_ret : Sval.t -> Sval.t -> atom
+val crash_tok : crash_phase -> atom
+val tok : string -> atom
+val dtok : string -> atom
+
+val heap : ?pures:Pure.t list -> atom list -> heap
+val emp : heap
+val disj : heap list -> t
+val star : heap -> heap -> heap
+
+(** {1 Predicates} *)
+
+val durable : atom -> bool
+(** Does the atom survive a crash (§5.2)?  Masters, abstract state, pending
+    spec tokens, crash tokens and durable ghost tokens do; memory, leases,
+    receipts and volatile tokens do not. *)
+
+val heap_invalid : heap -> bool
+(** Two copies of the same exclusive capability can never be owned together
+    (camera validity): such a heap describes an impossible state and proofs
+    may treat it as vacuous. *)
+
+(** {1 Printing} *)
+
+val pp_phase : crash_phase Fmt.t
+val pp_atom : atom Fmt.t
+val pp_heap : heap Fmt.t
+val pp : t Fmt.t
+
+(** {1 Substitution and variables} *)
+
+val apply_atom : Sval.Subst.t -> atom -> atom
+val apply_heap : Sval.Subst.t -> heap -> heap
+val apply : Sval.Subst.t -> t -> t
+val vars_of_heap : heap -> string list
+
+(** {1 Entailment with frame inference} *)
+
+type match_result = { subst : Sval.Subst.t; frame : atom list }
+
+val match_heap :
+  ?rigid:string list -> scrutinee:heap -> pattern:heap -> unit -> match_result option
+(** Find an injective matching of [pattern.atoms] into [scrutinee.atoms]
+    and a substitution for pattern variables such that the pattern's pures
+    (and residual matching obligations) follow from the scrutinee's pures;
+    unmatched scrutinee atoms are the frame.  Pattern variables are
+    existential except the [rigid] ones, which must be justified by the
+    scrutinee's pure facts instead.  An inconsistent scrutinee entails
+    anything. *)
+
+val entails :
+  ?rigid:string list -> scrutinee:heap -> pattern:t -> unit -> (int * match_result) option
+(** First disjunct of [pattern] that [scrutinee] entails. *)
+
+(** {1 Heap surgery (used by the outline checker's rules)} *)
+
+val take_atom : (atom -> bool) -> heap -> (atom * heap) option
+val add_atom : atom -> heap -> heap
+val add_pure : Pure.t -> heap -> heap
+val find_master : string -> heap -> Sval.t option
+val find_lease : string -> heap -> Sval.t option
+val find_pts : string -> heap -> Sval.t option
+val find_spec_cell : string -> heap -> Sval.t option

@@ -1,0 +1,114 @@
+(** Pure (non-spatial) facts: equalities and disequalities over symbolic
+    values, with a small congruence solver used by entailment.
+
+    The solver builds equivalence classes from the hypothesis equalities
+    (union-find over variables, constants as class anchors, pairs treated
+    componentwise) and answers:
+    - [entails]: is a goal fact forced by the hypotheses?
+    - [inconsistent]: do the hypotheses contradict themselves?  An
+      inconsistent disjunct of an assertion is unreachable and entails
+      anything. *)
+
+module V = Tslang.Value
+
+type t =
+  | Eq of Sval.t * Sval.t
+  | Neq of Sval.t * Sval.t
+
+let eq a b = Eq (a, b)
+let neq a b = Neq (a, b)
+
+let pp ppf = function
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" Sval.pp a Sval.pp b
+  | Neq (a, b) -> Fmt.pf ppf "%a ≠ %a" Sval.pp a Sval.pp b
+
+let apply subst = function
+  | Eq (a, b) -> Eq (Sval.apply subst a, Sval.apply subst b)
+  | Neq (a, b) -> Neq (Sval.apply subst a, Sval.apply subst b)
+
+(* --- solver --- *)
+
+module Sm = Map.Make (String)
+
+type classes = {
+  parent : Sval.t Sm.t;  (** variable -> representative *)
+  neqs : (Sval.t * Sval.t) list;
+  contradiction : bool;
+}
+
+let rec rep classes sv =
+  match Sval.expand sv with
+  | Sval.Const v -> Sval.Const v
+  | Sval.Pair (a, b) -> Sval.Pair (rep classes a, rep classes b)
+  | Sval.Var x -> (
+    match Sm.find_opt x classes.parent with
+    | Some sv' when not (Sval.equal sv' (Sval.Var x)) -> rep classes sv'
+    | _ -> Sval.Var x)
+
+let rec union classes a b =
+  if classes.contradiction then classes
+  else
+    let ra = rep classes a and rb = rep classes b in
+    if Sval.equal ra rb then classes
+    else
+      match ra, rb with
+      | Sval.Const x, Sval.Const y ->
+        if V.equal x y then classes else { classes with contradiction = true }
+      | Sval.Pair (a1, b1), Sval.Pair (a2, b2) -> union (union classes a1 a2) b1 b2
+      | Sval.Const _, Sval.Pair _ | Sval.Pair _, Sval.Const _ ->
+        { classes with contradiction = true }
+      | Sval.Var x, other | other, Sval.Var x ->
+        (* occurs check: x = ⟨..x..⟩ has no finite solution — contradiction *)
+        if List.mem x (Sval.vars [] other) then { classes with contradiction = true }
+        else { classes with parent = Sm.add x other classes.parent }
+
+(* Are two representatives provably different, structurally?  For pairs, one
+   provably-different component suffices. *)
+let rec definitely_distinct a b =
+  match a, b with
+  | Sval.Const x, Sval.Const y -> not (V.equal x y)
+  | Sval.Pair (a1, b1), Sval.Pair (a2, b2) ->
+    definitely_distinct a1 a2 || definitely_distinct b1 b2
+  | Sval.Const _, Sval.Pair _ | Sval.Pair _, Sval.Const _ -> true
+  | (Sval.Var _ | Sval.Const _ | Sval.Pair _), _ -> false
+
+let solve facts =
+  let init = { parent = Sm.empty; neqs = []; contradiction = false } in
+  let classes =
+    List.fold_left
+      (fun cl fact -> match fact with Eq (a, b) -> union cl a b | Neq _ -> cl)
+      init facts
+  in
+  let neqs =
+    List.filter_map
+      (function Neq (a, b) -> Some (rep classes a, rep classes b) | Eq _ -> None)
+      facts
+  in
+  let contradiction =
+    classes.contradiction
+    || List.exists (fun (a, b) -> Sval.equal (rep classes a) (rep classes b)) neqs
+  in
+  { classes with neqs; contradiction }
+
+let inconsistent facts = (solve facts).contradiction
+
+let entails hyps goal =
+  let cl = solve hyps in
+  if cl.contradiction then true
+  else
+    match goal with
+    | Eq (a, b) -> Sval.equal (rep cl a) (rep cl b)
+    | Neq (a, b) ->
+      let ra = rep cl a and rb = rep cl b in
+      definitely_distinct ra rb
+      || List.exists
+           (fun (n1, n2) ->
+             (Sval.equal n1 ra && Sval.equal n2 rb)
+             || (Sval.equal n1 rb && Sval.equal n2 ra))
+           cl.neqs
+
+let entails_all hyps goals = List.for_all (entails hyps) goals
+
+(** Representative of a value under the hypotheses — used to report the
+    concrete value a variable was forced to. *)
+let normalize hyps sv = rep (solve hyps) sv

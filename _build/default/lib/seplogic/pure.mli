@@ -1,0 +1,30 @@
+(** Pure (non-spatial) facts: equalities and disequalities over symbolic
+    values, with a small congruence solver used by entailment.
+
+    The solver builds equivalence classes from the hypothesis equalities
+    (union-find over variables, constants as anchors, pairs componentwise,
+    with an occurs check) and decides whether a goal fact is forced and
+    whether the hypotheses are contradictory — an inconsistent disjunct of
+    an assertion is unreachable and entails anything. *)
+
+type t =
+  | Eq of Sval.t * Sval.t
+  | Neq of Sval.t * Sval.t
+
+val eq : Sval.t -> Sval.t -> t
+val neq : Sval.t -> Sval.t -> t
+val pp : t Fmt.t
+val apply : Sval.Subst.t -> t -> t
+
+val inconsistent : t list -> bool
+
+val entails : t list -> t -> bool
+(** [entails hyps goal]: equality by congruence; disequality when the
+    representatives are provably-distinct constants (for pairs, one
+    distinct component suffices) or match a hypothesis disequality. *)
+
+val entails_all : t list -> t list -> bool
+
+val normalize : t list -> Sval.t -> Sval.t
+(** Representative of a value under the hypotheses — reports the concrete
+    value a variable was forced to. *)

@@ -1,0 +1,119 @@
+(** Symbolic values for the proof-outline checker: a concrete
+    {!Tslang.Value.t}, a logical variable, or a pair of symbolic values.
+    Assertions in proof outlines quantify over unknown-but-fixed values (the
+    contents read from disk, the value protected by a lock) through
+    variables; entailment solves for them by unification.  Pairs let
+    operations return tuples of symbolic components (e.g. a read of a pair
+    of blocks). *)
+
+module V = Tslang.Value
+
+type t =
+  | Const of V.t
+  | Var of string
+  | Pair of t * t
+
+let const v = Const v
+let var x = Var x
+let unit = Const V.Unit
+let int n = Const (V.int n)
+let str s = Const (V.str s)
+let pair a b = Pair (a, b)
+
+(* Canonical form: concrete pairs are expanded into structural pairs so that
+   [Const (V.Pair (a, b))] and [Pair (Const a, Const b)] are the same
+   value to the solver. *)
+let expand = function
+  | Const (V.Pair (a, b)) -> Pair (Const a, Const b)
+  | sv -> sv
+
+let rec equal a b =
+  match expand a, expand b with
+  | Const x, Const y -> V.equal x y
+  | Var x, Var y -> String.equal x y
+  | Pair (a1, b1), Pair (a2, b2) -> equal a1 a2 && equal b1 b2
+  | (Const _ | Var _ | Pair _), _ -> false
+
+let rec compare a b =
+  match expand a, expand b with
+  | Const x, Const y -> V.compare x y
+  | Var x, Var y -> String.compare x y
+  | Pair (a1, b1), Pair (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | Const _, (Var _ | Pair _) -> -1
+  | Var _, Const _ -> 1
+  | Var _, Pair _ -> -1
+  | Pair _, (Const _ | Var _) -> 1
+
+let rec pp ppf sv =
+  match sv with
+  | Const v -> V.pp ppf v
+  | Var x -> Fmt.pf ppf "?%s" x
+  | Pair (a, b) -> Fmt.pf ppf "⟨%a, %a⟩" pp a pp b
+
+let to_string sv = Fmt.str "%a" pp sv
+
+let rec vars acc = function
+  | Const _ -> acc
+  | Var x -> x :: acc
+  | Pair (a, b) -> vars (vars acc a) b
+
+(** Substitutions map variables to symbolic values. *)
+module Subst = struct
+  module Sm = Map.Make (String)
+
+  type nonrec t = t Sm.t
+
+  let empty = Sm.empty
+  let find = Sm.find_opt
+  let add = Sm.add
+  let bindings = Sm.bindings
+
+  let rec resolve subst sv =
+    match expand sv with
+    | Const v -> Const v
+    | Pair (a, b) -> Pair (resolve subst a, resolve subst b)
+    | Var x -> (
+      match Sm.find_opt x subst with
+      | Some sv' -> resolve subst sv'
+      | None -> Var x)
+
+  let pp ppf subst =
+    let binding ppf (x, sv) = Fmt.pf ppf "?%s := %a" x pp sv in
+    Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma binding) (Sm.bindings subst)
+end
+
+let apply subst sv = Subst.resolve subst sv
+
+(** Unify two symbolic values under a substitution, extending it; [None] if
+    they are structurally irreconcilable. *)
+let rec unify subst a b =
+  let a = Subst.resolve subst a and b = Subst.resolve subst b in
+  match a, b with
+  | Const x, Const y -> if V.equal x y then Some subst else None
+  | Pair (a1, b1), Pair (a2, b2) -> (
+    match unify subst a1 a2 with Some s -> unify s b1 b2 | None -> None)
+  | Var x, other | other, Var x ->
+    if equal (Var x) other then Some subst else Some (Subst.add x other subst)
+  | Const _, Pair _ | Pair _, Const _ -> None
+
+(** Directed matching: only *pattern* variables satisfying [bindable] may be
+    bound; everything else on the scrutinee side is rigid.  Residual
+    equalities that matching cannot decide structurally are deferred as
+    proof obligations (checked against the pure hypotheses).  [None] only
+    for structurally irreconcilable values. *)
+let rec match_directed ~bindable (subst, obligations) pat scr =
+  let pat = Subst.resolve subst pat and scr = expand scr in
+  match pat, scr with
+  | Const x, Const y -> if V.equal x y then Some (subst, obligations) else None
+  | Pair (a1, b1), Pair (a2, b2) -> (
+    match match_directed ~bindable (subst, obligations) a1 a2 with
+    | Some acc -> match_directed ~bindable acc b1 b2
+    | None -> None)
+  | Var x, _ when bindable x && not (equal pat scr) ->
+    Some (Subst.add x scr subst, obligations)
+  | Const _, Pair _ | Pair _, Const _ -> None
+  | _, _ ->
+    if equal pat scr then Some (subst, obligations)
+    else Some (subst, (pat, scr) :: obligations)

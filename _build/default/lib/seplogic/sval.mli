@@ -1,0 +1,56 @@
+(** Symbolic values for the proof-outline checker: a concrete
+    {!Tslang.Value.t}, a logical variable, or a pair of symbolic values.
+    Assertions quantify over unknown-but-fixed values through variables;
+    entailment solves for them by directed matching. *)
+
+type t =
+  | Const of Tslang.Value.t
+  | Var of string
+  | Pair of t * t
+
+val const : Tslang.Value.t -> t
+val var : string -> t
+val unit : t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+
+val expand : t -> t
+(** Canonical form: a concrete pair constant becomes a structural [Pair],
+    so both spellings are the same value to the solver. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+val vars : string list -> t -> string list
+(** Accumulate the variables of a value (with duplicates). *)
+
+(** Substitutions map variables to symbolic values. *)
+module Subst : sig
+  type sval := t
+  type t
+
+  val empty : t
+  val find : string -> t -> sval option
+  val add : string -> sval -> t -> t
+  val bindings : t -> (string * sval) list
+  val resolve : t -> sval -> sval
+  val pp : t Fmt.t
+end
+
+val apply : Subst.t -> t -> t
+
+val unify : Subst.t -> t -> t -> Subst.t option
+(** Symmetric unification; [None] when structurally irreconcilable. *)
+
+val match_directed :
+  bindable:(string -> bool) ->
+  Subst.t * (t * t) list ->
+  t ->
+  t ->
+  (Subst.t * (t * t) list) option
+(** Directed matching: only pattern variables satisfying [bindable] may be
+    bound; everything else is rigid, and residual equalities are deferred
+    as (pattern, scrutinee) obligations for the pure solver. *)

@@ -1,0 +1,1 @@
+lib/systems/cached_block.ml: Disk Fmt Perennial_core Sched Tslang

@@ -1,0 +1,1 @@
+lib/systems/cached_block.mli: Disk Fmt Perennial_core Sched Tslang

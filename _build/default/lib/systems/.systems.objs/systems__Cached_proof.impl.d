@@ -1,0 +1,1 @@
+lib/systems/cached_proof.ml: Perennial_core Seplogic

@@ -1,0 +1,1 @@
+lib/systems/cached_proof.mli: Perennial_core Seplogic

@@ -1,0 +1,1 @@
+lib/systems/group_commit.ml: Disk Fmt List Perennial_core Sched Tslang Wal

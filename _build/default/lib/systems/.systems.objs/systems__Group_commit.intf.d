@@ -1,0 +1,1 @@
+lib/systems/group_commit.mli: Disk Fmt Perennial_core Sched Tslang

@@ -1,0 +1,1 @@
+lib/systems/layered.ml: Disk Fmt Option Perennial_core Sched Tslang Wal

@@ -1,0 +1,1 @@
+lib/systems/layered.mli: Disk Fmt Perennial_core Sched Tslang Wal

@@ -1,0 +1,1 @@
+lib/systems/rd_go.ml:

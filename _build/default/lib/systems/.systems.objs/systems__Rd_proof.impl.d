@@ -1,0 +1,1 @@
+lib/systems/rd_proof.ml: Fmt Fun List Perennial_core Printf Seplogic Tslang

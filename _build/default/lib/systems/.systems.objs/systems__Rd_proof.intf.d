@@ -1,0 +1,1 @@
+lib/systems/rd_proof.mli: Perennial_core Seplogic

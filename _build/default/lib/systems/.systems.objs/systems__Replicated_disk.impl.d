@@ -1,0 +1,1 @@
+lib/systems/replicated_disk.ml: Disk Fmt Fun Int List Map Perennial_core Sched Tslang

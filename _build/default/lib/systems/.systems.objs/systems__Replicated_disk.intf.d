@@ -1,0 +1,1 @@
+lib/systems/replicated_disk.mli: Disk Fmt Int Map Perennial_core Sched Tslang

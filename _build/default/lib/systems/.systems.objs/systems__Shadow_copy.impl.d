@@ -1,0 +1,1 @@
+lib/systems/shadow_copy.ml: Disk Fmt Perennial_core Sched Tslang

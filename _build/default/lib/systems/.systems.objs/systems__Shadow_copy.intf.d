@@ -1,0 +1,1 @@
+lib/systems/shadow_copy.mli: Disk Fmt Perennial_core Sched Tslang

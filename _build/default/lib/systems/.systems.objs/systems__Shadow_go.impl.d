@@ -1,0 +1,1 @@
+lib/systems/shadow_go.ml:

@@ -1,0 +1,1 @@
+lib/systems/shadow_proof.ml: Perennial_core Seplogic

@@ -1,0 +1,1 @@
+lib/systems/shadow_proof.mli: Perennial_core Seplogic

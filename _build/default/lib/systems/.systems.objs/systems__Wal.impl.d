@@ -1,0 +1,1 @@
+lib/systems/wal.ml: Disk Fmt Perennial_core Sched Tslang

@@ -1,0 +1,1 @@
+lib/systems/wal.mli: Disk Fmt Perennial_core Sched Tslang

@@ -1,0 +1,1 @@
+lib/systems/wal_go.ml:

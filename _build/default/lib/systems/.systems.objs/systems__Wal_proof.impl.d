@@ -1,0 +1,1 @@
+lib/systems/wal_proof.ml: Perennial_core Seplogic Tslang

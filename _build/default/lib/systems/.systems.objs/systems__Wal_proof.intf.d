@@ -1,0 +1,1 @@
+lib/systems/wal_proof.mli: Perennial_core Seplogic

@@ -1,0 +1,138 @@
+(** A write-through cached disk block — the versioned-memory (§5.2) study.
+
+    One durable block is mirrored by an in-memory cache; reads serve from
+    memory, writes go through to disk and then update the cache.  The cache
+    is volatile: a crash clears it, and recovery must repopulate it from
+    disk before operations resume — exactly the paper's "recovery obtains
+    capabilities for the fresh memory at the new version number" (Fig. 9).
+
+    Together with {!Cached_proof} this exercises the memory rules of the
+    outline checker (points-to in a lock invariant, allocation during
+    recovery) that the disk-only examples never touch. *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+
+(* ------------------------------------------------------------------ *)
+(* Specification: one atomic cell                                      *)
+(* ------------------------------------------------------------------ *)
+
+type state = Block.t
+
+let spec : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "cached-block";
+    init = Block.zero;
+    compare_state = Block.compare;
+    pp_state = Block.pp;
+    step =
+      (fun op args ->
+        match op, args with
+        | "get", [] -> T.gets Block.to_value
+        | "put", [ v ] ->
+          let* () = T.puts (Block.of_value v) in
+          T.ret V.unit
+        | _ -> invalid_arg "cached-block spec: unknown op");
+    crash = T.ret ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World: one disk block, one volatile cache cell, one lock            *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  disk : Disk.Single_disk.t;
+  cache : Block.t option;  (** volatile; [None] = not (re)populated *)
+  locks : Disk.Locks.t;
+}
+
+let init_world () =
+  { disk = Disk.Single_disk.init 1; cache = Some Block.zero; locks = Disk.Locks.empty }
+
+let crash_world w = { w with cache = None; locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  Fmt.pf ppf "%a cache=%a %a" Disk.Single_disk.pp w.disk
+    (Fmt.option ~none:(Fmt.any "-") Block.pp) w.cache Disk.Locks.pp w.locks
+
+let get_disk w = w.disk
+let set_disk w disk = { w with disk }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let the_lock = 0
+let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
+let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
+
+let read_cache : (world, V.t) P.t =
+  P.atomic "cache_read" (fun w ->
+      match w.cache with
+      | Some b -> P.Steps [ (w, Block.to_value b) ]
+      | None -> P.Ub "cache read before recovery repopulated it (§5.2)")
+
+let write_cache b : (world, unit) P.t =
+  P.write "cache_write" (fun w -> { w with cache = Some b })
+
+open P.Syntax
+
+(* ------------------------------------------------------------------ *)
+(* Implementation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Serve from memory. *)
+let get_prog : (world, V.t) P.t =
+  let* () = lock () in
+  let* v = read_cache in
+  let* () = unlock () in
+  P.return v
+
+(** Write through: disk first (the commit point), then the cache. *)
+let put_prog v : (world, V.t) P.t =
+  let* () = lock () in
+  let* () = Disk.Single_disk.write ~get_disk ~set_disk 0 (Block.of_value v) in
+  let* () = write_cache (Block.of_value v) in
+  let* () = unlock () in
+  P.return V.unit
+
+(** Recovery repopulates the cache from disk — fresh memory at the new
+    version. *)
+let recover_prog : (world, V.t) P.t =
+  let* b = Disk.Single_disk.read ~get_disk 0 in
+  let* () = write_cache (Block.of_value b) in
+  P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Checker plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let get_call = (Spec.call "get" [], get_prog)
+let put_call v = (Spec.call "put" [ v ], put_prog v)
+
+let checker_config ?(max_crashes = 1) threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec ~init_world:(init_world ())
+    ~crash_world ~pp_world ~threads ~recovery:recover_prog
+    ~post:[ get_call ] ~max_crashes ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** Forget the cache update: later reads serve a stale value — caught
+      without any crash. *)
+  let put_no_cache_update v : (world, V.t) P.t =
+    let* () = lock () in
+    let* () = Disk.Single_disk.write ~get_disk ~set_disk 0 (Block.of_value v) in
+    let* () = unlock () in
+    P.return V.unit
+
+  let put_call_no_cache_update v = (Spec.call "put" [ v ], put_no_cache_update v)
+
+  (** Recovery that skips repopulation: the next read hits UB. *)
+  let recover_nop : (world, V.t) P.t = P.return V.unit
+end

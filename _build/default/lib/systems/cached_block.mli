@@ -1,0 +1,42 @@
+(** A write-through cached disk block — the versioned-memory (§5.2) study:
+    the cache is volatile, and recovery must repopulate it from disk before
+    operations resume. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+
+type state = Disk.Block.t
+
+val spec : state Spec.t
+
+type world = {
+  disk : Disk.Single_disk.t;
+  cache : Disk.Block.t option;  (** volatile; [None] = not (re)populated *)
+  locks : Disk.Locks.t;
+}
+
+val init_world : unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+val get_prog : (world, V.t) P.t
+(** Serves from memory; undefined behaviour if the cache was never
+    repopulated after a crash. *)
+
+val put_prog : V.t -> (world, V.t) P.t
+val recover_prog : (world, V.t) P.t
+
+val get_call : Spec.call * (world, V.t) P.t
+val put_call : V.t -> Spec.call * (world, V.t) P.t
+
+val checker_config :
+  ?max_crashes:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+module Buggy : sig
+  val put_no_cache_update : V.t -> (world, V.t) P.t
+  val put_call_no_cache_update : V.t -> Spec.call * (world, V.t) P.t
+  val recover_nop : (world, V.t) P.t
+end

@@ -1,0 +1,120 @@
+(** The Perennial proof of the cached block, as checkable outlines — the
+    versioned-memory (§5.2) study.
+
+    The {e lock invariant} ties the volatile cache to the durable block:
+    [∃v. lease(blk, v) ∗ cache ↦ v] — that coupling is what justifies
+    serving reads from memory.  The {e crash invariant} is the usual
+    master/abstract agreement, durable-only.  Recovery demonstrates the
+    version bump on memory: the old [cache ↦ v] capability is gone, and
+    recovery must {e allocate} a fresh cell (reading the disk for its
+    value) before it can re-establish the lock invariant. *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module O = Perennial_core.Outline
+
+let l_blk = "blk"
+let m_cache = "cache"
+let c_val = "c"
+
+let get_op : O.sym_op =
+  {
+    O.op_name = "get";
+    sym_apply =
+      (fun ~lookup args ->
+        match args with
+        | [] -> (
+          match lookup c_val with
+          | Some v -> Ok ([], v)
+          | None -> Error "abstract cell not at hand")
+        | _ -> Error "get takes no arguments");
+  }
+
+let put_op : O.sym_op =
+  {
+    O.op_name = "put";
+    sym_apply =
+      (fun ~lookup:_ args ->
+        match args with
+        | [ v ] -> Ok ([ (c_val, v) ], Sv.unit)
+        | _ -> Error "put expects one argument");
+  }
+
+(** [∃v. lease(blk, v) ∗ cache ↦ v]: memory mirrors disk when the lock is
+    free. *)
+let lock_inv : A.t =
+  [ A.heap [ A.lease l_blk (Sv.var "v"); A.pts m_cache (Sv.var "v") ] ]
+
+let crash_inv : A.t =
+  [ A.heap [ A.master l_blk (Sv.var "w"); A.spec_cell c_val (Sv.var "w") ] ]
+
+let cinv = "cb"
+let the_lock = 0
+
+let system : O.system =
+  {
+    O.sys_name = "cached-block";
+    ops = [ get_op; put_op ];
+    crash_cells = (fun ~lookup:_ -> []);
+    lock_invs = [ (the_lock, lock_inv) ];
+    crash_invs = [ (cinv, crash_inv) ];
+  }
+
+(** get: read the cache; the lock invariant's coupling plus master/lease
+    agreement proves the memory value IS the abstract value. *)
+let get_outline : O.op_outline =
+  {
+    O.o_op = "get";
+    o_args = [];
+    o_ret = Sv.var "r";
+    o_body =
+      [
+        O.Acquire the_lock;
+        O.Read_mem { ptr = m_cache; bind = "r" };
+        O.Open_inv
+          { name = cinv; body = [ O.Simulate { op = "get"; args = []; bind_ret = "ret" } ] };
+        O.Release the_lock;
+      ];
+  }
+
+(** put: disk write (with the simulation — the commit point), then the
+    cache update that re-establishes the coupling for release. *)
+let put_outline : O.op_outline =
+  {
+    O.o_op = "put";
+    o_args = [ Sv.var "v" ];
+    o_ret = Sv.unit;
+    o_body =
+      [
+        O.Acquire the_lock;
+        O.Open_inv
+          {
+            name = cinv;
+            body =
+              [
+                O.Write_durable { loc = l_blk; value = Sv.var "v" };
+                O.Simulate { op = "put"; args = [ Sv.var "v" ]; bind_ret = "ret" };
+              ];
+          };
+        O.Write_mem { ptr = m_cache; value = Sv.var "v" };
+        O.Release the_lock;
+      ];
+  }
+
+(** Recovery: synthesize the lease and *allocate* the cache cell at the new
+    version, populated from the disk value. *)
+let recovery_outline : O.recovery_outline =
+  {
+    O.r_body =
+      [
+        O.Synthesize l_blk;
+        O.Read_durable { loc = l_blk; bind = "r" };
+        O.Alloc_mem { ptr = m_cache; value = Sv.var "r" };
+        O.Crash_step;
+      ];
+  }
+
+let check () =
+  O.check_system system
+    ~op_outlines:[ get_outline; put_outline ]
+    ~recovery:recovery_outline

@@ -1,0 +1,14 @@
+(** The Perennial proof of the cached block: the lock invariant couples the
+    volatile cache to the durable block ([∃v. lease(blk,v) ∗ cache ↦ v]),
+    and recovery demonstrates the version bump on memory by allocating a
+    fresh cell from the disk value. *)
+
+module O := Perennial_core.Outline
+
+val lock_inv : Seplogic.Assertion.t
+val crash_inv : Seplogic.Assertion.t
+val system : O.system
+val get_outline : O.op_outline
+val put_outline : O.op_outline
+val recovery_outline : O.recovery_outline
+val check : unit -> (string * O.result) list

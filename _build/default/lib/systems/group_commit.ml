@@ -1,0 +1,189 @@
+(** Group commit (§9.1): transactions are buffered in memory and committed
+    to the write-ahead log in batches, amortizing commit cost.  The price is
+    visible in the specification: a crash may lose buffered-but-unflushed
+    transactions.  The spec state is (durable pair, pending list) and the
+    crash transition drops the pending list — "specifies when transactions
+    can be lost".
+
+    The durable layout reuses the WAL's (data pair, flag, log). *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+
+(* ------------------------------------------------------------------ *)
+(* Specification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  durable : Block.t * Block.t;
+  pending : (Block.t * Block.t) list;  (** newest last *)
+}
+
+let view st =
+  match List.rev st.pending with last :: _ -> last | [] -> st.durable
+
+let compare_pair (a1, b1) (a2, b2) =
+  let c = Block.compare a1 a2 in
+  if c <> 0 then c else Block.compare b1 b2
+
+let spec : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "group-commit";
+    init = { durable = (Block.zero, Block.zero); pending = [] };
+    compare_state =
+      (fun s1 s2 ->
+        let c = compare_pair s1.durable s2.durable in
+        if c <> 0 then c else List.compare compare_pair s1.pending s2.pending);
+    pp_state =
+      (fun ppf st ->
+        let pair ppf (a, b) = Fmt.pf ppf "(%a, %a)" Block.pp a Block.pp b in
+        Fmt.pf ppf "{durable=%a pending=[%a]}" pair st.durable
+          (Fmt.list ~sep:Fmt.semi pair) st.pending);
+    step =
+      (fun op args ->
+        match op, args with
+        | "gc_write", [ v1; v2 ] ->
+          let* () =
+            T.modify (fun st ->
+                { st with pending = st.pending @ [ (Block.of_value v1, Block.of_value v2) ] })
+          in
+          T.ret V.unit
+        | "gc_flush", [] ->
+          let* () = T.modify (fun st -> { durable = view st; pending = [] }) in
+          T.ret V.unit
+        | "gc_read", [] ->
+          let* st = T.reads in
+          let a, b = view st in
+          T.ret (V.pair (Block.to_value a) (Block.to_value b))
+        | _ -> invalid_arg "group-commit spec: unknown op");
+    (* The defining feature: crashes may lose everything still buffered. *)
+    crash = T.modify (fun st -> { st with pending = [] });
+  }
+
+(** The strict (wrong-for-group-commit) crash spec: nothing is ever lost.
+    The checker must reject the implementation against this spec — that
+    rejection is the experiment showing *why* the spec must admit loss. *)
+let strict_spec : state Spec.t = { spec with crash = T.ret () }
+
+(* ------------------------------------------------------------------ *)
+(* World and implementation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  disk : Disk.Single_disk.t;
+  buffer : (Block.t * Block.t) list;  (** volatile, newest last *)
+  locks : Disk.Locks.t;
+}
+
+let init_world () =
+  let disk = Disk.Single_disk.init Wal.disk_size in
+  let disk = Disk.Single_disk.set disk Wal.flag_addr Wal.flag_empty in
+  { disk; buffer = []; locks = Disk.Locks.empty }
+
+let crash_world w = { w with buffer = []; locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  let pair ppf (a, b) = Fmt.pf ppf "(%a, %a)" Block.pp a Block.pp b in
+  Fmt.pf ppf "%a buf=[%a] %a" Disk.Single_disk.pp w.disk
+    (Fmt.list ~sep:Fmt.semi pair) w.buffer Disk.Locks.pp w.locks
+
+let get_disk w = w.disk
+let set_disk w disk = { w with disk }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let the_lock = 0
+let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
+let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
+let disk_read a = Disk.Single_disk.read ~get_disk a
+let disk_write a b = Disk.Single_disk.write ~get_disk ~set_disk a b
+
+open P.Syntax
+
+(** Append to the in-memory buffer; acknowledged before anything is
+    durable. *)
+let write_prog v1 v2 : (world, V.t) P.t =
+  let* () = lock () in
+  let* () =
+    P.write "buffer_append" (fun w ->
+        { w with buffer = w.buffer @ [ (Block.of_value v1, Block.of_value v2) ] })
+  in
+  let* () = unlock () in
+  P.return V.unit
+
+(** Flush the whole buffer as one WAL transaction installing the newest
+    pair (each transaction replaces the pair, so earlier buffered writes
+    are absorbed). *)
+let flush_prog : (world, V.t) P.t =
+  let* () = lock () in
+  let* buf = P.read "buffer_peek" (fun w -> V.bool (w.buffer <> [])) in
+  let* () =
+    if not (V.get_bool buf) then P.return ()
+    else
+      let* last =
+        P.read "buffer_last" (fun w ->
+            match List.rev w.buffer with
+            | (a, b) :: _ -> V.pair (Block.to_value a) (Block.to_value b)
+            | [] -> V.unit)
+      in
+      let va, vb = V.get_pair last in
+      let b1 = Block.of_value va and b2 = Block.of_value vb in
+      let* () = disk_write Wal.log0 b1 in
+      let* () = disk_write Wal.log1 b2 in
+      let* () = disk_write Wal.flag_addr Wal.flag_committed in
+      let* () = disk_write Wal.data0 b1 in
+      let* () = disk_write Wal.data1 b2 in
+      let* () = disk_write Wal.flag_addr Wal.flag_empty in
+      P.write "buffer_clear" (fun w -> { w with buffer = [] })
+  in
+  let* () = unlock () in
+  P.return V.unit
+
+let read_prog : (world, V.t) P.t =
+  let* () = lock () in
+  let* buffered =
+    P.read "buffer_view" (fun w ->
+        match List.rev w.buffer with
+        | (a, b) :: _ -> V.some (V.pair (Block.to_value a) (Block.to_value b))
+        | [] -> V.none)
+  in
+  let* result =
+    match V.get_opt buffered with
+    | Some pair -> P.return pair
+    | None ->
+      let* v1 = disk_read Wal.data0 in
+      let* v2 = disk_read Wal.data1 in
+      P.return (V.pair v1 v2)
+  in
+  let* () = unlock () in
+  P.return result
+
+(** Same recovery as the WAL: replay a committed flush. *)
+let recover_prog : (world, V.t) P.t =
+  let* f = disk_read Wal.flag_addr in
+  if Block.equal (Block.of_value f) Wal.flag_committed then
+    let* l1 = disk_read Wal.log0 in
+    let* l2 = disk_read Wal.log1 in
+    let* () = disk_write Wal.data0 (Block.of_value l1) in
+    let* () = disk_write Wal.data1 (Block.of_value l2) in
+    let* () = disk_write Wal.flag_addr Wal.flag_empty in
+    P.return V.unit
+  else P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Checker configuration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_call v1 v2 = (Spec.call "gc_write" [ v1; v2 ], write_prog v1 v2)
+let flush_call = (Spec.call "gc_flush" [], flush_prog)
+let read_call = (Spec.call "gc_read" [], read_prog)
+
+let checker_config ?(spec = spec) ?(max_crashes = 1) threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec ~init_world:(init_world ())
+    ~crash_world ~pp_world ~threads ~recovery:recover_prog
+    ~post:[ read_call ] ~max_crashes ()

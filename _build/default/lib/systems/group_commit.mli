@@ -1,0 +1,59 @@
+(** Group commit (§9.1): transactions buffer in memory and flush to the
+    write-ahead log in batches.  The price shows in the specification: the
+    crash transition drops the pending list — "specifies when transactions
+    can be lost". *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+
+(** {1 Specification} *)
+
+type state = {
+  durable : Disk.Block.t * Disk.Block.t;
+  pending : (Disk.Block.t * Disk.Block.t) list;  (** newest last *)
+}
+
+val view : state -> Disk.Block.t * Disk.Block.t
+(** The pair a reader observes: the newest pending write, else durable. *)
+
+val spec : state Spec.t
+(** Crash drops [pending]. *)
+
+val strict_spec : state Spec.t
+(** The wrong-for-group-commit crash spec (nothing is ever lost); the
+    checker must reject the implementation against it — the experiment
+    showing why the spec must admit loss. *)
+
+(** {1 World and implementation} *)
+
+type world = {
+  disk : Disk.Single_disk.t;
+  buffer : (Disk.Block.t * Disk.Block.t) list;  (** volatile, newest last *)
+  locks : Disk.Locks.t;
+}
+
+val init_world : unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+val write_prog : V.t -> V.t -> (world, V.t) P.t
+(** Buffer only; acknowledged before anything is durable. *)
+
+val flush_prog : (world, V.t) P.t
+(** Commit the buffer as one WAL transaction installing the newest pair. *)
+
+val read_prog : (world, V.t) P.t
+val recover_prog : (world, V.t) P.t
+
+(** {1 Checker plumbing} *)
+
+val write_call : V.t -> V.t -> Spec.call * (world, V.t) P.t
+val flush_call : Spec.call * (world, V.t) P.t
+val read_call : Spec.call * (world, V.t) P.t
+
+val checker_config :
+  ?spec:state Spec.t ->
+  ?max_crashes:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config

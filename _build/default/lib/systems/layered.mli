@@ -1,0 +1,34 @@
+(** Composition study: the write-ahead log layered over the replicated
+    disk, with hand-chained recoveries (inner repair first, then log
+    replay) — probing the paper's §1 layering limitation.  Tolerates a
+    crash at any step plus one disk failure. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+
+type world = { disks : Disk.Two_disk.t; locks : Disk.Locks.t }
+
+val init_world : ?may_fail:bool -> unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+val read_prog : (world, V.t) P.t
+val write_prog : V.t -> V.t -> (world, V.t) P.t
+val recover_prog : (world, V.t) P.t
+(** [rd_recover] then [wal_recover] — recovery chaining by hand. *)
+
+val read_call : Spec.call * (world, V.t) P.t
+val write_call : V.t -> V.t -> Spec.call * (world, V.t) P.t
+
+val checker_config :
+  ?may_fail:bool ->
+  ?max_crashes:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, Wal.state) Perennial_core.Refinement.config
+
+module Buggy : sig
+  val recover_rd_only : (world, V.t) P.t
+  (** Re-mirrors the disks but never replays the log: a transaction that
+      crashed mid-apply stays torn. *)
+end

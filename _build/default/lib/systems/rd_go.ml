@@ -1,0 +1,43 @@
+(** The replicated disk in Goose source — the paper's Figures 4 and 5 as runnable code.  Generated from examples/goose/replicated_disk.go (the canonical file). *)
+
+let source = {goo|
+package rdgo
+
+import (
+	"sync"
+	"twodisk"
+)
+
+// The paper's Figure 4, as runnable Goose: a per-address lock guards the
+// two mirrored writes; reads fail over from disk 1 to disk 2.
+
+func Read(a uint64) string {
+	sync.Lock(a)
+	v, ok := twodisk.Read(1, a)
+	if !ok {
+		v2, _ := twodisk.Read(2, a)
+		v = v2
+	}
+	sync.Unlock(a)
+	return string(v)
+}
+
+func Write(a uint64, v []byte) {
+	sync.Lock(a)
+	twodisk.Write(1, a, v)
+	twodisk.Write(2, a, v)
+	sync.Unlock(a)
+}
+
+// The paper's Figure 5: recovery copies disk 1 onto disk 2, completing any
+// write the crash interrupted.
+func Recover() {
+	size := twodisk.Size()
+	for a := 0; a < size; a = a + 1 {
+		v, ok := twodisk.Read(1, a)
+		if ok {
+			twodisk.Write(2, a, v)
+		}
+	}
+}
+|goo}

@@ -1,0 +1,186 @@
+(** The Perennial proof of the replicated disk, as checkable outlines.
+
+    This is the OCaml rendering of the Coq proof sketched through §5 of the
+    paper, instantiated per disk address:
+
+    - the {e lock invariant} for address [a] holds the two recovery leases
+      and forces their values to agree: [∃v. lease(d1[a],v) ∗ lease(d2[a],v)];
+    - the {e crash invariant} for address [a] is the paper's §5.4 assertion:
+      either the disks agree and match the abstract state, or they differ,
+      the abstract state matches disk 2 (the not-yet-completed write), and a
+      helping token [j ⤇ rd_write(a, v1)] is stored for recovery;
+    - [rd_write]'s outline opens the crash invariant once per physical disk
+      write, deposits its own token after the first write, simulates its
+      operation at the second (the linearization point) — after a classical
+      case split on whether the written value equals the old one, which
+      picks the matching invariant disjunct;
+    - [rd_recover]'s outline synthesizes fresh leases from the master
+      copies (the version-bump rule), copies disk 1 to disk 2, and uses the
+      stored helping token to simulate the interrupted write. *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module Pu = Seplogic.Pure
+module O = Perennial_core.Outline
+module V = Tslang.Value
+
+let loc1 a = Printf.sprintf "d1[%d]" a
+let loc2 a = Printf.sprintf "d2[%d]" a
+let cell a = string_of_int a
+
+(* --- symbolic spec operations --- *)
+
+let concrete_addr = function
+  | Sv.Const (V.Int a) -> Ok a
+  | sv -> Error (Fmt.str "address must be concrete in outline instantiation, got %a" Sv.pp sv)
+
+let rd_read_op : O.sym_op =
+  {
+    O.op_name = "rd_read";
+    sym_apply =
+      (fun ~lookup args ->
+        match args with
+        | [ addr ] -> (
+          match concrete_addr addr with
+          | Error e -> Error e
+          | Ok a -> (
+            match lookup (cell a) with
+            | Some v -> Ok ([], v)
+            | None -> Error (Fmt.str "σ[%d] not at hand" a)))
+        | _ -> Error "rd_read expects one argument");
+  }
+
+let rd_write_op : O.sym_op =
+  {
+    O.op_name = "rd_write";
+    sym_apply =
+      (fun ~lookup:_ args ->
+        match args with
+        | [ addr; v ] -> (
+          match concrete_addr addr with
+          | Error e -> Error e
+          | Ok a -> Ok ([ (cell a, v) ], Sv.unit))
+        | _ -> Error "rd_write expects two arguments");
+  }
+
+(* --- invariants --- *)
+
+let lock_inv a : A.t =
+  [ A.heap [ A.lease (loc1 a) (Sv.var "v"); A.lease (loc2 a) (Sv.var "v") ] ]
+
+(** §5.4: "for every disk address a where disk 1 has value v1 and disk 2 has
+    value v2, if v1 ≠ v2, then j ⤇ Write(a, v1)"; the abstract state tracks
+    disk 2 (the last *completed* write). *)
+let crash_inv a : A.t =
+  [
+    A.heap
+      ~pures:[]
+      [ A.master (loc1 a) (Sv.var "w"); A.master (loc2 a) (Sv.var "w");
+        A.spec_cell (cell a) (Sv.var "w") ];
+    A.heap
+      ~pures:[ Pu.neq (Sv.var "w1") (Sv.var "w2") ]
+      [ A.master (loc1 a) (Sv.var "w1"); A.master (loc2 a) (Sv.var "w2");
+        A.spec_cell (cell a) (Sv.var "w2");
+        A.spec_tok (Sv.var "jh") "rd_write" [ Sv.int a; Sv.var "w1" ] ];
+  ]
+
+let cinv_name a = Printf.sprintf "c%d" a
+
+let system size : O.system =
+  let addrs = List.init size Fun.id in
+  {
+    O.sys_name = "replicated-disk";
+    ops = [ rd_read_op; rd_write_op ];
+    crash_cells = (fun ~lookup:_ -> [] (* crash loses nothing *));
+    lock_invs = List.map (fun a -> (a, lock_inv a)) addrs;
+    crash_invs = List.map (fun a -> (cinv_name a, crash_inv a)) addrs;
+  }
+
+(* --- operation outlines --- *)
+
+(** rd_read(a): lock, read disk 1, simulate at the read (linearization
+    point), unlock, return the value read. *)
+let read_outline a : O.op_outline =
+  {
+    O.o_op = "rd_read";
+    o_args = [ Sv.int a ];
+    o_ret = Sv.var "r";
+    o_body =
+      [
+        O.Acquire a;
+        O.Read_durable { loc = loc1 a; bind = "x" };
+        O.Open_inv
+          {
+            name = cinv_name a;
+            body = [ O.Simulate { op = "rd_read"; args = [ Sv.int a ]; bind_ret = "r" } ];
+          };
+        O.Release a;
+      ];
+  }
+
+(** rd_write(a, v): lock; write disk 1 (depositing the helping token into
+    the crash invariant when the value changes); write disk 2 and simulate
+    (the linearization point); unlock. *)
+let write_outline a : O.op_outline =
+  {
+    O.o_op = "rd_write";
+    o_args = [ Sv.int a; Sv.var "v" ];
+    o_ret = Sv.unit;
+    o_body =
+      [
+        O.Acquire a;
+        O.Read_durable { loc = loc1 a; bind = "old" };
+        O.Case_eq (Sv.var "v", Sv.var "old");
+        O.Open_inv
+          { name = cinv_name a; body = [ O.Write_durable { loc = loc1 a; value = Sv.var "v" } ] };
+        O.Open_inv
+          {
+            name = cinv_name a;
+            body =
+              [
+                O.Write_durable { loc = loc2 a; value = Sv.var "v" };
+                O.Simulate
+                  { op = "rd_write"; args = [ Sv.int a; Sv.var "v" ]; bind_ret = "r" };
+              ];
+          };
+        O.Release a;
+      ];
+  }
+
+(* --- recovery outline --- *)
+
+(** rd_recover: per address — synthesize fresh leases from the masters
+    (§5.3's crash rule), read disk 1, copy onto disk 2; if a helping token
+    is stored (the crash interrupted a write), simulate it (§5.4). *)
+let recover_addr a : O.cmd list =
+  [
+    O.Synthesize (loc1 a);
+    O.Synthesize (loc2 a);
+    O.Read_durable { loc = loc1 a; bind = Printf.sprintf "r%d" a };
+    O.Atomic
+      [
+        O.Choice
+          [
+            [
+              O.Write_durable { loc = loc2 a; value = Sv.var (Printf.sprintf "r%d" a) };
+              O.Simulate
+                {
+                  op = "rd_write";
+                  args = [ Sv.int a; Sv.var (Printf.sprintf "r%d" a) ];
+                  bind_ret = Printf.sprintf "hr%d" a;
+                };
+            ];
+            [ O.Write_durable { loc = loc2 a; value = Sv.var (Printf.sprintf "r%d" a) } ];
+          ];
+      ];
+  ]
+
+let recovery_outline size : O.recovery_outline =
+  { O.r_body = List.concat_map recover_addr (List.init size Fun.id) @ [ O.Crash_step ] }
+
+(** The full Theorem-2 premise bundle for a [size]-address replicated disk. *)
+let check size =
+  O.check_system (system size)
+    ~op_outlines:
+      (List.concat_map (fun a -> [ read_outline a; write_outline a ]) (List.init size Fun.id))
+    ~recovery:(recovery_outline size)

@@ -1,0 +1,24 @@
+(** The Perennial proof of the replicated disk, as checkable outlines — the
+    OCaml rendering of the Coq proof sketched through §5, instantiated per
+    disk address.  The crash invariant is §5.4's: either the disks agree
+    and match the abstract state, or they differ, the abstract state
+    matches disk 2, and a helping token [j ⤇ rd_write(a, v1)] is stored
+    for recovery. *)
+
+module O := Perennial_core.Outline
+
+val lock_inv : int -> Seplogic.Assertion.t
+val crash_inv : int -> Seplogic.Assertion.t
+val cinv_name : int -> string
+
+val system : int -> O.system
+(** [system size]: per-address locks and crash invariants for addresses
+    [0 .. size-1]. *)
+
+val read_outline : int -> O.op_outline
+val write_outline : int -> O.op_outline
+val recover_addr : int -> O.cmd list
+val recovery_outline : int -> O.recovery_outline
+
+val check : int -> (string * O.result) list
+(** The full Theorem-2 premise bundle for a [size]-address disk. *)

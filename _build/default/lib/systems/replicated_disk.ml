@@ -1,0 +1,206 @@
+(** The replicated disk (paper §1, §3, Figures 3-5): two physical disks that
+    together behave as one logical disk, tolerating one disk failure, with a
+    per-address lock for linearizability and a recovery procedure that copies
+    disk 1 onto disk 2 to complete interrupted writes.
+
+    [spec] is the paper's Figure 3 verbatim; [read_prog]/[write_prog]
+    are Figure 4 and [recover_prog] Figure 5.  The [Buggy] submodule
+    contains deliberately broken variants that the refinement checker must
+    reject (experiment E7). *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+module IMap = Map.Make (Int)
+
+let d1 = Disk.Two_disk.D1
+let d2 = Disk.Two_disk.D2
+
+(* ------------------------------------------------------------------ *)
+(* Specification (Figure 3)                                            *)
+(* ------------------------------------------------------------------ *)
+
+type state = Block.t IMap.t
+
+let spec_init size : state =
+  List.init size (fun a -> (a, Block.zero)) |> List.to_seq |> IMap.of_seq
+
+let spec size : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "replicated-disk";
+    init = spec_init size;
+    compare_state = IMap.compare Block.compare;
+    pp_state =
+      (fun ppf st ->
+        Fmt.pf ppf "{%a}"
+          (Fmt.list ~sep:Fmt.comma (fun ppf (a, b) -> Fmt.pf ppf "%d:%a" a Block.pp b))
+          (IMap.bindings st));
+    step =
+      (fun op args ->
+        match op, args with
+        | "rd_read", [ V.Int a ] ->
+          let* mv = T.gets (IMap.find_opt a) in
+          (match mv with
+          | Some v -> T.ret (Block.to_value v)
+          | None -> T.undefined)
+        | "rd_write", [ V.Int a; v ] ->
+          let* mv = T.gets (IMap.find_opt a) in
+          (match mv with
+          | Some _ ->
+            let* () = T.modify (IMap.add a (Block.of_value v)) in
+            T.ret V.unit
+          | None -> T.undefined)
+        | _ -> invalid_arg "replicated-disk spec: unknown op");
+    crash = T.ret () (* no data is lost on crash *);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World: two disks + per-address locks                                *)
+(* ------------------------------------------------------------------ *)
+
+type world = { disks : Disk.Two_disk.t; locks : Disk.Locks.t }
+
+let init_world ?(may_fail = false) size =
+  { disks = Disk.Two_disk.init ~may_fail size; locks = Disk.Locks.empty }
+
+(* Volatile locks clear on crash; disks persist. *)
+let crash_world w = { disks = Disk.Two_disk.crash w.disks; locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  Fmt.pf ppf "%a %a" Disk.Two_disk.pp w.disks Disk.Locks.pp w.locks
+
+let get_disks w = w.disks
+let set_disks w disks = { w with disks }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let lock a = Disk.Locks.acquire ~get:get_locks ~set:set_locks a
+let unlock a = Disk.Locks.release ~get:get_locks ~set:set_locks a
+
+let disk_read id a = Disk.Two_disk.read ~get:get_disks ~set:set_disks id a
+let disk_write id a b = Disk.Two_disk.write ~get:get_disks ~set:set_disks id a b
+
+(* ------------------------------------------------------------------ *)
+(* Implementation (Figure 4)                                           *)
+(* ------------------------------------------------------------------ *)
+
+open P.Syntax
+
+(* func rd_read(a): lock; v, ok := read(d1, a); if !ok { v = read(d2, a) };
+   unlock; return v *)
+let read_prog a : (world, V.t) P.t =
+  let* () = lock a in
+  let* r1 = disk_read d1 a in
+  let* v =
+    match V.get_opt r1 with
+    | Some v -> P.return v
+    | None ->
+      (* disk 1 failed: fall back to disk 2, which cannot also have failed *)
+      let* r2 = disk_read d2 a in
+      (match V.get_opt r2 with
+      | Some v -> P.return v
+      | None -> P.ub "both disks failed")
+  in
+  let* () = unlock a in
+  P.return v
+
+(* func rd_write(a, v): lock; write(d1, a, v); write(d2, a, v); unlock *)
+let write_prog a v : (world, V.t) P.t =
+  let b = Block.of_value v in
+  let* () = lock a in
+  let* () = disk_write d1 a b in
+  let* () = disk_write d2 a b in
+  let* () = unlock a in
+  P.return V.unit
+
+(* func rd_recover(): for a := range disk { v, ok := read(d1, a);
+   if ok { write(d2, a, v) } } (Figure 5) *)
+let recover_prog size : (world, V.t) P.t =
+  let rec loop a =
+    if a >= size then P.return V.unit
+    else
+      let* r1 = disk_read d1 a in
+      match V.get_opt r1 with
+      | Some v ->
+        let* () = disk_write d2 a (Block.of_value v) in
+        loop (a + 1)
+      | None -> loop (a + 1)
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Calls and checker configuration                                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_call a = (Spec.call "rd_read" [ V.int a ], read_prog a)
+let write_call a v = (Spec.call "rd_write" [ V.int a; v ], write_prog a v)
+
+(** Probe: read an address twice, so that a disk-1 failure between the two
+    reads exposes any divergence between the disks. *)
+let probe size =
+  List.concat_map (fun a -> [ read_call a; read_call a ]) (List.init size Fun.id)
+
+let checker_config ?(may_fail = true) ?(max_crashes = 1) ~size threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec:(spec size)
+    ~init_world:(init_world ~may_fail size)
+    ~crash_world ~pp_world ~threads ~recovery:(recover_prog size)
+    ~post:(probe size) ~max_crashes ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs (experiment E7, §9.5)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** No recovery at all: a crash between the two disk writes leaves the
+      disks diverged forever. *)
+  let recover_nop : (world, V.t) P.t = P.return V.unit
+
+  (** "Zero both disks to make them agree": reverts completed writes,
+      violating durability. *)
+  let recover_zero size : (world, V.t) P.t =
+    let rec loop a =
+      if a >= size then P.return V.unit
+      else
+        let* () = disk_write d1 a Block.zero in
+        let* () = disk_write d2 a Block.zero in
+        loop (a + 1)
+    in
+    loop 0
+
+  (** Recovery that only repairs address 0, missing divergence elsewhere. *)
+  let recover_partial _size : (world, V.t) P.t =
+    let* r1 = disk_read d1 0 in
+    match V.get_opt r1 with
+    | Some v ->
+      let* () = disk_write d2 0 (Block.of_value v) in
+      P.return V.unit
+    | None -> P.return V.unit
+
+  (** Write without taking the per-address lock: two concurrent writers can
+      install different orders on the two disks. *)
+  let write_prog_unlocked a v : (world, V.t) P.t =
+    let b = Block.of_value v in
+    let* () = disk_write d1 a b in
+    let* () = disk_write d2 a b in
+    P.return V.unit
+
+  let write_call_unlocked a v =
+    (Spec.call "rd_write" [ V.int a; v ], write_prog_unlocked a v)
+
+  (** Write that releases the lock between the two disk writes: the lock no
+      longer covers the critical section. *)
+  let write_prog_early_unlock a v : (world, V.t) P.t =
+    let b = Block.of_value v in
+    let* () = lock a in
+    let* () = disk_write d1 a b in
+    let* () = unlock a in
+    let* () = disk_write d2 a b in
+    P.return V.unit
+
+  let write_call_early_unlock a v =
+    (Spec.call "rd_write" [ V.int a; v ], write_prog_early_unlock a v)
+end

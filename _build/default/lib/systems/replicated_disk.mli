@@ -1,0 +1,68 @@
+(** The replicated disk (paper §1, §3, Figures 3-5): two physical disks that
+    behave as one logical disk, tolerating one disk failure, with per-address
+    locks for linearizability and a recovery procedure that copies disk 1
+    onto disk 2 to complete interrupted writes.
+
+    [spec] is Figure 3; [read_prog]/[write_prog] are Figure 4;
+    [recover_prog] is Figure 5.  [Buggy] holds the deliberately broken
+    variants the checkers must reject (experiment E7). *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+module IMap := Map.Make (Int)
+
+(** {1 Specification (Figure 3)} *)
+
+type state = Disk.Block.t IMap.t
+
+val spec_init : int -> state
+val spec : int -> state Spec.t
+
+(** {1 World} *)
+
+type world = { disks : Disk.Two_disk.t; locks : Disk.Locks.t }
+
+val init_world : ?may_fail:bool -> int -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+val lock : int -> (world, unit) P.t
+val unlock : int -> (world, unit) P.t
+
+(** {1 Implementation (Figures 4-5)} *)
+
+val read_prog : int -> (world, V.t) P.t
+val write_prog : int -> V.t -> (world, V.t) P.t
+val recover_prog : int -> (world, V.t) P.t
+(** [recover_prog size] copies every in-bounds block from disk 1 to disk 2. *)
+
+(** {1 Checker plumbing} *)
+
+val read_call : int -> Spec.call * (world, V.t) P.t
+val write_call : int -> V.t -> Spec.call * (world, V.t) P.t
+
+val probe : int -> (Spec.call * (world, V.t) P.t) list
+(** Read every address twice, so a disk-1 failure between the reads exposes
+    any divergence between the disks. *)
+
+val checker_config :
+  ?may_fail:bool ->
+  ?max_crashes:int ->
+  size:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+(** {1 Seeded bugs (E7, §9.5)} *)
+
+module Buggy : sig
+  val recover_nop : (world, V.t) P.t
+  val recover_zero : int -> (world, V.t) P.t
+  (** The §1 example of wrong recovery: zero both disks. *)
+
+  val recover_partial : int -> (world, V.t) P.t
+  val write_prog_unlocked : int -> V.t -> (world, V.t) P.t
+  val write_call_unlocked : int -> V.t -> Spec.call * (world, V.t) P.t
+  val write_prog_early_unlock : int -> V.t -> (world, V.t) P.t
+  val write_call_early_unlock : int -> V.t -> Spec.call * (world, V.t) P.t
+end

@@ -1,0 +1,154 @@
+(** Shadow copy (§9.1): atomic update of a *pair* of disk blocks by writing
+    the new pair into an inactive area and then atomically flipping a
+    pointer block.  A crash before the flip leaves the old pair visible; the
+    flip itself is one atomic block write, so no recovery work is needed —
+    the shadow area is simply garbage.
+
+    Disk layout (5 blocks):
+    - blocks 0,1: pair area A
+    - blocks 2,3: pair area B
+    - block 4:    pointer, ["A"] or ["B"] — which area is current *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+
+let disk_size = 5
+let ptr_addr = 4
+let area_base = function "A" -> 0 | "B" -> 2 | _ -> invalid_arg "area"
+let other_area = function "A" -> "B" | "B" -> "A" | _ -> invalid_arg "area"
+
+(* ------------------------------------------------------------------ *)
+(* Specification: an atomic pair                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = Block.t * Block.t
+
+let spec : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "shadow-copy";
+    init = (Block.zero, Block.zero);
+    compare_state =
+      (fun (a1, b1) (a2, b2) ->
+        let c = Block.compare a1 a2 in
+        if c <> 0 then c else Block.compare b1 b2);
+    pp_state = (fun ppf (a, b) -> Fmt.pf ppf "(%a, %a)" Block.pp a Block.pp b);
+    step =
+      (fun op args ->
+        match op, args with
+        | "pair_read", [] ->
+          let* (a, b) = T.reads in
+          T.ret (V.pair (Block.to_value a) (Block.to_value b))
+        | "pair_write", [ v1; v2 ] ->
+          let* () = T.puts (Block.of_value v1, Block.of_value v2) in
+          T.ret V.unit
+        | _ -> invalid_arg "shadow-copy spec: unknown op");
+    crash = T.ret ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World and implementation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type world = { disk : Disk.Single_disk.t; locks : Disk.Locks.t }
+
+let init_world () =
+  let disk = Disk.Single_disk.init disk_size in
+  let disk = Disk.Single_disk.set disk ptr_addr (Block.of_string "A") in
+  { disk; locks = Disk.Locks.empty }
+
+let crash_world w = { w with locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  Fmt.pf ppf "%a %a" Disk.Single_disk.pp w.disk Disk.Locks.pp w.locks
+
+let get_disk w = w.disk
+let set_disk w disk = { w with disk }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let the_lock = 0
+let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
+let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
+let disk_read a = Disk.Single_disk.read ~get_disk a
+let disk_write a b = Disk.Single_disk.write ~get_disk ~set_disk a b
+
+open P.Syntax
+
+let read_prog : (world, V.t) P.t =
+  let* () = lock () in
+  let* p = disk_read ptr_addr in
+  let base = area_base (Block.of_value p |> Block.to_string) in
+  let* v1 = disk_read base in
+  let* v2 = disk_read (base + 1) in
+  let* () = unlock () in
+  P.return (V.pair v1 v2)
+
+let write_prog v1 v2 : (world, V.t) P.t =
+  let* () = lock () in
+  let* p = disk_read ptr_addr in
+  let cur = Block.of_value p |> Block.to_string in
+  let shadow = other_area cur in
+  let base = area_base shadow in
+  let* () = disk_write base (Block.of_value v1) in
+  let* () = disk_write (base + 1) (Block.of_value v2) in
+  (* the commit point: one atomic block write flips the current area *)
+  let* () = disk_write ptr_addr (Block.of_string shadow) in
+  let* () = unlock () in
+  P.return V.unit
+
+(* Shadow copies need no recovery: an unflipped shadow area is invisible. *)
+let recover_prog : (world, V.t) P.t = P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Checker configuration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_call = (Spec.call "pair_read" [], read_prog)
+let write_call v1 v2 = (Spec.call "pair_write" [ v1; v2 ], write_prog v1 v2)
+
+let checker_config ?(max_crashes = 1) threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec ~init_world:(init_world ())
+    ~crash_world ~pp_world ~threads ~recovery:recover_prog
+    ~post:[ read_call ] ~max_crashes ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** Update the pair in place: a crash between the two writes exposes a
+      torn pair. *)
+  let write_in_place v1 v2 : (world, V.t) P.t =
+    let* () = lock () in
+    let* p = disk_read ptr_addr in
+    let base = area_base (Block.of_value p |> Block.to_string) in
+    let* () = disk_write base (Block.of_value v1) in
+    let* () = disk_write (base + 1) (Block.of_value v2) in
+    let* () = unlock () in
+    P.return V.unit
+
+  let write_call_in_place v1 v2 =
+    (Spec.call "pair_write" [ v1; v2 ], write_in_place v1 v2)
+
+  (** Flip the pointer before filling the shadow area: readers (and crash
+      states) see a half-written pair. *)
+  let write_flip_first v1 v2 : (world, V.t) P.t =
+    let* () = lock () in
+    let* p = disk_read ptr_addr in
+    let cur = Block.of_value p |> Block.to_string in
+    let shadow = other_area cur in
+    let base = area_base shadow in
+    let* () = disk_write ptr_addr (Block.of_string shadow) in
+    let* () = disk_write base (Block.of_value v1) in
+    let* () = disk_write (base + 1) (Block.of_value v2) in
+    let* () = unlock () in
+    P.return V.unit
+
+  let write_call_flip_first v1 v2 =
+    (Spec.call "pair_write" [ v1; v2 ], write_flip_first v1 v2)
+end

@@ -1,0 +1,53 @@
+(** Shadow copy (§9.1): atomic update of a pair of disk blocks by filling an
+    inactive area and atomically flipping a pointer block.  A crash before
+    the flip leaves the old pair visible; no recovery work is needed.
+
+    Disk layout (5 blocks): area A at 0-1, area B at 2-3, pointer at 4. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+
+val disk_size : int
+val ptr_addr : int
+val area_base : string -> int
+val other_area : string -> string
+
+(** {1 Specification: an atomic pair} *)
+
+type state = Disk.Block.t * Disk.Block.t
+
+val spec : state Spec.t
+
+(** {1 World and implementation} *)
+
+type world = { disk : Disk.Single_disk.t; locks : Disk.Locks.t }
+
+val init_world : unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+
+val read_prog : (world, V.t) P.t
+val write_prog : V.t -> V.t -> (world, V.t) P.t
+
+val recover_prog : (world, V.t) P.t
+(** A no-op: an unflipped shadow area is invisible. *)
+
+(** {1 Checker plumbing} *)
+
+val read_call : Spec.call * (world, V.t) P.t
+val write_call : V.t -> V.t -> Spec.call * (world, V.t) P.t
+
+val checker_config :
+  ?max_crashes:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+(** {1 Seeded bugs} *)
+
+module Buggy : sig
+  val write_in_place : V.t -> V.t -> (world, V.t) P.t
+  val write_call_in_place : V.t -> V.t -> Spec.call * (world, V.t) P.t
+  val write_flip_first : V.t -> V.t -> (world, V.t) P.t
+  val write_call_flip_first : V.t -> V.t -> Spec.call * (world, V.t) P.t
+end

@@ -1,0 +1,161 @@
+(** The Perennial proof of the shadow-copy system, as checkable outlines.
+
+    The crash invariant has one disjunct per active area: the pointer block
+    holds ["A"] (resp. ["B"]) and the abstract pair equals that area's
+    blocks; the other area is unconstrained — that is what makes filling
+    the shadow crash-safe without any recovery work.
+
+    The write outline reads the pointer, case-splits on its value (which
+    cuts the wrong invariant disjunct by constant disagreement), fills the
+    shadow area one block per invariant opening, and simulates the
+    operation at the pointer flip — the commit point.  Recovery is a no-op
+    up to lease synthesis and the spec crash step: the paper's "if the
+    system crashes, the shadow copy is invisible". *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module O = Perennial_core.Outline
+
+let l_ptr = "ptr"
+let l_a0 = "a0"
+let l_a1 = "a1"
+let l_b0 = "b0"
+let l_b1 = "b1"
+let c_p0 = "p0"
+let c_p1 = "p1"
+let s_a = Sv.str "A"
+let s_b = Sv.str "B"
+
+let pair_read_op : O.sym_op =
+  {
+    O.op_name = "pair_read";
+    sym_apply =
+      (fun ~lookup args ->
+        match args with
+        | [] -> (
+          match lookup c_p0, lookup c_p1 with
+          | Some a, Some b -> Ok ([], Sv.pair a b)
+          | _ -> Error "abstract pair not at hand")
+        | _ -> Error "pair_read takes no arguments");
+  }
+
+let pair_write_op : O.sym_op =
+  {
+    O.op_name = "pair_write";
+    sym_apply =
+      (fun ~lookup:_ args ->
+        match args with
+        | [ v1; v2 ] -> Ok ([ (c_p0, v1); (c_p1, v2) ], Sv.unit)
+        | _ -> Error "pair_write expects two arguments");
+  }
+
+let lock_inv : A.t =
+  [
+    A.heap
+      [ A.lease l_ptr (Sv.var "p"); A.lease l_a0 (Sv.var "w"); A.lease l_a1 (Sv.var "x");
+        A.lease l_b0 (Sv.var "y"); A.lease l_b1 (Sv.var "z") ];
+  ]
+
+let crash_inv : A.t =
+  let area ptr_val active0 active1 =
+    A.heap
+      [ A.master l_ptr ptr_val;
+        A.master l_a0 (Sv.var "a0v"); A.master l_a1 (Sv.var "a1v");
+        A.master l_b0 (Sv.var "b0v"); A.master l_b1 (Sv.var "b1v");
+        A.spec_cell c_p0 active0; A.spec_cell c_p1 active1 ]
+  in
+  [ area s_a (Sv.var "a0v") (Sv.var "a1v"); area s_b (Sv.var "b0v") (Sv.var "b1v") ]
+
+let cinv = "shadow"
+let the_lock = 0
+
+let system : O.system =
+  {
+    O.sys_name = "shadow-copy";
+    ops = [ pair_read_op; pair_write_op ];
+    crash_cells = (fun ~lookup:_ -> []);
+    lock_invs = [ (the_lock, lock_inv) ];
+    crash_invs = [ (cinv, crash_inv) ];
+  }
+
+let read_outline : O.op_outline =
+  {
+    O.o_op = "pair_read";
+    o_args = [];
+    o_ret = Sv.pair (Sv.var "r0") (Sv.var "r1");
+    o_body =
+      [
+        O.Acquire the_lock;
+        O.Read_durable { loc = l_ptr; bind = "p" };
+        O.Case_eq (Sv.var "p", s_a);
+        (* both cases read "their" area; under the case split exactly one
+           alternative survives the invariant opening *)
+        O.Choice
+          [
+            [ O.Read_durable { loc = l_a0; bind = "r0" };
+              O.Read_durable { loc = l_a1; bind = "r1" };
+              O.Open_inv
+                { name = cinv;
+                  body = [ O.Simulate { op = "pair_read"; args = []; bind_ret = "r" } ] };
+              (* the values read must be the abstract pair — fails in the
+                 alternative that read the inactive area *)
+              O.Assert_eq (Sv.var "r", Sv.pair (Sv.var "r0") (Sv.var "r1")) ];
+            [ O.Read_durable { loc = l_b0; bind = "r0" };
+              O.Read_durable { loc = l_b1; bind = "r1" };
+              O.Open_inv
+                { name = cinv;
+                  body = [ O.Simulate { op = "pair_read"; args = []; bind_ret = "r" } ] };
+              O.Assert_eq (Sv.var "r", Sv.pair (Sv.var "r0") (Sv.var "r1")) ];
+          ];
+        O.Release the_lock;
+      ];
+  }
+
+(* Fill the named shadow area, then flip the pointer (the commit point,
+   where the operation simulates). *)
+let write_path shadow0 shadow1 new_ptr : O.cmd list =
+  [
+    O.Open_inv { name = cinv; body = [ O.Write_durable { loc = shadow0; value = Sv.var "v1" } ] };
+    O.Open_inv { name = cinv; body = [ O.Write_durable { loc = shadow1; value = Sv.var "v2" } ] };
+    O.Open_inv
+      {
+        name = cinv;
+        body =
+          [
+            O.Write_durable { loc = l_ptr; value = new_ptr };
+            O.Simulate
+              { op = "pair_write"; args = [ Sv.var "v1"; Sv.var "v2" ]; bind_ret = "r" };
+          ];
+      };
+  ]
+
+let write_outline : O.op_outline =
+  {
+    O.o_op = "pair_write";
+    o_args = [ Sv.var "v1"; Sv.var "v2" ];
+    o_ret = Sv.unit;
+    o_body =
+      [
+        O.Acquire the_lock;
+        O.Read_durable { loc = l_ptr; bind = "p" };
+        O.Case_eq (Sv.var "p", s_a);
+        O.Choice [ write_path l_b0 l_b1 s_b; write_path l_a0 l_a1 s_a ];
+        O.Release the_lock;
+      ];
+  }
+
+(** Recovery does no repair at all: synthesize fresh leases and take the
+    spec crash step.  The unflipped shadow area needs no cleanup. *)
+let recovery_outline : O.recovery_outline =
+  {
+    O.r_body =
+      [
+        O.Synthesize l_ptr; O.Synthesize l_a0; O.Synthesize l_a1;
+        O.Synthesize l_b0; O.Synthesize l_b1; O.Crash_step;
+      ];
+  }
+
+let check () =
+  O.check_system system
+    ~op_outlines:[ read_outline; write_outline ]
+    ~recovery:recovery_outline

@@ -1,0 +1,21 @@
+(** The Perennial proof of the shadow-copy system, as checkable outlines.
+    The crash invariant has one disjunct per active area; writes fill the
+    shadow and simulate at the pointer flip; recovery is a no-op up to
+    lease synthesis and the spec crash step. *)
+
+module O := Perennial_core.Outline
+module Sv := Seplogic.Sval
+
+val lock_inv : Seplogic.Assertion.t
+val crash_inv : Seplogic.Assertion.t
+val system : O.system
+val read_outline : O.op_outline
+val write_outline : O.op_outline
+
+val write_path : string -> string -> Sv.t -> O.cmd list
+(** [write_path shadow0 shadow1 new_ptr]: fill the named shadow area, then
+    flip the pointer with the simulation — exposed so tests can build
+    broken variants. *)
+
+val recovery_outline : O.recovery_outline
+val check : unit -> (string * O.result) list

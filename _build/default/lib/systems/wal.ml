@@ -1,0 +1,179 @@
+(** Write-ahead logging (§9.1): atomic update of a pair of disk blocks by
+    first writing the new values into a log, committing with one atomic
+    flag write, applying to the data area, and clearing the flag.  If a
+    crash strikes after commit but before the apply completes, recovery
+    replays the log — completing the interrupted transaction on behalf of
+    the crashed thread (recovery helping, §5.4).
+
+    Disk layout (5 blocks):
+    - blocks 0,1: data pair
+    - block 2:    commit flag, ["e"]mpty or ["c"]ommitted
+    - blocks 3,4: log entries *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+
+let disk_size = 5
+let data0 = 0
+let data1 = 1
+let flag_addr = 2
+let log0 = 3
+let log1 = 4
+let flag_empty = Block.of_string "e"
+let flag_committed = Block.of_string "c"
+
+(* ------------------------------------------------------------------ *)
+(* Specification: an atomic pair (same as shadow copy)                 *)
+(* ------------------------------------------------------------------ *)
+
+type state = Block.t * Block.t
+
+let spec : state Spec.t =
+  let open T.Syntax in
+  {
+    Spec.name = "write-ahead-log";
+    init = (Block.zero, Block.zero);
+    compare_state =
+      (fun (a1, b1) (a2, b2) ->
+        let c = Block.compare a1 a2 in
+        if c <> 0 then c else Block.compare b1 b2);
+    pp_state = (fun ppf (a, b) -> Fmt.pf ppf "(%a, %a)" Block.pp a Block.pp b);
+    step =
+      (fun op args ->
+        match op, args with
+        | "pair_read", [] ->
+          let* (a, b) = T.reads in
+          T.ret (V.pair (Block.to_value a) (Block.to_value b))
+        | "log_write", [ v1; v2 ] ->
+          let* () = T.puts (Block.of_value v1, Block.of_value v2) in
+          T.ret V.unit
+        | _ -> invalid_arg "wal spec: unknown op");
+    crash = T.ret ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* World and implementation                                             *)
+(* ------------------------------------------------------------------ *)
+
+type world = { disk : Disk.Single_disk.t; locks : Disk.Locks.t }
+
+let init_world () =
+  let disk = Disk.Single_disk.init disk_size in
+  let disk = Disk.Single_disk.set disk flag_addr flag_empty in
+  { disk; locks = Disk.Locks.empty }
+
+let crash_world w = { w with locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  Fmt.pf ppf "%a %a" Disk.Single_disk.pp w.disk Disk.Locks.pp w.locks
+
+let get_disk w = w.disk
+let set_disk w disk = { w with disk }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let the_lock = 0
+let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
+let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
+let disk_read a = Disk.Single_disk.read ~get_disk a
+let disk_write a b = Disk.Single_disk.write ~get_disk ~set_disk a b
+
+open P.Syntax
+
+let read_prog : (world, V.t) P.t =
+  let* () = lock () in
+  let* v1 = disk_read data0 in
+  let* v2 = disk_read data1 in
+  let* () = unlock () in
+  P.return (V.pair v1 v2)
+
+let write_prog v1 v2 : (world, V.t) P.t =
+  let b1 = Block.of_value v1 and b2 = Block.of_value v2 in
+  let* () = lock () in
+  let* () = disk_write log0 b1 in
+  let* () = disk_write log1 b2 in
+  (* the commit point: one atomic flag write *)
+  let* () = disk_write flag_addr flag_committed in
+  let* () = disk_write data0 b1 in
+  let* () = disk_write data1 b2 in
+  let* () = disk_write flag_addr flag_empty in
+  let* () = unlock () in
+  P.return V.unit
+
+(** Recovery replays a committed-but-unapplied transaction from the log —
+    the helping pattern: the crashed writer's operation completes here. *)
+let recover_prog : (world, V.t) P.t =
+  let* f = disk_read flag_addr in
+  if Block.equal (Block.of_value f) flag_committed then
+    let* l1 = disk_read log0 in
+    let* l2 = disk_read log1 in
+    let* () = disk_write data0 (Block.of_value l1) in
+    let* () = disk_write data1 (Block.of_value l2) in
+    let* () = disk_write flag_addr flag_empty in
+    P.return V.unit
+  else P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Checker configuration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_call = (Spec.call "pair_read" [], read_prog)
+let write_call v1 v2 = (Spec.call "log_write" [ v1; v2 ], write_prog v1 v2)
+
+let checker_config ?(max_crashes = 1) threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec ~init_world:(init_world ())
+    ~crash_world ~pp_world ~threads ~recovery:recover_prog
+    ~post:[ read_call ] ~max_crashes ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** Apply without logging first: a crash mid-apply tears the pair. *)
+  let write_no_log v1 v2 : (world, V.t) P.t =
+    let* () = lock () in
+    let* () = disk_write data0 (Block.of_value v1) in
+    let* () = disk_write data1 (Block.of_value v2) in
+    let* () = unlock () in
+    P.return V.unit
+
+  let write_call_no_log v1 v2 = (Spec.call "log_write" [ v1; v2 ], write_no_log v1 v2)
+
+  (** Set the commit flag before the log entries are written: recovery can
+      replay garbage. *)
+  let write_commit_first v1 v2 : (world, V.t) P.t =
+    let b1 = Block.of_value v1 and b2 = Block.of_value v2 in
+    let* () = lock () in
+    let* () = disk_write flag_addr flag_committed in
+    let* () = disk_write log0 b1 in
+    let* () = disk_write log1 b2 in
+    let* () = disk_write data0 b1 in
+    let* () = disk_write data1 b2 in
+    let* () = disk_write flag_addr flag_empty in
+    let* () = unlock () in
+    P.return V.unit
+
+  let write_call_commit_first v1 v2 =
+    (Spec.call "log_write" [ v1; v2 ], write_commit_first v1 v2)
+
+  (** Recovery that clears the flag before replaying: a crash between the
+      two recovery steps loses the committed transaction mid-apply. *)
+  let recover_clear_first : (world, V.t) P.t =
+    let* f = disk_read flag_addr in
+    if Block.equal (Block.of_value f) flag_committed then
+      let* () = disk_write flag_addr flag_empty in
+      let* l1 = disk_read log0 in
+      let* l2 = disk_read log1 in
+      let* () = disk_write data0 (Block.of_value l1) in
+      let* () = disk_write data1 (Block.of_value l2) in
+      P.return V.unit
+    else P.return V.unit
+
+  (** Recovery that ignores the log entirely. *)
+  let recover_nop : (world, V.t) P.t = P.return V.unit
+end

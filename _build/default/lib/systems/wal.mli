@@ -1,0 +1,59 @@
+(** Write-ahead logging (§9.1): atomic update of a pair of disk blocks via
+    log / commit-flag / apply / clear, with recovery replaying a committed-
+    but-unapplied transaction — the paper's recovery-helping example.
+
+    Disk layout (5 blocks): data pair at 0-1, commit flag at 2 (["e"] or
+    ["c"]), log entries at 3-4. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+
+val disk_size : int
+val data0 : int
+val data1 : int
+val flag_addr : int
+val log0 : int
+val log1 : int
+val flag_empty : Disk.Block.t
+val flag_committed : Disk.Block.t
+
+(** {1 Specification: an atomic pair} *)
+
+type state = Disk.Block.t * Disk.Block.t
+
+val spec : state Spec.t
+
+(** {1 World and implementation} *)
+
+type world = { disk : Disk.Single_disk.t; locks : Disk.Locks.t }
+
+val init_world : unit -> world
+val crash_world : world -> world
+val pp_world : world Fmt.t
+val get_disk : world -> Disk.Single_disk.t
+
+val read_prog : (world, V.t) P.t
+val write_prog : V.t -> V.t -> (world, V.t) P.t
+val recover_prog : (world, V.t) P.t
+
+(** {1 Checker plumbing} *)
+
+val read_call : Spec.call * (world, V.t) P.t
+val write_call : V.t -> V.t -> Spec.call * (world, V.t) P.t
+
+val checker_config :
+  ?max_crashes:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+(** {1 Seeded bugs} *)
+
+module Buggy : sig
+  val write_no_log : V.t -> V.t -> (world, V.t) P.t
+  val write_call_no_log : V.t -> V.t -> Spec.call * (world, V.t) P.t
+  val write_commit_first : V.t -> V.t -> (world, V.t) P.t
+  val write_call_commit_first : V.t -> V.t -> Spec.call * (world, V.t) P.t
+  val recover_clear_first : (world, V.t) P.t
+  val recover_nop : (world, V.t) P.t
+end

@@ -1,0 +1,45 @@
+(** The write-ahead log in Goose source, using the [disk] package — the §9.1 example expressed the way the paper's later artifacts are.  Generated from examples/goose/wal.go (the canonical file). *)
+
+let source = {goo|
+package walgo
+
+import (
+	"disk"
+	"sync"
+)
+
+// Write commits the pair (v1, v2) atomically: log, commit flag, apply,
+// clear.  The flag write at block 2 is the commit point.
+func Write(v1 []byte, v2 []byte) {
+	sync.Lock(0)
+	disk.Write(3, v1)
+	disk.Write(4, v2)
+	disk.Write(2, []byte("c"))
+	disk.Write(0, v1)
+	disk.Write(1, v2)
+	disk.Write(2, []byte("e"))
+	sync.Unlock(0)
+}
+
+// Read returns the current pair.
+func Read() (string, string) {
+	sync.Lock(0)
+	a := disk.Read(0)
+	b := disk.Read(1)
+	sync.Unlock(0)
+	return string(a), string(b)
+}
+
+// Recover replays a committed-but-unapplied transaction from the log —
+// completing the crashed writer's operation (recovery helping, §5.4).
+func Recover() {
+	f := disk.Read(2)
+	if string(f) == "c" {
+		a := disk.Read(3)
+		b := disk.Read(4)
+		disk.Write(0, a)
+		disk.Write(1, b)
+		disk.Write(2, []byte("e"))
+	}
+}
+|goo}

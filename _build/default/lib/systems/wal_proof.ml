@@ -1,0 +1,192 @@
+(** The Perennial proof of the write-ahead log, as checkable outlines.
+
+    This is the proof the paper highlights for recovery helping (§9.1): a
+    transaction deposits its [j ⤇ log_write(v1,v2)] token into the crash
+    invariant when it sets the commit flag, and whoever clears the flag —
+    the writer itself, or recovery after a crash — simulates the operation.
+
+    The crash invariant has four disjuncts tracking the commit protocol:
+    - [E]   flag "e": the data pair matches the abstract state;
+    - [C0]  flag "c": log holds (l0,l1), a helping token is stored, the
+            data pair is untouched and still matches the abstract state;
+    - [C1]  as [C0] but data block 0 already carries l0;
+    - [C2]  as [C0] but both data blocks carry the log values.
+
+    The lock invariant additionally pins the flag to "e" whenever the lock
+    is free, which is what lets every outline cut the impossible disjuncts
+    by constant disagreement — no [Case_eq] needed here. *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module Pu = Seplogic.Pure
+module O = Perennial_core.Outline
+module V = Tslang.Value
+
+let l_data0 = "data0"
+let l_data1 = "data1"
+let l_flag = "flag"
+let l_log0 = "log0"
+let l_log1 = "log1"
+let c_p0 = "p0"
+let c_p1 = "p1"
+let s_e = Sv.str "e"
+let s_c = Sv.str "c"
+
+(* --- symbolic spec operations --- *)
+
+let pair_read_op : O.sym_op =
+  {
+    O.op_name = "pair_read";
+    sym_apply =
+      (fun ~lookup args ->
+        match args with
+        | [] -> (
+          match lookup c_p0, lookup c_p1 with
+          | Some a, Some b -> Ok ([], Sv.pair a b)
+          | _ -> Error "abstract pair not at hand")
+        | _ -> Error "pair_read takes no arguments");
+  }
+
+let log_write_op : O.sym_op =
+  {
+    O.op_name = "log_write";
+    sym_apply =
+      (fun ~lookup:_ args ->
+        match args with
+        | [ v1; v2 ] -> Ok ([ (c_p0, v1); (c_p1, v2) ], Sv.unit)
+        | _ -> Error "log_write expects two arguments");
+  }
+
+(* --- invariants --- *)
+
+(** When the lock is free the flag is "e" and the holder-to-be gets leases
+    on all five blocks. *)
+let lock_inv : A.t =
+  [
+    A.heap
+      [ A.lease l_data0 (Sv.var "a"); A.lease l_data1 (Sv.var "b");
+        A.lease l_flag s_e; A.lease l_log0 (Sv.var "c"); A.lease l_log1 (Sv.var "d") ];
+  ]
+
+let crash_inv : A.t =
+  let masters flag d0 d1 g0 g1 =
+    [ A.master l_flag flag; A.master l_data0 d0; A.master l_data1 d1;
+      A.master l_log0 g0; A.master l_log1 g1 ]
+  in
+  let committed d0 d1 =
+    A.heap
+      (masters s_c d0 d1 (Sv.var "l0") (Sv.var "l1")
+      @ [ A.spec_cell c_p0 (Sv.var "x0"); A.spec_cell c_p1 (Sv.var "x1");
+          A.spec_tok (Sv.var "jh") "log_write" [ Sv.var "l0"; Sv.var "l1" ] ])
+  in
+  [
+    (* E: idle; data = abstract state, log contents irrelevant *)
+    A.heap
+      (masters s_e (Sv.var "x0") (Sv.var "x1") (Sv.var "g0") (Sv.var "g1")
+      @ [ A.spec_cell c_p0 (Sv.var "x0"); A.spec_cell c_p1 (Sv.var "x1") ]);
+    (* C0: committed, not yet applied *)
+    committed (Sv.var "x0") (Sv.var "x1");
+    (* C1: first data block applied *)
+    committed (Sv.var "l0") (Sv.var "x1");
+    (* C2: both applied, flag not yet cleared *)
+    committed (Sv.var "l0") (Sv.var "l1");
+  ]
+
+let cinv = "wal"
+let the_lock = 0
+
+let system : O.system =
+  {
+    O.sys_name = "write-ahead-log";
+    ops = [ pair_read_op; log_write_op ];
+    crash_cells = (fun ~lookup:_ -> []);
+    lock_invs = [ (the_lock, lock_inv) ];
+    crash_invs = [ (cinv, crash_inv) ];
+  }
+
+(* --- outlines --- *)
+
+let read_outline : O.op_outline =
+  {
+    O.o_op = "pair_read";
+    o_args = [];
+    o_ret = Sv.pair (Sv.var "x") (Sv.var "y");
+    o_body =
+      [
+        O.Acquire the_lock;
+        O.Read_durable { loc = l_data0; bind = "x" };
+        O.Read_durable { loc = l_data1; bind = "y" };
+        O.Open_inv
+          { name = cinv; body = [ O.Simulate { op = "pair_read"; args = []; bind_ret = "r" } ] };
+        O.Release the_lock;
+      ];
+  }
+
+let write_outline : O.op_outline =
+  let wr loc value = O.Open_inv { name = cinv; body = [ O.Write_durable { loc; value } ] } in
+  {
+    O.o_op = "log_write";
+    o_args = [ Sv.var "v1"; Sv.var "v2" ];
+    o_ret = Sv.unit;
+    o_body =
+      [
+        O.Acquire the_lock;
+        wr l_log0 (Sv.var "v1");
+        wr l_log1 (Sv.var "v2");
+        (* commit: deposit the helping token together with the flag write *)
+        wr l_flag s_c;
+        wr l_data0 (Sv.var "v1");
+        wr l_data1 (Sv.var "v2");
+        (* clear: take the token back and linearize *)
+        O.Open_inv
+          {
+            name = cinv;
+            body =
+              [
+                O.Write_durable { loc = l_flag; value = s_e };
+                O.Simulate
+                  { op = "log_write"; args = [ Sv.var "v1"; Sv.var "v2" ]; bind_ret = "r" };
+              ];
+          };
+        O.Release the_lock;
+      ];
+  }
+
+(** Recovery: synthesize leases; if the flag is committed, replay the log
+    and simulate the stored token (helping); clear the flag. *)
+let recovery_outline : O.recovery_outline =
+  {
+    O.r_body =
+      [
+        O.Synthesize l_data0;
+        O.Synthesize l_data1;
+        O.Synthesize l_flag;
+        O.Synthesize l_log0;
+        O.Synthesize l_log1;
+        O.Read_durable { loc = l_flag; bind = "f" };
+        O.Read_durable { loc = l_log0; bind = "r0" };
+        O.Read_durable { loc = l_log1; bind = "r1" };
+        O.Choice
+          [
+            (* committed: replay and complete the crashed transaction *)
+            [
+              O.Atomic [ O.Write_durable { loc = l_data0; value = Sv.var "r0" } ];
+              O.Atomic [ O.Write_durable { loc = l_data1; value = Sv.var "r1" } ];
+              O.Atomic
+                [
+                  O.Write_durable { loc = l_flag; value = s_e };
+                  O.Simulate
+                    { op = "log_write"; args = [ Sv.var "r0"; Sv.var "r1" ]; bind_ret = "hr" };
+                ];
+            ];
+            (* idle: nothing to do *)
+            [];
+          ];
+        O.Crash_step;
+      ];
+  }
+
+let check () =
+  O.check_system system
+    ~op_outlines:[ read_outline; write_outline ]
+    ~recovery:recovery_outline

@@ -1,0 +1,15 @@
+(** The Perennial proof of the write-ahead log, as checkable outlines — the
+    proof the paper highlights for recovery helping (§9.1): a transaction
+    deposits its [j ⤇ log_write(v1,v2)] token into the crash invariant at
+    the commit flag write, and whoever clears the flag — the writer, or
+    recovery after a crash — simulates the operation. *)
+
+module O := Perennial_core.Outline
+
+val lock_inv : Seplogic.Assertion.t
+val crash_inv : Seplogic.Assertion.t
+val system : O.system
+val read_outline : O.op_outline
+val write_outline : O.op_outline
+val recovery_outline : O.recovery_outline
+val check : unit -> (string * O.result) list

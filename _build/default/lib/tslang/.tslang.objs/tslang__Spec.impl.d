@@ -1,0 +1,1 @@
+lib/tslang/spec.ml: Fmt List String Transition Value

@@ -1,0 +1,1 @@
+lib/tslang/spec.mli: Fmt Transition Value

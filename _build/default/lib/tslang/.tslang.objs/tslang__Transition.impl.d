@@ -1,0 +1,1 @@
+lib/tslang/transition.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/tslang/transition.mli: Fmt Format

@@ -1,0 +1,1 @@
+lib/tslang/value.ml: Bool Fmt Hashtbl Int List Option String

@@ -1,0 +1,1 @@
+lib/tslang/value.mli: Format

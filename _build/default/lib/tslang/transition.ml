@@ -1,0 +1,58 @@
+type ('s, 'a) t =
+  | Ret : 'a -> ('s, 'a) t
+  | Bind : ('s, 'b) t * ('b -> ('s, 'a) t) -> ('s, 'a) t
+  | Gets : ('s -> 'a) -> ('s, 'a) t
+  | Modify : ('s -> 's) -> ('s, unit) t
+  | Undefined : ('s, 'a) t
+  | Choose : 'a list -> ('s, 'a) t
+
+let ret v = Ret v
+let bind m f = Bind (m, f)
+let gets f = Gets f
+let modify f = Modify f
+let undefined = Undefined
+let choose vs = Choose vs
+let puts s = Modify (fun _ -> s)
+let reads = Gets (fun s -> s)
+let check b = if b then Ret () else Undefined
+let guard b = if b then Ret () else Choose []
+let ignore_ret m = Bind (m, fun _ -> Ret ())
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = bind m (fun x -> ret (f x))
+end
+
+type ('s, 'a) outcome =
+  | Ok of 's * 'a
+  | Undefined_behaviour
+
+(* Depth-first enumeration of all outcomes.  Nondeterminism multiplies
+   branches; [Undefined] taints only the branch that reaches it. *)
+let rec run : type a. ('s, a) t -> 's -> ('s, a) outcome list =
+ fun m s ->
+  match m with
+  | Ret v -> [ Ok (s, v) ]
+  | Gets f -> [ Ok (s, f s) ]
+  | Modify f -> [ Ok (f s, ()) ]
+  | Undefined -> [ Undefined_behaviour ]
+  | Choose vs -> List.map (fun v -> Ok (s, v)) vs
+  | Bind (m, f) ->
+    let continue = function
+      | Undefined_behaviour -> [ Undefined_behaviour ]
+      | Ok (s', v) -> run (f v) s'
+    in
+    List.concat_map continue (run m s)
+
+let outcomes m s =
+  List.filter_map (function Ok (s', v) -> Some (s', v) | Undefined_behaviour -> None) (run m s)
+
+let has_undefined m s =
+  List.exists (function Undefined_behaviour -> true | Ok _ -> false) (run m s)
+
+let is_deterministic m s =
+  match run m s with [ Ok _ ] -> true | _ -> false
+
+let pp_outcome pp_state pp_value ppf = function
+  | Ok (s, v) -> Fmt.pf ppf "@[<h>Ok (%a, %a)@]" pp_state s pp_value v
+  | Undefined_behaviour -> Fmt.string ppf "undefined"

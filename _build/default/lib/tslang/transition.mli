@@ -1,0 +1,78 @@
+(** The transition-system specification DSL (paper §3.1, Figure 3).
+
+    A [('s, 'a) t] is a possibly-nondeterministic, possibly-undefined atomic
+    transition over states of type ['s] returning a value of type ['a].  It is
+    the OCaml rendering of Perennial's Coq-embedded DSL: specifications are
+    written with [gets], [modify], [ret], [undefined] and monadic [bind], and
+    — unlike in Coq — can be *executed*: [run] enumerates every outcome, which
+    is what the refinement checker consumes. *)
+
+type ('s, 'a) t
+
+(** {1 Constructors} *)
+
+val ret : 'a -> ('s, 'a) t
+(** [ret v] does not change the state and returns [v]. *)
+
+val bind : ('s, 'a) t -> ('a -> ('s, 'b) t) -> ('s, 'b) t
+
+val gets : ('s -> 'a) -> ('s, 'a) t
+(** [gets f] reads the state through [f] without changing it. *)
+
+val modify : ('s -> 's) -> ('s, unit) t
+(** [modify f] replaces the state [s] with [f s]. *)
+
+val undefined : ('s, 'a) t
+(** Undefined behaviour: the specification places no constraint on the
+    implementation for this call (paper §3.1: out-of-bounds access). *)
+
+val choose : 'a list -> ('s, 'a) t
+(** Nondeterministic choice among a finite set of values; the implementation
+    may realize any of them.  [choose []] is an unsatisfiable transition —
+    no outcome at all (distinct from [undefined]). *)
+
+val puts : 's -> ('s, unit) t
+(** [puts s] unconditionally replaces the state. *)
+
+val reads : ('s, 's) t
+(** Return the whole state. *)
+
+val check : bool -> ('s, unit) t
+(** [check b] is [ret ()] if [b], and [undefined] otherwise: guard used to
+    make preconditions explicit, as in [rd_write]'s bounds check. *)
+
+val guard : bool -> ('s, unit) t
+(** [guard b] is [ret ()] if [b] and the empty choice otherwise: prunes a
+    nondeterministic branch rather than declaring it undefined. *)
+
+val ignore_ret : ('s, 'a) t -> ('s, unit) t
+
+(** {1 Binding operators} *)
+
+module Syntax : sig
+  val ( let* ) : ('s, 'a) t -> ('a -> ('s, 'b) t) -> ('s, 'b) t
+  val ( let+ ) : ('s, 'a) t -> ('a -> 'b) -> ('s, 'b) t
+end
+
+(** {1 Execution} *)
+
+type ('s, 'a) outcome =
+  | Ok of 's * 'a  (** the transition may step to this state with this value *)
+  | Undefined_behaviour  (** some execution path hit [undefined] *)
+
+val run : ('s, 'a) t -> 's -> ('s, 'a) outcome list
+(** Enumerate every outcome of the transition from a given state.  The list
+    is empty iff the transition is unsatisfiable from that state. *)
+
+val outcomes : ('s, 'a) t -> 's -> ('s * 'a) list
+(** Defined outcomes only (drops [Undefined_behaviour]). *)
+
+val has_undefined : ('s, 'a) t -> 's -> bool
+(** True iff some execution path from this state is undefined. *)
+
+val is_deterministic : ('s, 'a) t -> 's -> bool
+(** True iff there is exactly one outcome and it is defined. *)
+
+val pp_outcome :
+  '
+  s Fmt.t -> 'a Fmt.t -> Format.formatter -> ('s, 'a) outcome -> unit

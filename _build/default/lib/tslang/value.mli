@@ -1,0 +1,42 @@
+(** Universal observable values.
+
+    Specifications, implementations and the refinement checker all exchange
+    values of this single type so that return values of operations can be
+    compared for equality without any per-system plumbing.  The constructors
+    cover everything the paper's systems need: unit, booleans, 64-bit-style
+    integers, strings, byte blocks, options, pairs and lists. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int  (** models Go's [uint64]; arithmetic wraps at 2^63-1 in practice *)
+  | Str of string  (** also used for byte slices/blocks *)
+  | Pair of t * t
+  | List of t list
+  | Opt of t option
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val some : t -> t
+val none : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Partial projections; raise [Invalid_argument] on the wrong constructor.
+    They are used at trusted boundaries (interpreting specs) where the shape
+    is known by construction. *)
+
+val get_int : t -> int
+val get_bool : t -> bool
+val get_str : t -> string
+val get_list : t -> t list
+val get_pair : t -> t * t
+val get_opt : t -> t option

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Astring_contains Disk List Sched Tslang

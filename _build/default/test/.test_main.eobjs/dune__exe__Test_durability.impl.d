@@ -1,0 +1,1 @@
+test/test_durability.ml: Alcotest Gfs List Mailboat Option Perennial_core Printf QCheck QCheck_alcotest String Tslang

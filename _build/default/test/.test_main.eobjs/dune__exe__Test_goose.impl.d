@@ -1,0 +1,1 @@
+test/test_goose.ml: Alcotest Array Astring_contains Disk Fmt Gfs Goose Int List Mailboat Map Option Perennial_core Printf Sched Systems Tslang

@@ -1,0 +1,1 @@
+test/test_layered.ml: Alcotest Disk Perennial_core Sched Systems Tslang

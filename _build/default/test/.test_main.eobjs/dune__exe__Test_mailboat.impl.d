@@ -1,0 +1,1 @@
+test/test_mailboat.ml: Alcotest Astring_contains Gfs Mailboat Map Option Perennial_core Sched String Tslang

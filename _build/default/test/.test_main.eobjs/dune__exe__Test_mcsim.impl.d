@@ -1,0 +1,1 @@
+test/test_mcsim.ml: Alcotest Array Lazy List Mailboat Mcsim Printf

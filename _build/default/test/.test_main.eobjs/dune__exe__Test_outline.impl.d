@@ -1,0 +1,1 @@
+test/test_outline.ml: Alcotest Astring_contains List Perennial_core Seplogic Systems

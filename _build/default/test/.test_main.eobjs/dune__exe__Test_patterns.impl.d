@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest List Perennial_core Seplogic Systems Tslang

@@ -1,0 +1,1 @@
+test/test_ra.ml: Alcotest Fmt Int List Option QCheck QCheck_alcotest Ra String

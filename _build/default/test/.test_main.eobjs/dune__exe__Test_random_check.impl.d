@@ -1,0 +1,1 @@
+test/test_random_check.ml: Alcotest Mailboat Perennial_core Systems Tslang

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Astring_contains Perennial_core Sched String Systems Tslang

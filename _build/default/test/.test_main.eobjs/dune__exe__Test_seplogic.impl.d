@@ -1,0 +1,1 @@
+test/test_seplogic.ml: Alcotest List Printf QCheck QCheck_alcotest Seplogic Tslang

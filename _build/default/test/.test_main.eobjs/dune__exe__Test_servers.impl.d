@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Array Astring_contains Atomic Char Domain Gfs List Mailboat Mutex Printf Random String

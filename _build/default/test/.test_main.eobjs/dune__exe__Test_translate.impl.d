@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Astring_contains Goose List Mailboat String Systems

@@ -1,0 +1,1 @@
+test/test_tslang.ml: Alcotest Astring_contains Fmt Int List Map QCheck QCheck_alcotest Spec Transition Tslang Value

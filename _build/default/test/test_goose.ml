@@ -1,0 +1,793 @@
+(* Tests for the Goose pipeline (§6-§7): lexer, parser, typechecker,
+   translator output, and the interpreter's semantics — including the
+   race-as-undefined-behaviour model and the crash model. *)
+
+module V = Tslang.Value
+module G = Goose.Gvalue
+module I = Goose.Interp
+module P = Sched.Prog
+
+let parse src = Goose.Parser.parse_file src
+
+let parse_and_check src =
+  let f = parse src in
+  Goose.Typecheck.check_file f;
+  f
+
+(* --- lexer --- *)
+
+let test_lexer_basic () =
+  let toks = Goose.Lexer.tokenize "func f() uint64 {\n\treturn 42\n}" in
+  let kinds = List.map (fun l -> l.Goose.Lexer.token) toks in
+  Alcotest.(check bool) "shape" true
+    (kinds
+    = [ Goose.Token.FUNC; Goose.Token.IDENT "f"; Goose.Token.LPAREN; Goose.Token.RPAREN;
+        Goose.Token.IDENT "uint64"; Goose.Token.LBRACE; Goose.Token.RETURN;
+        Goose.Token.INT 42; Goose.Token.SEMI; Goose.Token.RBRACE; Goose.Token.SEMI;
+        Goose.Token.EOF ])
+
+let test_lexer_semicolon_insertion () =
+  (* a semicolon is inserted after `x` and `1` but not after `{` or `=` *)
+  let toks = Goose.Lexer.tokenize "x = \n 1\n" in
+  let kinds = List.map (fun l -> l.Goose.Lexer.token) toks in
+  Alcotest.(check bool) "asi" true
+    (kinds
+    = [ Goose.Token.IDENT "x"; Goose.Token.ASSIGN; Goose.Token.INT 1; Goose.Token.SEMI;
+        Goose.Token.EOF ])
+
+let test_lexer_comments_strings () =
+  let toks =
+    Goose.Lexer.tokenize "// comment\n/* multi\nline */ \"a\\nb\""
+  in
+  let kinds = List.map (fun l -> l.Goose.Lexer.token) toks in
+  Alcotest.(check bool) "comment + escape" true
+    (kinds = [ Goose.Token.STRING "a\nb"; Goose.Token.SEMI; Goose.Token.EOF ])
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char" true
+    (match Goose.Lexer.tokenize "func @" with
+    | exception Goose.Lexer.Lex_error _ -> true
+    | _ -> false)
+
+(* --- parser --- *)
+
+let test_parse_mailboat () =
+  let f = parse Mailboat.Goose_src.source in
+  Alcotest.(check string) "package" "mailboat" f.Goose.Ast.package;
+  Alcotest.(check int) "imports" 3 (List.length f.Goose.Ast.imports);
+  Alcotest.(check int) "structs" 1 (List.length f.Goose.Ast.structs);
+  Alcotest.(check bool) "has Deliver" true (Goose.Ast.find_func f "Deliver" <> None);
+  Alcotest.(check bool) "has Pickup" true (Goose.Ast.find_func f "Pickup" <> None);
+  Alcotest.(check bool) "has Recover" true (Goose.Ast.find_func f "Recover" <> None)
+
+let test_parse_error_reported () =
+  Alcotest.(check bool) "parse error" true
+    (match parse "package p\nfunc f( {" with
+    | exception Goose.Parser.Parse_error _ -> true
+    | _ -> false)
+
+let test_parse_for_forms () =
+  let f =
+    parse
+      {|package p
+func f(n uint64) uint64 {
+	s := 0
+	for i := 0; i < n; i = i + 1 {
+		s = s + i
+	}
+	for s > 100 {
+		s = s - 1
+	}
+	return s
+}|}
+  in
+  Alcotest.(check int) "one function" 1 (List.length f.Goose.Ast.funcs)
+
+(* --- typechecker --- *)
+
+let test_typecheck_mailboat () = ignore (parse_and_check Mailboat.Goose_src.source)
+
+let expect_type_error src =
+  match parse_and_check src with
+  | exception Goose.Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_typecheck_rejects_bad_call () =
+  expect_type_error
+    "package p\nfunc f() {\n\tfilesys.Create(1, 2)\n}"
+
+let test_typecheck_rejects_unknown_fn () =
+  expect_type_error "package p\nfunc f() {\n\tnosuch()\n}"
+
+let test_typecheck_rejects_arity () =
+  expect_type_error "package p\nfunc g(x uint64) uint64 {\n\treturn x\n}\nfunc f() uint64 {\n\treturn g()\n}"
+
+let test_typecheck_rejects_bad_operands () =
+  expect_type_error "package p\nfunc f() bool {\n\treturn 1 + true\n}"
+
+let test_typecheck_rejects_return_arity () =
+  expect_type_error "package p\nfunc f() (uint64, bool) {\n\treturn 1\n}"
+
+let test_typecheck_rejects_undeclared_assign () =
+  expect_type_error "package p\nfunc f() {\n\tx = 1\n}"
+
+(* --- translator output --- *)
+
+let test_translate_mailboat () =
+  match Goose.Translate.translate Mailboat.Goose_src.source with
+  | Error e -> Alcotest.failf "translate failed: %s" e
+  | Ok coq ->
+    Alcotest.(check bool) "has Definition Deliver" true
+      (Astring_contains.contains coq "Definition Deliver");
+    Alcotest.(check bool) "has FS calls" true (Astring_contains.contains coq "FS.link");
+    Alcotest.(check bool) "has Message record" true
+      (Astring_contains.contains coq "Module Message")
+
+let test_translate_rejects_untypeable () =
+  match Goose.Translate.translate "package p\nfunc f() {\n\tnosuch()\n}" with
+  | Error e -> Alcotest.(check bool) "mentions type" true (Astring_contains.contains e "type")
+  | Ok _ -> Alcotest.fail "expected translation failure"
+
+(* --- interpreter basics --- *)
+
+let run_fn ?(cfg = I.default_config) ?(dirs = []) src fn args =
+  let file = parse_and_check src in
+  let it = I.make ~cfg file in
+  let w = I.init_world ~dirs () in
+  Sched.Runner.run1 w (I.run_func_value it fn args)
+
+let test_interp_arith () =
+  let _, v =
+    run_fn "package p\nfunc f(a uint64, b uint64) uint64 {\n\treturn a*b + 1\n}" "f"
+      [ G.VInt 6; G.VInt 7 ]
+  in
+  Alcotest.(check bool) "6*7+1" true (V.equal v (V.int 43))
+
+let test_interp_loop_sum () =
+  let _, v =
+    run_fn
+      "package p\nfunc f(n uint64) uint64 {\n\ts := 0\n\tfor i := 0; i < n; i = i + 1 {\n\t\ts = s + i\n\t}\n\treturn s\n}"
+      "f" [ G.VInt 10 ]
+  in
+  Alcotest.(check bool) "sum 0..9" true (V.equal v (V.int 45))
+
+let test_interp_slices_maps () =
+  let src =
+    {|package p
+func f() uint64 {
+	s := []uint64{1, 2, 3}
+	s = append(s, 4)
+	m := make(map[string]uint64)
+	m["total"] = 0
+	for _, x := range s {
+		m["total"] = m["total"] + x
+	}
+	v, ok := m["total"]
+	if !ok {
+		return 0
+	}
+	return v
+}|}
+  in
+  let _, v = run_fn src "f" [] in
+  Alcotest.(check bool) "1+2+3+4" true (V.equal v (V.int 10))
+
+let test_interp_structs_pointers () =
+  let src =
+    {|package p
+type Pair struct {
+	A uint64
+	B uint64
+}
+func f() uint64 {
+	p := &Pair{A: 1, B: 2}
+	p.A = 10
+	q := *p
+	return q.A + q.B
+}|}
+  in
+  let _, v = run_fn src "f" [] in
+  Alcotest.(check bool) "10+2" true (V.equal v (V.int 12))
+
+let test_interp_strings () =
+  let src =
+    {|package p
+func f(s string) string {
+	b := []byte(s)
+	t := string(b[0:2])
+	return t + "!"
+}|}
+  in
+  let _, v = run_fn src "f" [ G.VString "hello" ] in
+  Alcotest.(check bool) "prefix" true (V.equal v (V.str "he!"))
+
+let test_interp_filesystem () =
+  let src =
+    {|package p
+func f() string {
+	fd, ok := filesys.Create("d", "x")
+	if !ok {
+		return "create failed"
+	}
+	filesys.Append(fd, []byte("hi"))
+	filesys.Close(fd)
+	rfd, ok2 := filesys.Open("d", "x")
+	if !ok2 {
+		return "open failed"
+	}
+	data := filesys.ReadAt(rfd, 0, 10)
+	filesys.Close(rfd)
+	return string(data)
+}|}
+  in
+  let _, v = run_fn ~dirs:[ "d" ] src "f" [] in
+  Alcotest.(check bool) "roundtrip" true (V.equal v (V.str "hi"))
+
+let test_interp_infinite_loop_fuel () =
+  let src = "package p\nfunc f() {\n\tfor {\n\t}\n}" in
+  match run_fn src "f" [] with
+  | exception Sched.Runner.Undefined_behaviour msg ->
+    Alcotest.(check bool) "fuel" true (Astring_contains.contains msg "fuel")
+  | _ -> Alcotest.fail "infinite loop terminated"
+
+(* --- race detection (§6.1) --- *)
+
+let racy_src =
+  {|package p
+func Write(p []uint64) {
+	p[0] = 1
+}
+func Read(p []uint64) uint64 {
+	return p[0]
+}|}
+
+let test_race_detected () =
+  (* Two threads, one writing one reading the same slice, explored by the
+     refinement checker: some interleaving hits the store-start/store-end
+     window and must be reported as UB. *)
+  let file = parse_and_check racy_src in
+  let it = I.make ~cfg:{ I.default_config with race_detect = true } file in
+  let w0 = I.init_world () in
+  (* pre-allocate the shared slice directly in the world *)
+  let module IM = Map.Make (Int) in
+  let w1 =
+    { w0 with
+      I.heap = IM.add 0 { I.content = G.CSlice [ G.VInt 0 ]; being_written = false } w0.I.heap;
+      next_ref = 1
+    }
+  in
+  let shared = G.VRef 0 in
+  let spec : unit Tslang.Spec.t =
+    {
+      Tslang.Spec.name = "race";
+      init = ();
+      compare_state = compare;
+      pp_state = Fmt.any "()";
+      step =
+        (fun _ _ ->
+          (* any return value is acceptable: the property under test is
+             race detection, not linearizability *)
+          Tslang.Transition.choose [ V.unit; V.int 0; V.int 1 ]);
+      crash = Tslang.Transition.ret ();
+    }
+  in
+  let cfg =
+    Perennial_core.Refinement.config ~spec ~init_world:w1 ~crash_world:I.crash_world
+      ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "op" [], I.run_func_value it "Write" [ shared ]) ];
+          [ (Tslang.Spec.call "op" [], I.run_func_value it "Read" [ shared ]) ] ]
+      ~recovery:(P.return V.unit) ~max_crashes:0 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.(check bool) "racy" true
+      (Astring_contains.contains f.Perennial_core.Refinement.reason "racy")
+  | _ -> Alcotest.fail "race not detected"
+
+let test_no_race_without_detection () =
+  (* The same program with race detection off executes fine (single-step
+     stores), demonstrating what the two-step model adds. *)
+  let file = parse_and_check racy_src in
+  let it = I.make ~cfg:{ I.default_config with race_detect = false } file in
+  let w0 = I.init_world () in
+  let module IM = Map.Make (Int) in
+  let w1 =
+    { w0 with
+      I.heap = IM.add 0 { I.content = G.CSlice [ G.VInt 0 ]; being_written = false } w0.I.heap;
+      next_ref = 1
+    }
+  in
+  let shared = G.VRef 0 in
+  let out =
+    Sched.Runner.run w1
+      [ I.run_func_value it "Write" [ shared ]; I.run_func_value it "Read" [ shared ] ]
+  in
+  Alcotest.(check int) "both finished" 2 (Array.length out.Sched.Runner.results)
+
+(* --- crash model (§6.2) --- *)
+
+let test_crash_model () =
+  let src =
+    {|package p
+func Setup() uint64 {
+	fd, _ := filesys.Create("d", "keep")
+	filesys.Append(fd, []byte("data"))
+	return fd
+}
+func UseFd(fd uint64) string {
+	data := filesys.ReadAt(fd, 0, 10)
+	return string(data)
+}|}
+  in
+  let file = parse_and_check src in
+  let it = I.make file in
+  let w0 = I.init_world ~dirs:[ "d" ] () in
+  let w1, fd = Sched.Runner.run1 w0 (I.run_func_value it "Setup" []) in
+  let crashed = I.crash_world w1 in
+  (* the file survives *)
+  Alcotest.(check bool) "file persists" true
+    (Gfs.Fs.read_file crashed.I.fs "d" "keep" = Some "data");
+  (* but the descriptor does not: using it is UB *)
+  (match
+     Sched.Runner.run1 crashed (I.run_func_value it "UseFd" [ G.VInt (V.get_int fd) ])
+   with
+  | exception Sched.Runner.Undefined_behaviour _ -> ()
+  | _ -> Alcotest.fail "stale fd usable after crash");
+  (* and the heap is empty *)
+  Alcotest.(check bool) "heap cleared" true
+    (Goose.Interp.compare_world crashed (I.crash_world crashed) = 0)
+
+(* --- Goose mailboat: differential against the native core --- *)
+
+let goose_mailboat ?(random = [ 0; 1 ]) () =
+  let file = parse_and_check Mailboat.Goose_src.source in
+  I.make ~cfg:{ I.race_detect = true; random_universe = random } file
+
+let test_goose_mailboat_deliver_pickup () =
+  let it = goose_mailboat () in
+  let w = I.init_world ~dirs:[ "spool"; "user0" ] () in
+  let w, _ =
+    Sched.Runner.run1 w
+      (I.run_func_value it "Deliver" [ G.VInt 0; G.VString "hello world" ])
+  in
+  Alcotest.(check (list string)) "spool cleaned" [] (Gfs.Fs.list_dir w.I.fs "spool");
+  let w, picked = Sched.Runner.run1 w (I.run_func_value it "Pickup" [ G.VInt 0 ]) in
+  (match V.get_list picked with
+  | [ msg ] ->
+    (* a struct converts to a field-name/value list *)
+    let fields = List.map V.get_pair (V.get_list msg) in
+    let find k = List.assoc (V.str k) (List.map (fun (a, b) -> (a, b)) fields) in
+    Alcotest.(check bool) "contents" true (V.equal (find "Contents") (V.str "hello world"))
+  | l -> Alcotest.failf "expected 1 message, got %d" (List.length l));
+  let _, _ = Sched.Runner.run1 w (I.run_func_value it "Unlock" [ G.VInt 0 ]) in
+  ()
+
+let test_goose_mailboat_id_collision_retry () =
+  (* Two delivers with a 2-value random universe: the second must hit name
+     collisions and retry (a random schedule resolves the draws). *)
+  let it = goose_mailboat ~random:[ 0; 1 ] () in
+  let w = I.init_world ~dirs:[ "spool"; "user0" ] () in
+  let out1 =
+    Sched.Runner.run ~policy:(Sched.Runner.Random 7) w
+      [ I.run_func_value it "Deliver" [ G.VInt 0; G.VString "a" ] ]
+  in
+  let out2 =
+    Sched.Runner.run ~policy:(Sched.Runner.Random 11) out1.Sched.Runner.world
+      [ I.run_func_value it "Deliver" [ G.VInt 0; G.VString "b" ] ]
+  in
+  Alcotest.(check int) "two messages" 2
+    (List.length (Gfs.Fs.list_dir out2.Sched.Runner.world.I.fs "user0"))
+
+let test_goose_mailboat_recover () =
+  let it = goose_mailboat () in
+  let w = I.init_world ~dirs:[ "spool"; "user0" ] () in
+  (* leave junk in the spool, as if a deliver crashed mid-way *)
+  let fs, fd = Option.get (Gfs.Fs.create w.I.fs "spool" "tmp0") in
+  let fs = Option.get (Gfs.Fs.append fs fd "junk") in
+  let w = { w with I.fs } in
+  let w = I.crash_world w in
+  let w, _ = Sched.Runner.run1 w (I.run_func_value it "Recover" []) in
+  Alcotest.(check (list string)) "spool empty" [] (Gfs.Fs.list_dir w.I.fs "spool")
+
+let test_goose_mailboat_refinement_single_deliver () =
+  (* The Goose-compiled Deliver refines the Mailboat spec, with crash
+     injection: the headline end-to-end check through the full pipeline. *)
+  let it = goose_mailboat ~random:[ 0 ] () in
+  let spec = Mailboat.Core.spec ~users:1 in
+  (* the goose code names messages "m<random>": match the spec universe *)
+  let w = I.init_world ~dirs:[ "spool"; "user0" ] () in
+  let deliver =
+    (Tslang.Spec.call "deliver" [ V.int 0; V.str "ab" ],
+     I.run_func_value it "Deliver" [ G.VInt 0; G.VString "ab" ])
+  in
+  let probe_pickup =
+    (Tslang.Spec.call "pickup" [ V.int 0 ],
+     Sched.Prog.bind (I.run_func_value it "Pickup" [ G.VInt 0 ]) (fun v ->
+         (* convert the struct list to the spec's (id, contents) pairs *)
+         let pairs =
+           List.map
+             (fun msg ->
+               match V.get_list msg with
+               | [ V.Pair (_, id); V.Pair (_, contents) ] -> V.pair id contents
+               | _ -> v)
+             (V.get_list v)
+         in
+         Sched.Prog.return (V.list pairs)))
+  in
+  let probe_unlock =
+    (Tslang.Spec.call "unlock" [ V.int 0 ], I.run_func_value it "Unlock" [ G.VInt 0 ])
+  in
+  let cfg =
+    Perennial_core.Refinement.config ~spec ~init_world:w ~crash_world:I.crash_world
+      ~pp_world:I.pp_world
+      ~threads:[ [ deliver ] ]
+      ~recovery:(I.run_func_value it "Recover" [])
+      ~post:[ probe_pickup; probe_unlock ]
+      ~max_crashes:1 ~step_budget:30_000_000 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_holds _ -> ()
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.failf "goose mailboat: %a" Perennial_core.Refinement.pp_failure f
+  | Perennial_core.Refinement.Budget_exhausted s ->
+    Alcotest.failf "budget exhausted: %a" Perennial_core.Refinement.pp_stats s
+
+(* --- deferred durability through the Goose pipeline --- *)
+
+let test_goose_mailboat_deferred_durability () =
+  (* Deliver without fsync violates refinement under buffered writes;
+     DeliverFsync holds — the §1 future-work experiment, through Go
+     source. *)
+  let it = goose_mailboat ~random:[ 0 ] () in
+  let spec = Mailboat.Core.spec ~users:1 in
+  let base = I.init_world ~dirs:[ "spool"; "user0" ] () in
+  let w = { base with I.fs = Gfs.Fs.init ~durability:`Deferred [ "spool"; "user0" ] } in
+  let probe =
+    (Tslang.Spec.call "pickup" [ V.int 0 ],
+     Sched.Prog.bind (I.run_func_value it "Pickup" [ G.VInt 0 ]) (fun v ->
+         let pairs =
+           List.map
+             (fun msg ->
+               match V.get_list msg with
+               | [ V.Pair (_, id); V.Pair (_, contents) ] -> V.pair id contents
+               | _ -> v)
+             (V.get_list v)
+         in
+         Sched.Prog.return (V.list pairs)))
+  in
+  let unlock =
+    (Tslang.Spec.call "unlock" [ V.int 0 ], I.run_func_value it "Unlock" [ G.VInt 0 ])
+  in
+  let cfg fn =
+    Perennial_core.Refinement.config ~spec ~init_world:w ~crash_world:I.crash_world
+      ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "deliver" [ V.int 0; V.str "ab" ],
+             I.run_func_value it fn [ G.VInt 0; G.VString "ab" ]) ] ]
+      ~recovery:(I.run_func_value it "Recover" [])
+      ~post:[ probe; unlock ] ~max_crashes:1 ~step_budget:30_000_000 ()
+  in
+  (match Perennial_core.Refinement.check (cfg "Deliver") with
+  | Perennial_core.Refinement.Refinement_violated _ -> ()
+  | _ -> Alcotest.fail "no-fsync deliver not caught under deferred durability");
+  match Perennial_core.Refinement.check (cfg "DeliverFsync") with
+  | Perennial_core.Refinement.Refinement_holds _ -> ()
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.failf "DeliverFsync: %a" Perennial_core.Refinement.pp_failure f
+  | Perennial_core.Refinement.Budget_exhausted s ->
+    Alcotest.failf "budget: %a" Perennial_core.Refinement.pp_stats s
+
+(* --- the WAL in Goose, via the disk package --- *)
+
+let wal_goose () =
+  let file = parse_and_check Systems.Wal_go.source in
+  I.make file
+
+let wal_world () =
+  (* blocks 0-4, flag initialized to "e" *)
+  let w = I.init_world ~disk_size:5 () in
+  { w with I.disk = Disk.Single_disk.set w.I.disk 2 (Disk.Block.of_string "e") }
+
+let test_goose_wal_write_read () =
+  let it = wal_goose () in
+  let w, _ =
+    Sched.Runner.run1 (wal_world ())
+      (I.run_func_value it "Write" [ G.VString "hello"; G.VString "world" ])
+  in
+  let _, v = Sched.Runner.run1 w (I.run_func_value it "Read" []) in
+  (match V.get_list v with
+  | [ a; b ] ->
+    Alcotest.(check bool) "pair" true (V.equal a (V.str "hello") && V.equal b (V.str "world"))
+  | _ -> Alcotest.fail "expected a pair")
+
+let test_goose_wal_recover_replays () =
+  let it = wal_goose () in
+  (* craft a committed-but-unapplied state by hand *)
+  let w = wal_world () in
+  let d = w.I.disk in
+  let d = Disk.Single_disk.set d 3 (Disk.Block.of_string "A") in
+  let d = Disk.Single_disk.set d 4 (Disk.Block.of_string "B") in
+  let d = Disk.Single_disk.set d 2 (Disk.Block.of_string "c") in
+  let w = I.crash_world { w with I.disk = d } in
+  let w, _ = Sched.Runner.run1 w (I.run_func_value it "Recover" []) in
+  Alcotest.(check string) "data0 replayed" "A"
+    (Disk.Block.to_string (Disk.Single_disk.get w.I.disk 0));
+  Alcotest.(check string) "data1 replayed" "B"
+    (Disk.Block.to_string (Disk.Single_disk.get w.I.disk 1));
+  Alcotest.(check string) "flag cleared" "e"
+    (Disk.Block.to_string (Disk.Single_disk.get w.I.disk 2))
+
+let test_goose_wal_refinement () =
+  (* the Goose-compiled WAL refines the same atomic-pair spec as the
+     primitive-language implementation, under crash injection *)
+  let it = wal_goose () in
+  let spec = Systems.Wal.spec in
+  let cfg =
+    Perennial_core.Refinement.config ~spec ~init_world:(wal_world ())
+      ~crash_world:I.crash_world ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "log_write" [ V.str "x"; V.str "y" ],
+             I.run_func_value it "Write" [ G.VString "x"; G.VString "y" ]) ] ]
+      ~recovery:(I.run_func_value it "Recover" [])
+      ~post:
+        [ (Tslang.Spec.call "pair_read" [],
+           Sched.Prog.bind (I.run_func_value it "Read" []) (fun v ->
+               match V.get_list v with
+               | [ a; b ] -> Sched.Prog.return (V.pair a b)
+               | _ -> Sched.Prog.return v)) ]
+      ~max_crashes:2 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_holds _ -> ()
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.failf "goose wal: %a" Perennial_core.Refinement.pp_failure f
+  | Perennial_core.Refinement.Budget_exhausted s ->
+    Alcotest.failf "budget: %a" Perennial_core.Refinement.pp_stats s
+
+let test_goose_wal_differential () =
+  (* the Goose WAL and the primitive-language WAL compute the same final
+     disk for the same operation sequence *)
+  let it = wal_goose () in
+  let wg, _ =
+    Sched.Runner.run1 (wal_world ()) (I.run_func_value it "Write" [ G.VString "p"; G.VString "q" ])
+  in
+  let native =
+    let w0 = Systems.Wal.init_world () in
+    let w, _ = Sched.Runner.run1 w0 (Systems.Wal.write_prog (V.str "p") (V.str "q")) in
+    Systems.Wal.get_disk w
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check string)
+        (Printf.sprintf "block %d agrees" a)
+        (Disk.Block.to_string (Disk.Single_disk.get native a))
+        (Disk.Block.to_string (Disk.Single_disk.get wg.I.disk a)))
+    [ 0; 1; 2; 3; 4 ]
+
+(* --- the shadow copy in Goose --- *)
+
+let shadow_goose () = I.make (parse_and_check Systems.Shadow_go.source)
+
+let shadow_world () =
+  let w = I.init_world ~disk_size:5 () in
+  { w with I.disk = Disk.Single_disk.set w.I.disk 4 (Disk.Block.of_string "A") }
+
+let test_goose_shadow_write_read () =
+  let it = shadow_goose () in
+  let w, _ =
+    Sched.Runner.run1 (shadow_world ())
+      (I.run_func_value it "Write" [ G.VString "left"; G.VString "right" ])
+  in
+  let _, v = Sched.Runner.run1 w (I.run_func_value it "Read" []) in
+  (match V.get_list v with
+  | [ a; b ] ->
+    Alcotest.(check bool) "pair" true (V.equal a (V.str "left") && V.equal b (V.str "right"))
+  | _ -> Alcotest.fail "expected a pair");
+  (* the pointer flipped to B *)
+  Alcotest.(check string) "flipped" "B" (Disk.Block.to_string (Disk.Single_disk.get w.I.disk 4))
+
+let test_goose_shadow_crash_before_flip_invisible () =
+  let it = shadow_goose () in
+  (* run Write for its first 4 steps (lock, read ptr, write b0, write b1)
+     and crash before the flip *)
+  let rec steps w prog n =
+    if n = 0 then w
+    else
+      match prog with
+      | Sched.Prog.Done _ -> w
+      | Sched.Prog.Atomic { action; k; _ } -> (
+        match action w with
+        | Sched.Prog.Steps ((w', v) :: _) -> steps w' (k v) (n - 1)
+        | _ -> w)
+  in
+  let mid =
+    steps (shadow_world ())
+      (I.run_func_value it "Write" [ G.VString "new1"; G.VString "new2" ])
+      6
+  in
+  let crashed = I.crash_world mid in
+  let _, v = Sched.Runner.run1 crashed (I.run_func_value it "Read" []) in
+  (match V.get_list v with
+  | [ a; b ] ->
+    (* old pair (zeros) still visible: the shadow was never flipped *)
+    Alcotest.(check bool) "old pair" true (V.equal a (V.str "0") && V.equal b (V.str "0"))
+  | _ -> Alcotest.fail "expected a pair")
+
+let test_goose_shadow_refinement () =
+  let it = shadow_goose () in
+  let cfg =
+    Perennial_core.Refinement.config ~spec:Systems.Shadow_copy.spec
+      ~init_world:(shadow_world ()) ~crash_world:I.crash_world ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "pair_write" [ V.str "x"; V.str "y" ],
+             I.run_func_value it "Write" [ G.VString "x"; G.VString "y" ]) ] ]
+      ~recovery:(I.run_func_value it "Recover" [])
+      ~post:
+        [ (Tslang.Spec.call "pair_read" [],
+           Sched.Prog.bind (I.run_func_value it "Read" []) (fun v ->
+               match V.get_list v with
+               | [ a; b ] -> Sched.Prog.return (V.pair a b)
+               | _ -> Sched.Prog.return v)) ]
+      ~max_crashes:1 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_holds _ -> ()
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.failf "goose shadow: %a" Perennial_core.Refinement.pp_failure f
+  | Perennial_core.Refinement.Budget_exhausted s ->
+    Alcotest.failf "budget: %a" Perennial_core.Refinement.pp_stats s
+
+(* --- the replicated disk in Goose: Figures 4 and 5, runnable --- *)
+
+let rd_goose ?(may_fail = false) () =
+  (I.make (parse_and_check Systems.Rd_go.source),
+   I.init_world ~tdisk_size:1 ~may_fail ())
+
+let test_goose_rd_write_read () =
+  let it, w = rd_goose () in
+  let w, _ =
+    Sched.Runner.run1 w (I.run_func_value it "Write" [ G.VInt 0; G.VString "fig4" ])
+  in
+  let _, v = Sched.Runner.run1 w (I.run_func_value it "Read" [ G.VInt 0 ]) in
+  Alcotest.(check bool) "reads back" true (V.equal v (V.str "fig4"))
+
+let test_goose_rd_failover () =
+  let it, w = rd_goose () in
+  let w, _ =
+    Sched.Runner.run1 w (I.run_func_value it "Write" [ G.VInt 0; G.VString "kept" ])
+  in
+  (* fail disk 1 by hand; the read must fail over to disk 2 *)
+  let w = { w with I.tdisk = Disk.Two_disk.fail w.I.tdisk Disk.Two_disk.D1 } in
+  let _, v = Sched.Runner.run1 w (I.run_func_value it "Read" [ G.VInt 0 ]) in
+  Alcotest.(check bool) "failover" true (V.equal v (V.str "kept"))
+
+let test_goose_rd_recover_copies () =
+  let it, w = rd_goose () in
+  (* diverge the disks as a crash mid-write would *)
+  let td = w.I.tdisk in
+  let td =
+    match Disk.Two_disk.disk td Disk.Two_disk.D1 with
+    | Some d1 ->
+      Disk.Two_disk.
+        { td with d1 = Some (Disk.Single_disk.set d1 0 (Disk.Block.of_string "new")) }
+    | None -> td
+  in
+  let w = I.crash_world { w with I.tdisk = td } in
+  let w, _ = Sched.Runner.run1 w (I.run_func_value it "Recover" []) in
+  (match Disk.Two_disk.disk w.I.tdisk Disk.Two_disk.D2 with
+  | Some d2 ->
+    Alcotest.(check string) "disk 2 repaired" "new"
+      (Disk.Block.to_string (Disk.Single_disk.get d2 0))
+  | None -> Alcotest.fail "disk 2 missing")
+
+let test_goose_rd_refinement () =
+  (* Figures 4+5 refine Figure 3, under crash + disk-failure injection,
+     with the double read-back probe that exposes divergence. *)
+  let it, w = rd_goose ~may_fail:true () in
+  let spec = Systems.Replicated_disk.spec 1 in
+  let read_probe =
+    (Tslang.Spec.call "rd_read" [ V.int 0 ], I.run_func_value it "Read" [ G.VInt 0 ])
+  in
+  let cfg =
+    Perennial_core.Refinement.config ~spec ~init_world:w ~crash_world:I.crash_world
+      ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "rd_write" [ V.int 0; V.str "x" ],
+             I.run_func_value it "Write" [ G.VInt 0; G.VString "x" ]) ] ]
+      ~recovery:(I.run_func_value it "Recover" [])
+      ~post:[ read_probe; read_probe ]
+      ~max_crashes:1 ~step_budget:30_000_000 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_holds _ -> ()
+  | Perennial_core.Refinement.Refinement_violated (f, _) ->
+    Alcotest.failf "goose rd: %a" Perennial_core.Refinement.pp_failure f
+  | Perennial_core.Refinement.Budget_exhausted s ->
+    Alcotest.failf "budget: %a" Perennial_core.Refinement.pp_stats s
+
+let test_goose_rd_broken_recovery_rejected () =
+  (* recovery that copies the wrong direction is NOT wrong (it reverts an
+     unacknowledged write), but recovery that zeroes disk 2 loses
+     acknowledged data: the checker must catch it through the Goose
+     pipeline too *)
+  let zero_src =
+    {|package rdbad
+import "twodisk"
+func Recover() {
+	size := twodisk.Size()
+	for a := 0; a < size; a = a + 1 {
+		twodisk.Write(1, a, []byte("0"))
+		twodisk.Write(2, a, []byte("0"))
+	}
+}|}
+  in
+  let bad = I.make (parse_and_check zero_src) in
+  let it, w = rd_goose () in
+  let spec = Systems.Replicated_disk.spec 1 in
+  let read_probe =
+    (Tslang.Spec.call "rd_read" [ V.int 0 ], I.run_func_value it "Read" [ G.VInt 0 ])
+  in
+  let cfg =
+    Perennial_core.Refinement.config ~spec ~init_world:w ~crash_world:I.crash_world
+      ~pp_world:I.pp_world
+      ~threads:
+        [ [ (Tslang.Spec.call "rd_write" [ V.int 0; V.str "x" ],
+             I.run_func_value it "Write" [ G.VInt 0; G.VString "x" ]) ] ]
+      ~recovery:(I.run_func_value bad "Recover" [])
+      ~post:[ read_probe ]
+      ~max_crashes:1 ()
+  in
+  match Perennial_core.Refinement.check cfg with
+  | Perennial_core.Refinement.Refinement_violated _ -> ()
+  | _ -> Alcotest.fail "zeroing recovery not caught through goose"
+
+let suite =
+
+
+
+  [
+    Alcotest.test_case "lexer: basics" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer: semicolon insertion" `Quick test_lexer_semicolon_insertion;
+    Alcotest.test_case "lexer: comments and strings" `Quick test_lexer_comments_strings;
+    Alcotest.test_case "lexer: error" `Quick test_lexer_error;
+    Alcotest.test_case "parser: mailboat.go" `Quick test_parse_mailboat;
+    Alcotest.test_case "parser: error reported" `Quick test_parse_error_reported;
+    Alcotest.test_case "parser: for forms" `Quick test_parse_for_forms;
+    Alcotest.test_case "typecheck: mailboat.go" `Quick test_typecheck_mailboat;
+    Alcotest.test_case "typecheck: bad stdlib call" `Quick test_typecheck_rejects_bad_call;
+    Alcotest.test_case "typecheck: unknown function" `Quick test_typecheck_rejects_unknown_fn;
+    Alcotest.test_case "typecheck: arity" `Quick test_typecheck_rejects_arity;
+    Alcotest.test_case "typecheck: operands" `Quick test_typecheck_rejects_bad_operands;
+    Alcotest.test_case "typecheck: return arity" `Quick test_typecheck_rejects_return_arity;
+    Alcotest.test_case "typecheck: undeclared assign" `Quick test_typecheck_rejects_undeclared_assign;
+    Alcotest.test_case "translate: mailboat.go -> Coq model" `Quick test_translate_mailboat;
+    Alcotest.test_case "translate: rejects untypeable" `Quick test_translate_rejects_untypeable;
+    Alcotest.test_case "interp: arithmetic" `Quick test_interp_arith;
+    Alcotest.test_case "interp: loops" `Quick test_interp_loop_sum;
+    Alcotest.test_case "interp: slices and maps" `Quick test_interp_slices_maps;
+    Alcotest.test_case "interp: structs and pointers" `Quick test_interp_structs_pointers;
+    Alcotest.test_case "interp: strings and bytes" `Quick test_interp_strings;
+    Alcotest.test_case "interp: file system" `Quick test_interp_filesystem;
+    Alcotest.test_case "interp: loop fuel" `Quick test_interp_infinite_loop_fuel;
+    Alcotest.test_case "race detected (§6.1)" `Quick test_race_detected;
+    Alcotest.test_case "no race without detection" `Quick test_no_race_without_detection;
+    Alcotest.test_case "crash model (§6.2)" `Quick test_crash_model;
+    Alcotest.test_case "goose mailboat: deliver+pickup" `Quick test_goose_mailboat_deliver_pickup;
+    Alcotest.test_case "goose mailboat: ID collision retry" `Quick test_goose_mailboat_id_collision_retry;
+    Alcotest.test_case "goose mailboat: recover" `Quick test_goose_mailboat_recover;
+    Alcotest.test_case "goose mailboat: refinement (crash)" `Quick test_goose_mailboat_refinement_single_deliver;
+    Alcotest.test_case "goose wal: write+read" `Quick test_goose_wal_write_read;
+    Alcotest.test_case "goose wal: recover replays" `Quick test_goose_wal_recover_replays;
+    Alcotest.test_case "goose wal: refinement (2 crashes)" `Quick test_goose_wal_refinement;
+    Alcotest.test_case "goose wal: differential vs native" `Quick test_goose_wal_differential;
+    Alcotest.test_case "goose shadow: write+read" `Quick test_goose_shadow_write_read;
+    Alcotest.test_case "goose shadow: crash before flip" `Quick test_goose_shadow_crash_before_flip_invisible;
+    Alcotest.test_case "goose shadow: refinement (crash)" `Quick test_goose_shadow_refinement;
+    Alcotest.test_case "goose rd: write+read (Fig. 4)" `Quick test_goose_rd_write_read;
+    Alcotest.test_case "goose rd: failover" `Quick test_goose_rd_failover;
+    Alcotest.test_case "goose rd: recover copies (Fig. 5)" `Quick test_goose_rd_recover_copies;
+    Alcotest.test_case "goose rd: refinement (crash+failure)" `Quick test_goose_rd_refinement;
+    Alcotest.test_case "goose rd: zeroing recovery caught" `Quick test_goose_rd_broken_recovery_rejected;
+    Alcotest.test_case "goose mailboat: deferred durability" `Quick test_goose_mailboat_deferred_durability;
+  ]

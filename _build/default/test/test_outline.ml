@@ -1,0 +1,289 @@
+(* Tests for the proof-outline checker: the replicated-disk proof must be
+   accepted; broken proofs and broken implementations must be rejected with
+   the right rule. *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module Pu = Seplogic.Pure
+module O = Perennial_core.Outline
+module P = Systems.Rd_proof
+
+let expect_accept name result =
+  match result with
+  | O.Accepted _ -> ()
+  | O.Rejected why -> Alcotest.failf "%s rejected: %s" name why
+
+let expect_reject name substring result =
+  match result with
+  | O.Rejected why ->
+    if not (Astring_contains.contains why substring) then
+      Alcotest.failf "%s rejected for the wrong reason: %s" name why
+  | O.Accepted r -> Alcotest.failf "%s unexpectedly accepted (%a)" name O.pp_report r
+
+(* --- the real proof goes through --- *)
+
+let test_rd_proof_size1 () =
+  List.iter (fun (name, r) -> expect_accept name r) (P.check 1)
+
+let test_rd_proof_size2 () =
+  List.iter (fun (name, r) -> expect_accept name r) (P.check 2)
+
+(* --- broken proofs / implementations are rejected --- *)
+
+let sys = P.system 1
+
+(* Write without acquiring the lock: no lease available. *)
+let test_write_without_lock () =
+  let outline =
+    {
+      O.o_op = "rd_write";
+      o_args = [ Sv.int 0; Sv.var "v" ];
+      o_ret = Sv.unit;
+      o_body =
+        [
+          O.Open_inv
+            { name = "c0"; body = [ O.Write_durable { loc = "d1[0]"; value = Sv.var "v" } ] };
+        ];
+    }
+  in
+  expect_reject "unlocked write" "lease" (O.check_op sys outline)
+
+(* Write outside any invariant opening: no master copy at hand. *)
+let test_write_without_invariant () =
+  let outline =
+    {
+      O.o_op = "rd_write";
+      o_args = [ Sv.int 0; Sv.var "v" ];
+      o_ret = Sv.unit;
+      o_body = [ O.Acquire 0; O.Write_durable { loc = "d1[0]"; value = Sv.var "v" }; O.Release 0 ];
+    }
+  in
+  expect_reject "uninvariant write" "master" (O.check_op sys outline)
+
+(* Both disk writes under a single invariant opening: not atomic. *)
+let test_two_writes_one_open () =
+  let outline =
+    {
+      O.o_op = "rd_write";
+      o_args = [ Sv.int 0; Sv.var "v" ];
+      o_ret = Sv.unit;
+      o_body =
+        [
+          O.Acquire 0;
+          O.Open_inv
+            {
+              name = "c0";
+              body =
+                [
+                  O.Write_durable { loc = "d1[0]"; value = Sv.var "v" };
+                  O.Write_durable { loc = "d2[0]"; value = Sv.var "v" };
+                ];
+            };
+          O.Release 0;
+        ];
+    }
+  in
+  expect_reject "two writes in one open" "more than one atomic step"
+    (O.check_op sys outline)
+
+(* Missing the case split: neither disjunct's guard is provable at close. *)
+let test_missing_case_split () =
+  let outline =
+    { (P.write_outline 0) with
+      O.o_body =
+        (match (P.write_outline 0).O.o_body with
+        | acquire :: read :: _case :: rest -> acquire :: read :: rest
+        | _ -> assert false);
+    }
+  in
+  expect_reject "missing case split" "cannot close" (O.check_op sys outline)
+
+(* Forgetting to simulate: the operation never linearizes, so the
+   postcondition j ⤇ ret is not available. *)
+let test_missing_simulation () =
+  let outline =
+    {
+      O.o_op = "rd_write";
+      o_args = [ Sv.int 0; Sv.var "v" ];
+      o_ret = Sv.unit;
+      o_body =
+        [
+          O.Acquire 0;
+          O.Read_durable { loc = "d1[0]"; bind = "old" };
+          O.Case_eq (Sv.var "v", Sv.var "old");
+          O.Open_inv
+            { name = "c0"; body = [ O.Write_durable { loc = "d1[0]"; value = Sv.var "v" } ] };
+          O.Open_inv
+            { name = "c0"; body = [ O.Write_durable { loc = "d2[0]"; value = Sv.var "v" } ] };
+          O.Release 0;
+        ];
+    }
+  in
+  (* The failure manifests at invariant close: without the ghost step the
+     abstract state can no longer match the disks. *)
+  expect_reject "missing simulation" "cannot close" (O.check_op sys outline)
+
+(* Leaving the lock held at the end. *)
+let test_unreleased_lock () =
+  let outline =
+    { (P.read_outline 0) with
+      O.o_body =
+        (match (P.read_outline 0).O.o_body with
+        | [ a; b; c; O.Release _ ] -> [ a; b; c ]
+        | _ -> assert false);
+    }
+  in
+  expect_reject "unreleased lock" "holding locks" (O.check_op sys outline)
+
+(* Zeroing recovery: changing disk 1 requires simulating a write of zero,
+   for which no token exists. *)
+let test_zeroing_recovery () =
+  let recovery =
+    {
+      O.r_body =
+        [
+          O.Synthesize "d1[0]";
+          O.Synthesize "d2[0]";
+          O.Atomic [ O.Write_durable { loc = "d1[0]"; value = Sv.str "0" } ];
+          O.Atomic [ O.Write_durable { loc = "d2[0]"; value = Sv.str "0" } ];
+          O.Crash_step;
+        ];
+    }
+  in
+  expect_reject "zeroing recovery" "idempotence" (O.check_recovery sys recovery)
+
+(* Recovery that never repairs the disks cannot re-establish the lock
+   invariant (leases must agree). *)
+let test_noop_recovery () =
+  let recovery =
+    { O.r_body = [ O.Synthesize "d1[0]"; O.Synthesize "d2[0]"; O.Crash_step ] }
+  in
+  expect_reject "noop recovery" "abstraction relation" (O.check_recovery sys recovery)
+
+(* Lease synthesis outside recovery is forbidden (the version bump only
+   happens at a crash). *)
+let test_synthesis_outside_recovery () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body = [ O.Synthesize "d1[0]" ];
+    }
+  in
+  expect_reject "synthesis outside recovery" "outside recovery" (O.check_op sys outline)
+
+(* A crash invariant mentioning a volatile capability violates the
+   crash-invariance side condition. *)
+let test_volatile_crash_invariant () =
+  let bad_sys =
+    { sys with
+      O.crash_invs =
+        [ ("c0", [ A.heap [ A.lease "d1[0]" (Sv.var "w") ] ]) ];
+    }
+  in
+  let recovery = { O.r_body = [ O.Crash_step ] } in
+  expect_reject "volatile crash invariant" "volatile" (O.check_recovery bad_sys recovery)
+
+(* Double acquisition of the same lock self-deadlocks. *)
+let test_double_acquire () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body = [ O.Acquire 0; O.Acquire 0 ];
+    }
+  in
+  expect_reject "double acquire" "re-acquired" (O.check_op sys outline)
+
+(* Missing Crash_step: recovery never simulates the spec crash, so ⤇Done is
+   not available. *)
+let test_missing_crash_step () =
+  let recovery =
+    { O.r_body = List.concat_map P.recover_addr [ 0 ] }
+  in
+  expect_reject "missing crash step" "abstraction relation" (O.check_recovery sys recovery)
+
+(* --- memory-rule and structural edges --- *)
+
+let test_read_mem_without_pts () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body = [ O.Read_mem { ptr = "nowhere"; bind = "r" } ];
+    }
+  in
+  expect_reject "load without pts" "without p" (O.check_op sys outline)
+
+let test_alloc_reuse_rejected () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body =
+        [ O.Alloc_mem { ptr = "p"; value = Sv.int 1 };
+          O.Alloc_mem { ptr = "p"; value = Sv.int 2 } ];
+    }
+  in
+  expect_reject "alloc reuse" "reuses live pointer" (O.check_op sys outline)
+
+let test_open_inside_atomic_rejected () =
+  let recovery =
+    { O.r_body =
+        [ O.Atomic
+            [ O.Open_inv { name = "c0"; body = [] } ] ] }
+  in
+  expect_reject "open inside atomic" "more than one physical step"
+    (O.check_recovery sys recovery)
+
+let test_assert_eq_unprovable () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body = [ O.Assert_eq (Sv.var "a", Sv.var "b") ];
+    }
+  in
+  expect_reject "assert unprovable" "not provable" (O.check_op sys outline)
+
+let test_simulate_without_token () =
+  let outline =
+    {
+      O.o_op = "rd_read";
+      o_args = [ Sv.int 0 ];
+      o_ret = Sv.var "r";
+      o_body =
+        [ O.Simulate { op = "rd_write"; args = [ Sv.int 0; Sv.str "z" ]; bind_ret = "r" } ];
+    }
+  in
+  (* the pre-heap holds a token for rd_read, not rd_write *)
+  expect_reject "simulate without matching token" "token" (O.check_op sys outline)
+
+let suite =
+
+  [
+    Alcotest.test_case "rd proof accepted (1 address)" `Quick test_rd_proof_size1;
+    Alcotest.test_case "rd proof accepted (2 addresses)" `Quick test_rd_proof_size2;
+    Alcotest.test_case "reject: write without lock" `Quick test_write_without_lock;
+    Alcotest.test_case "reject: write without invariant" `Quick test_write_without_invariant;
+    Alcotest.test_case "reject: two writes in one open" `Quick test_two_writes_one_open;
+    Alcotest.test_case "reject: missing case split" `Quick test_missing_case_split;
+    Alcotest.test_case "reject: missing simulation" `Quick test_missing_simulation;
+    Alcotest.test_case "reject: unreleased lock" `Quick test_unreleased_lock;
+    Alcotest.test_case "reject: zeroing recovery" `Quick test_zeroing_recovery;
+    Alcotest.test_case "reject: noop recovery" `Quick test_noop_recovery;
+    Alcotest.test_case "reject: synthesis outside recovery" `Quick test_synthesis_outside_recovery;
+    Alcotest.test_case "reject: volatile crash invariant" `Quick test_volatile_crash_invariant;
+    Alcotest.test_case "reject: double acquire" `Quick test_double_acquire;
+    Alcotest.test_case "reject: missing crash step" `Quick test_missing_crash_step;
+    Alcotest.test_case "reject: load without pts" `Quick test_read_mem_without_pts;
+    Alcotest.test_case "reject: alloc reuse" `Quick test_alloc_reuse_rejected;
+    Alcotest.test_case "reject: open inside atomic" `Quick test_open_inside_atomic_rejected;
+    Alcotest.test_case "reject: unprovable assertion" `Quick test_assert_eq_unprovable;
+    Alcotest.test_case "reject: simulate without token" `Quick test_simulate_without_token;
+  ]

@@ -1,0 +1,220 @@
+(* Tests for the assertion layer: symbolic values, the pure congruence
+   solver, and heap entailment with frame inference. *)
+
+module Sv = Seplogic.Sval
+module Pu = Seplogic.Pure
+module A = Seplogic.Assertion
+module V = Tslang.Value
+
+(* --- symbolic values --- *)
+
+let test_sval_equal () =
+  Alcotest.(check bool) "const eq" true (Sv.equal (Sv.int 3) (Sv.int 3));
+  Alcotest.(check bool) "var eq" true (Sv.equal (Sv.var "x") (Sv.var "x"));
+  Alcotest.(check bool) "var neq" false (Sv.equal (Sv.var "x") (Sv.var "y"));
+  (* concrete pairs and structural pairs coincide *)
+  Alcotest.(check bool) "pair canonical" true
+    (Sv.equal (Sv.const (V.pair (V.int 1) (V.int 2))) (Sv.pair (Sv.int 1) (Sv.int 2)))
+
+let test_sval_subst () =
+  let s = Sv.Subst.add "x" (Sv.int 5) Sv.Subst.empty in
+  Alcotest.(check bool) "resolve" true (Sv.equal (Sv.apply s (Sv.var "x")) (Sv.int 5));
+  Alcotest.(check bool) "resolve in pair" true
+    (Sv.equal (Sv.apply s (Sv.pair (Sv.var "x") (Sv.var "y")))
+       (Sv.pair (Sv.int 5) (Sv.var "y")))
+
+let test_sval_unify () =
+  (match Sv.unify Sv.Subst.empty (Sv.var "x") (Sv.int 7) with
+  | Some s -> Alcotest.(check bool) "bound" true (Sv.equal (Sv.apply s (Sv.var "x")) (Sv.int 7))
+  | None -> Alcotest.fail "unify failed");
+  Alcotest.(check bool) "const clash" true
+    (Sv.unify Sv.Subst.empty (Sv.int 1) (Sv.int 2) = None);
+  (* pairs unify componentwise *)
+  match Sv.unify Sv.Subst.empty (Sv.pair (Sv.var "a") (Sv.var "b")) (Sv.pair (Sv.int 1) (Sv.int 2)) with
+  | Some s ->
+    Alcotest.(check bool) "a" true (Sv.equal (Sv.apply s (Sv.var "a")) (Sv.int 1));
+    Alcotest.(check bool) "b" true (Sv.equal (Sv.apply s (Sv.var "b")) (Sv.int 2))
+  | None -> Alcotest.fail "pair unify failed"
+
+(* --- pure solver --- *)
+
+let x = Sv.var "x"
+let y = Sv.var "y"
+let z = Sv.var "z"
+
+let test_pure_transitivity () =
+  let hyps = [ Pu.eq x y; Pu.eq y z ] in
+  Alcotest.(check bool) "x = z" true (Pu.entails hyps (Pu.eq x z));
+  Alcotest.(check bool) "not x = w" false (Pu.entails hyps (Pu.eq x (Sv.var "w")))
+
+let test_pure_constants () =
+  let hyps = [ Pu.eq x (Sv.int 3) ] in
+  Alcotest.(check bool) "x = 3" true (Pu.entails hyps (Pu.eq x (Sv.int 3)));
+  Alcotest.(check bool) "x <> 4" true (Pu.entails hyps (Pu.neq x (Sv.int 4)));
+  Alcotest.(check bool) "inconsistent" true (Pu.inconsistent (Pu.eq x (Sv.int 4) :: hyps))
+
+let test_pure_neq () =
+  let hyps = [ Pu.neq x y; Pu.eq y z ] in
+  Alcotest.(check bool) "x <> z via class" true (Pu.entails hyps (Pu.neq x z));
+  Alcotest.(check bool) "contradiction on merge" true
+    (Pu.inconsistent (Pu.eq x z :: hyps))
+
+let test_pure_pairs () =
+  let hyps = [ Pu.eq (Sv.pair x y) (Sv.pair (Sv.int 1) (Sv.int 2)) ] in
+  Alcotest.(check bool) "components propagate" true
+    (Pu.entails hyps (Pu.eq x (Sv.int 1)) && Pu.entails hyps (Pu.eq y (Sv.int 2)));
+  Alcotest.(check bool) "pair vs non-pair const" true
+    (Pu.inconsistent [ Pu.eq (Sv.pair x y) (Sv.int 3) ])
+
+let test_pure_vacuous () =
+  (* from a contradiction, everything follows *)
+  let hyps = [ Pu.eq x (Sv.int 1); Pu.eq x (Sv.int 2) ] in
+  Alcotest.(check bool) "ex falso" true (Pu.entails hyps (Pu.eq y z))
+
+(* --- entailment and frames --- *)
+
+let test_match_exact () =
+  let scr = A.heap [ A.master "d" (Sv.int 5); A.lease "d" (Sv.int 5) ] in
+  let pat = A.heap [ A.master "d" (Sv.var "v") ] in
+  match A.match_heap ~scrutinee:scr ~pattern:pat () with
+  | Some { A.subst; frame } ->
+    Alcotest.(check bool) "v bound to 5" true
+      (Sv.equal (Sv.apply subst (Sv.var "v")) (Sv.int 5));
+    Alcotest.(check int) "frame has the lease" 1 (List.length frame)
+  | None -> Alcotest.fail "match failed"
+
+let test_match_shared_var () =
+  (* the pattern shares one variable across two atoms: the scrutinee must
+     agree via its pures *)
+  let scr =
+    A.heap
+      ~pures:[ Pu.eq (Sv.var "a") (Sv.var "b") ]
+      [ A.master "d1" (Sv.var "a"); A.master "d2" (Sv.var "b") ]
+  in
+  let pat = A.heap [ A.master "d1" (Sv.var "w"); A.master "d2" (Sv.var "w") ] in
+  Alcotest.(check bool) "entails with shared var" true
+    (A.match_heap ~scrutinee:scr ~pattern:pat () <> None);
+  let scr_bad = A.heap [ A.master "d1" (Sv.int 1); A.master "d2" (Sv.int 2) ] in
+  Alcotest.(check bool) "fails when values differ" true
+    (A.match_heap ~scrutinee:scr_bad ~pattern:pat () = None)
+
+let test_match_rigid () =
+  (* a rigid pattern variable must be justified by the pures, not bound *)
+  let scr = A.heap ~pures:[ Pu.eq (Sv.var "r") (Sv.int 9) ] [ A.spec_ret (Sv.var "j") (Sv.int 9) ] in
+  let pat = A.heap [ A.spec_ret (Sv.var "j") (Sv.var "r") ] in
+  Alcotest.(check bool) "rigid var justified" true
+    (A.match_heap ~rigid:[ "r" ] ~scrutinee:scr ~pattern:pat () <> None);
+  let scr_bad =
+    A.heap ~pures:[ Pu.eq (Sv.var "r") (Sv.int 9) ] [ A.spec_ret (Sv.var "j") (Sv.int 8) ]
+  in
+  Alcotest.(check bool) "rigid var mismatch fails" true
+    (A.match_heap ~rigid:[ "r" ] ~scrutinee:scr_bad ~pattern:pat () = None)
+
+let test_match_tokens () =
+  let scr =
+    A.heap
+      [ A.spec_tok (Sv.var "j") "rd_write" [ Sv.int 0; Sv.var "v" ];
+        A.crash_tok A.Crashing; A.tok "t"; A.dtok "d" ]
+  in
+  let pat = A.heap [ A.spec_tok (Sv.var "jj") "rd_write" [ Sv.int 0; Sv.var "w" ] ] in
+  (match A.match_heap ~scrutinee:scr ~pattern:pat () with
+  | Some { A.frame; _ } -> Alcotest.(check int) "3 leftover" 3 (List.length frame)
+  | None -> Alcotest.fail "token match failed");
+  let pat_wrong_op = A.heap [ A.spec_tok (Sv.var "jj") "rd_read" [ Sv.int 0 ] ] in
+  Alcotest.(check bool) "wrong op fails" true
+    (A.match_heap ~scrutinee:scr ~pattern:pat_wrong_op () = None)
+
+let test_match_inconsistent_scrutinee () =
+  let scr = A.heap ~pures:[ Pu.eq (Sv.int 1) (Sv.int 2) ] [] in
+  let pat = A.heap [ A.master "anything" (Sv.int 5) ] in
+  Alcotest.(check bool) "ex falso heap" true (A.match_heap ~scrutinee:scr ~pattern:pat () <> None)
+
+let test_heap_invalid () =
+  Alcotest.(check bool) "two masters same loc" true
+    (A.heap_invalid (A.heap [ A.master "d" (Sv.int 1); A.master "d" (Sv.int 2) ]));
+  Alcotest.(check bool) "master+lease ok" false
+    (A.heap_invalid (A.heap [ A.master "d" (Sv.int 1); A.lease "d" (Sv.int 1) ]));
+  Alcotest.(check bool) "two crash tokens" true
+    (A.heap_invalid (A.heap [ A.crash_tok A.Crashing; A.crash_tok A.Done_crash ]));
+  Alcotest.(check bool) "two spec toks fine (different threads)" false
+    (A.heap_invalid
+       (A.heap
+          [ A.spec_tok (Sv.var "j1") "op" []; A.spec_tok (Sv.var "j2") "op" [] ]))
+
+let test_durability_classification () =
+  Alcotest.(check bool) "master durable" true (A.durable (A.master "d" x));
+  Alcotest.(check bool) "cell durable" true (A.durable (A.spec_cell "k" x));
+  Alcotest.(check bool) "tok-j durable (helping!)" true
+    (A.durable (A.spec_tok x "op" []));
+  Alcotest.(check bool) "lease volatile" false (A.durable (A.lease "d" x));
+  Alcotest.(check bool) "pts volatile" false (A.durable (A.pts "p" x));
+  Alcotest.(check bool) "ret volatile" false (A.durable (A.spec_ret x y))
+
+let test_entails_disjunction () =
+  let scr = A.heap [ A.master "d" (Sv.int 2) ] in
+  let pattern =
+    [ A.heap [ A.master "d" (Sv.int 1) ]; A.heap [ A.master "d" (Sv.int 2) ] ]
+  in
+  match A.entails ~scrutinee:scr ~pattern () with
+  | Some (i, _) -> Alcotest.(check int) "second disjunct" 1 i
+  | None -> Alcotest.fail "disjunction entailment failed"
+
+(* --- property tests --- *)
+
+let gen_sval =
+  QCheck.Gen.(
+    oneof
+      [ map Sv.int (int_bound 5);
+        map Sv.var (oneofl [ "x"; "y"; "z"; "w" ]);
+        map2 (fun a b -> Sv.pair (Sv.int a) (Sv.var b)) (int_bound 3) (oneofl [ "x"; "y" ]) ])
+
+let arb_sval = QCheck.make ~print:Sv.to_string gen_sval
+
+let prop_entails_refl =
+  QCheck.Test.make ~name:"Pure: x = x always entailed" ~count:100 arb_sval (fun v ->
+      Pu.entails [] (Pu.eq v v))
+
+let prop_entails_weakening =
+  QCheck.Test.make ~name:"Pure: entailment is monotone in hypotheses" ~count:200
+    QCheck.(pair (pair arb_sval arb_sval) (pair arb_sval arb_sval))
+    (fun ((a, b), (c, d)) ->
+      let goal = Pu.eq a b in
+      let hyps = [ Pu.eq a b ] in
+      (* adding any consistent fact preserves entailment *)
+      let hyps' = Pu.eq c d :: hyps in
+      (not (Pu.entails hyps goal)) || Pu.entails hyps' goal)
+
+let prop_frame_size =
+  QCheck.Test.make ~name:"Assertion: frame = scrutinee minus pattern atoms" ~count:100
+    QCheck.(int_bound 4)
+    (fun n ->
+      let scr = A.heap (List.init (n + 1) (fun i -> A.master (Printf.sprintf "l%d" i) (Sv.int i))) in
+      let pat = A.heap [ A.master "l0" (Sv.var "v") ] in
+      match A.match_heap ~scrutinee:scr ~pattern:pat () with
+      | Some { A.frame; _ } -> List.length frame = n
+      | None -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_entails_refl; prop_entails_weakening; prop_frame_size ]
+
+let suite =
+  [
+    Alcotest.test_case "sval equal / canonical pairs" `Quick test_sval_equal;
+    Alcotest.test_case "sval substitution" `Quick test_sval_subst;
+    Alcotest.test_case "sval unification" `Quick test_sval_unify;
+    Alcotest.test_case "pure: transitivity" `Quick test_pure_transitivity;
+    Alcotest.test_case "pure: constants" `Quick test_pure_constants;
+    Alcotest.test_case "pure: disequalities" `Quick test_pure_neq;
+    Alcotest.test_case "pure: pairs componentwise" `Quick test_pure_pairs;
+    Alcotest.test_case "pure: ex falso" `Quick test_pure_vacuous;
+    Alcotest.test_case "match: bind + frame" `Quick test_match_exact;
+    Alcotest.test_case "match: shared pattern var" `Quick test_match_shared_var;
+    Alcotest.test_case "match: rigid vars" `Quick test_match_rigid;
+    Alcotest.test_case "match: tokens" `Quick test_match_tokens;
+    Alcotest.test_case "match: inconsistent scrutinee" `Quick test_match_inconsistent_scrutinee;
+    Alcotest.test_case "heap invalidity (exclusivity)" `Quick test_heap_invalid;
+    Alcotest.test_case "durability classification (§5.2)" `Quick test_durability_classification;
+    Alcotest.test_case "entails picks a disjunct" `Quick test_entails_disjunction;
+  ]
+  @ qcheck_tests

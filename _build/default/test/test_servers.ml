@@ -1,0 +1,278 @@
+(* Tests for the running mail servers, the SMTP/POP3 protocol layer, the
+   workload generator, and real multi-domain execution. *)
+
+module S = Mailboat.Server
+
+let new_server ?(kind = S.Mailboat_server) ?(users = 4) () = S.create ~kind ~users ()
+
+(* --- server operations --- *)
+
+let test_deliver_pickup_roundtrip () =
+  let s = new_server () in
+  let id = S.deliver s ~user:1 "hello there" in
+  (match S.pickup s ~user:1 with
+  | [ (id', contents) ] ->
+    Alcotest.(check string) "id" id id';
+    Alcotest.(check string) "contents" "hello there" contents
+  | l -> Alcotest.failf "expected 1 message, got %d" (List.length l));
+  S.unlock s ~user:1
+
+let test_delete_under_lock () =
+  let s = new_server () in
+  let id = S.deliver s ~user:0 "m" in
+  let msgs = S.pickup s ~user:0 in
+  Alcotest.(check int) "one before" 1 (List.length msgs);
+  S.delete s ~user:0 id;
+  S.unlock s ~user:0;
+  let msgs = S.pickup s ~user:0 in
+  S.unlock s ~user:0;
+  Alcotest.(check int) "zero after" 0 (List.length msgs)
+
+let test_large_message_chunks () =
+  let s = new_server () in
+  let big = String.init 10_000 (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  ignore (S.deliver s ~user:2 big);
+  (match S.pickup s ~user:2 with
+  | [ (_, contents) ] -> Alcotest.(check int) "length preserved" 10_000 (String.length contents)
+  | _ -> Alcotest.fail "message lost");
+  S.unlock s ~user:2
+
+let test_recover_cleans_spool_only () =
+  let s = new_server () in
+  ignore (S.deliver s ~user:0 "keep me");
+  ignore (Gfs.Tmpfs.create s.S.fs "spool" "tmp-leftover");
+  S.crash s;
+  S.recover s;
+  Alcotest.(check (list string)) "spool empty" [] (Gfs.Tmpfs.list_dir s.S.fs "spool");
+  Alcotest.(check int) "mailbox intact" 1 (List.length (S.peek_mailbox s ~user:0))
+
+let test_file_lock_servers_functional () =
+  List.iter
+    (fun kind ->
+      let s = new_server ~kind () in
+      ignore (S.deliver s ~user:3 "via file locks");
+      let msgs = S.pickup s ~user:3 in
+      S.unlock s ~user:3;
+      Alcotest.(check int) (S.kind_name kind ^ " works") 1 (List.length msgs);
+      (* the lock file must not appear as a message *)
+      List.iter (fun (id, _) -> Alcotest.(check bool) "no dotfile" false (id.[0] = '.')) msgs)
+    [ S.Gomail; S.Cmail ]
+
+let test_fs_call_accounting () =
+  (* file-lock servers must pay more fs calls for the same work — the
+     mechanism behind Figure 11's single-core gap *)
+  let count kind =
+    let s = new_server ~kind () in
+    ignore (S.deliver s ~user:0 "x");
+    ignore (S.pickup s ~user:0);
+    S.unlock s ~user:0;
+    s.S.fs_calls
+  in
+  let mailboat = count S.Mailboat_server and gomail = count S.Gomail in
+  Alcotest.(check bool)
+    (Printf.sprintf "gomail (%d) > mailboat (%d)" gomail mailboat)
+    true (gomail > mailboat)
+
+(* --- real concurrency with domains --- *)
+
+let test_concurrent_domains () =
+  let s = new_server ~users:8 () in
+  let deliver_worker seed () =
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to 50 do
+      ignore (S.deliver s ~user:(Random.State.int rng 8) "concurrent")
+    done
+  in
+  let pickup_worker seed () =
+    let rng = Random.State.make [| seed |] in
+    for _ = 1 to 20 do
+      let u = Random.State.int rng 8 in
+      let msgs = S.pickup s ~user:u in
+      List.iter (fun (_, c) -> assert (c = "concurrent")) msgs;
+      S.unlock s ~user:u
+    done
+  in
+  let domains =
+    [ Domain.spawn (deliver_worker 1); Domain.spawn (deliver_worker 2);
+      Domain.spawn (pickup_worker 3) ]
+  in
+  List.iter Domain.join domains;
+  let total =
+    List.init 8 (fun u -> List.length (S.peek_mailbox s ~user:u)) |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "all 100 delivered" 100 total;
+  Alcotest.(check (list string)) "spool clean" [] (Gfs.Tmpfs.list_dir s.S.fs "spool")
+
+(* --- SMTP --- *)
+
+let test_smtp_happy_path () =
+  let s = new_server () in
+  let rs =
+    Mailboat.Smtp.run_script s
+      [ "HELO x"; "MAIL FROM:<a@b>"; "RCPT TO:<user1@c>"; "DATA"; "hi"; "."; "QUIT" ]
+  in
+  Alcotest.(check bool) "queued" true
+    (List.exists (fun r -> Astring_contains.contains r "queued") rs);
+  Alcotest.(check int) "delivered" 1 (List.length (S.peek_mailbox s ~user:1))
+
+let test_smtp_bad_sequence () =
+  let s = new_server () in
+  let session = Mailboat.Smtp.create s in
+  (match Mailboat.Smtp.input session "DATA" with
+  | [ r ] -> Alcotest.(check bool) "503" true (Astring_contains.contains r "503")
+  | _ -> Alcotest.fail "expected one response");
+  match Mailboat.Smtp.input session "RCPT TO:<user0@x>" with
+  | [ r ] -> Alcotest.(check bool) "503 again" true (Astring_contains.contains r "503")
+  | _ -> Alcotest.fail "expected one response"
+
+let test_smtp_unknown_user () =
+  let s = new_server () in
+  let session = Mailboat.Smtp.create s in
+  ignore (Mailboat.Smtp.input session "HELO x");
+  ignore (Mailboat.Smtp.input session "MAIL FROM:<a@b>");
+  match Mailboat.Smtp.input session "RCPT TO:<user99@c>" with
+  | [ r ] -> Alcotest.(check bool) "550" true (Astring_contains.contains r "550")
+  | _ -> Alcotest.fail "expected one response"
+
+let test_smtp_multiple_rcpt () =
+  let s = new_server () in
+  ignore
+    (Mailboat.Smtp.run_script s
+       [ "HELO x"; "MAIL FROM:<a@b>"; "RCPT TO:<user0@c>"; "RCPT TO:<user2@c>"; "DATA";
+         "fanout"; "."; "QUIT" ]);
+  Alcotest.(check int) "user0 got it" 1 (List.length (S.peek_mailbox s ~user:0));
+  Alcotest.(check int) "user2 got it" 1 (List.length (S.peek_mailbox s ~user:2))
+
+let test_smtp_dot_stuffing () =
+  let s = new_server () in
+  ignore
+    (Mailboat.Smtp.run_script s
+       [ "HELO x"; "MAIL FROM:<a@b>"; "RCPT TO:<user0@c>"; "DATA"; "..leading dot"; ".";
+         "QUIT" ]);
+  match S.peek_mailbox s ~user:0 with
+  | [ (_, contents) ] ->
+    Alcotest.(check string) "unstuffed" ".leading dot\n" contents
+  | _ -> Alcotest.fail "message lost"
+
+(* --- POP3 --- *)
+
+let test_pop3_session () =
+  let s = new_server () in
+  ignore (S.deliver s ~user:1 "first");
+  ignore (S.deliver s ~user:1 "second");
+  let p = Mailboat.Pop3.create s in
+  ignore (Mailboat.Pop3.input p "USER user1");
+  (match Mailboat.Pop3.input p "PASS x" with
+  | [ r ] -> Alcotest.(check bool) "2 messages" true (Astring_contains.contains r "2 messages")
+  | _ -> Alcotest.fail "PASS");
+  (match Mailboat.Pop3.input p "STAT" with
+  | [ r ] -> Alcotest.(check bool) "stat 2" true (Astring_contains.contains r "+OK 2")
+  | _ -> Alcotest.fail "STAT");
+  (match Mailboat.Pop3.input p "RETR 1" with
+  | [ _; contents; _ ] ->
+    Alcotest.(check bool) "retrieved" true (contents = "first" || contents = "second")
+  | _ -> Alcotest.fail "RETR");
+  ignore (Mailboat.Pop3.input p "DELE 1");
+  ignore (Mailboat.Pop3.input p "QUIT");
+  (* deletion committed at QUIT; the lock is released *)
+  let remaining = S.pickup s ~user:1 in
+  S.unlock s ~user:1;
+  Alcotest.(check int) "one left" 1 (List.length remaining)
+
+let test_pop3_rset () =
+  let s = new_server () in
+  ignore (S.deliver s ~user:0 "precious");
+  let p = Mailboat.Pop3.create s in
+  ignore (Mailboat.Pop3.input p "USER user0");
+  ignore (Mailboat.Pop3.input p "PASS x");
+  ignore (Mailboat.Pop3.input p "DELE 1");
+  ignore (Mailboat.Pop3.input p "RSET");
+  ignore (Mailboat.Pop3.input p "QUIT");
+  Alcotest.(check int) "survived RSET" 1 (List.length (S.peek_mailbox s ~user:0))
+
+let test_pop3_bad_auth () =
+  let s = new_server () in
+  let p = Mailboat.Pop3.create s in
+  match Mailboat.Pop3.input p "USER nosuch" with
+  | [ r ] -> Alcotest.(check bool) "-ERR" true (Astring_contains.contains r "-ERR")
+  | _ -> Alcotest.fail "expected error"
+
+let test_pop3_lock_session_excludes_delete () =
+  (* while a POP3 session is open (lock held), another pickup blocks; we
+     verify by observing that the lock really is held *)
+  let s = new_server () in
+  ignore (S.deliver s ~user:0 "m");
+  let p = Mailboat.Pop3.create s in
+  ignore (Mailboat.Pop3.input p "USER user0");
+  ignore (Mailboat.Pop3.input p "PASS x");
+  Alcotest.(check bool) "lock held during session" false
+    (Mutex.try_lock s.S.user_mutexes.(0));
+  ignore (Mailboat.Pop3.input p "QUIT");
+  Alcotest.(check bool) "lock free after QUIT" true (Mutex.try_lock s.S.user_mutexes.(0));
+  Mutex.unlock s.S.user_mutexes.(0)
+
+(* --- workload --- *)
+
+let test_workload_reproducible () =
+  let a = Mailboat.Workload.generate ~seed:5 ~users:10 ~n:100 in
+  let b = Mailboat.Workload.generate ~seed:5 ~users:10 ~n:100 in
+  Alcotest.(check bool) "same stream" true (a = b);
+  let c = Mailboat.Workload.generate ~seed:6 ~users:10 ~n:100 in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_workload_mix () =
+  let reqs = Mailboat.Workload.generate ~seed:1 ~users:100 ~n:2000 in
+  let delivers =
+    List.length
+      (List.filter (function Mailboat.Workload.Smtp_deliver _ -> true | _ -> false) reqs)
+  in
+  (* roughly 50/50 *)
+  Alcotest.(check bool) "balanced mix" true (delivers > 800 && delivers < 1200);
+  List.iter
+    (function
+      | Mailboat.Workload.Smtp_deliver { user; _ } | Mailboat.Workload.Pop3_session { user } ->
+        Alcotest.(check bool) "user in range" true (user >= 0 && user < 100))
+    reqs
+
+let test_workload_execution () =
+  let s = new_server ~users:10 () in
+  let reqs = Mailboat.Workload.generate ~seed:3 ~users:10 ~n:300 in
+  List.iter (Mailboat.Workload.perform s) reqs;
+  (* deliveries minus picked-up-and-deleted remain *)
+  let remaining =
+    List.init 10 (fun u -> List.length (S.peek_mailbox s ~user:u)) |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check bool) "bounded residue" true (remaining >= 0 && remaining <= 300)
+
+let test_closed_loop_workers () =
+  let s = new_server ~users:10 () in
+  let reqs = Array.of_list (Mailboat.Workload.generate ~seed:4 ~users:10 ~n:200) in
+  let next = Atomic.make 0 in
+  let d1 = Domain.spawn (Mailboat.Workload.closed_loop s ~requests:reqs ~next) in
+  let d2 = Domain.spawn (Mailboat.Workload.closed_loop s ~requests:reqs ~next) in
+  let c1 = Domain.join d1 and c2 = Domain.join d2 in
+  Alcotest.(check int) "all requests served exactly once" 200 (c1 + c2)
+
+let suite =
+  [
+    Alcotest.test_case "deliver/pickup roundtrip" `Quick test_deliver_pickup_roundtrip;
+    Alcotest.test_case "delete under lock" `Quick test_delete_under_lock;
+    Alcotest.test_case "large message (chunked io)" `Quick test_large_message_chunks;
+    Alcotest.test_case "recover cleans spool only" `Quick test_recover_cleans_spool_only;
+    Alcotest.test_case "file-lock servers functional" `Quick test_file_lock_servers_functional;
+    Alcotest.test_case "fs-call accounting (Fig. 11 mechanism)" `Quick test_fs_call_accounting;
+    Alcotest.test_case "concurrent domains" `Quick test_concurrent_domains;
+    Alcotest.test_case "smtp: happy path" `Quick test_smtp_happy_path;
+    Alcotest.test_case "smtp: bad sequence" `Quick test_smtp_bad_sequence;
+    Alcotest.test_case "smtp: unknown user" `Quick test_smtp_unknown_user;
+    Alcotest.test_case "smtp: multiple recipients" `Quick test_smtp_multiple_rcpt;
+    Alcotest.test_case "smtp: dot stuffing" `Quick test_smtp_dot_stuffing;
+    Alcotest.test_case "pop3: full session" `Quick test_pop3_session;
+    Alcotest.test_case "pop3: RSET" `Quick test_pop3_rset;
+    Alcotest.test_case "pop3: bad auth" `Quick test_pop3_bad_auth;
+    Alcotest.test_case "pop3: session holds the user lock" `Quick test_pop3_lock_session_excludes_delete;
+    Alcotest.test_case "workload: reproducible" `Quick test_workload_reproducible;
+    Alcotest.test_case "workload: 50/50 mix" `Quick test_workload_mix;
+    Alcotest.test_case "workload: execution" `Quick test_workload_execution;
+    Alcotest.test_case "workload: closed-loop workers" `Quick test_closed_loop_workers;
+  ]

@@ -1,0 +1,120 @@
+(* Tests for the shadow-copy proof outlines: the real proof is accepted and
+   proof-level mistakes are rejected. *)
+
+module Sv = Seplogic.Sval
+module O = Perennial_core.Outline
+module P = Systems.Shadow_proof
+
+let expect_accept name result =
+  match result with
+  | O.Accepted _ -> ()
+  | O.Rejected why -> Alcotest.failf "%s rejected: %s" name why
+
+let expect_reject name substring result =
+  match result with
+  | O.Rejected why ->
+    if not (Astring_contains.contains why substring) then
+      Alcotest.failf "%s rejected for the wrong reason: %s" name why
+  | O.Accepted r -> Alcotest.failf "%s unexpectedly accepted (%a)" name O.pp_report r
+
+let test_shadow_proof_accepted () =
+  List.iter (fun (name, r) -> expect_accept name r) (P.check ())
+
+(* Writing the pair in place (into the *active* area) breaks the crash
+   invariant at the first close: the abstract pair no longer matches. *)
+let test_in_place_write_rejected () =
+  let outline =
+    { P.write_outline with
+      O.o_body =
+        [
+          O.Acquire 0;
+          O.Read_durable { loc = "ptr"; bind = "p" };
+          O.Case_eq (Sv.var "p", Sv.str "A");
+          (* unconditionally write the A area: when A is active (the p="A"
+             case), the first torn write cannot close the invariant *)
+          O.Choice [ P.write_path "a0" "a1" (Sv.str "A") ];
+          O.Release 0;
+        ];
+    }
+  in
+  expect_reject "in-place write" "no alternative" (O.check_op P.system outline)
+
+(* Flipping the pointer before filling the shadow: the simulate happens at
+   the flip, but the shadow still holds stale values, so the invariant
+   cannot close. *)
+let test_flip_first_rejected () =
+  let path shadow0 shadow1 new_ptr =
+    [
+      O.Open_inv
+        {
+          name = "shadow";
+          body =
+            [
+              O.Write_durable { loc = "ptr"; value = new_ptr };
+              O.Simulate
+                { op = "pair_write"; args = [ Sv.var "v1"; Sv.var "v2" ]; bind_ret = "r" };
+            ];
+        };
+      O.Open_inv
+        { name = "shadow"; body = [ O.Write_durable { loc = shadow0; value = Sv.var "v1" } ] };
+      O.Open_inv
+        { name = "shadow"; body = [ O.Write_durable { loc = shadow1; value = Sv.var "v2" } ] };
+    ]
+  in
+  let outline =
+    { P.write_outline with
+      O.o_body =
+        [
+          O.Acquire 0;
+          O.Read_durable { loc = "ptr"; bind = "p" };
+          O.Case_eq (Sv.var "p", Sv.str "A");
+          O.Choice [ path "b0" "b1" (Sv.str "B"); path "a0" "a1" (Sv.str "A") ];
+          O.Release 0;
+        ];
+    }
+  in
+  expect_reject "flip before fill" "no alternative" (O.check_op P.system outline)
+
+(* A read that serves the WRONG area cannot justify its return value. *)
+let test_read_wrong_area_rejected () =
+  let outline =
+    { P.read_outline with
+      O.o_body =
+        [
+          O.Acquire 0;
+          O.Read_durable { loc = "ptr"; bind = "p" };
+          O.Case_eq (Sv.var "p", Sv.str "A");
+          (* always read the B area, regardless of the pointer *)
+          O.Choice
+            [
+              [ O.Read_durable { loc = "b0"; bind = "r0" };
+                O.Read_durable { loc = "b1"; bind = "r1" };
+                O.Open_inv
+                  { name = "shadow";
+                    body = [ O.Simulate { op = "pair_read"; args = []; bind_ret = "r" } ] };
+                O.Assert_eq (Sv.var "r", Sv.pair (Sv.var "r0") (Sv.var "r1")) ];
+            ];
+          O.Release 0;
+        ];
+    }
+  in
+  expect_reject "read wrong area" "no alternative" (O.check_op P.system outline)
+
+(* The recovery outline cannot skip the spec crash step. *)
+let test_recovery_missing_crash_step () =
+  let broken =
+    { O.r_body =
+        [ O.Synthesize "ptr"; O.Synthesize "a0"; O.Synthesize "a1"; O.Synthesize "b0";
+          O.Synthesize "b1" ] }
+  in
+  expect_reject "missing crash step" "abstraction relation"
+    (O.check_recovery P.system broken)
+
+let suite =
+  [
+    Alcotest.test_case "shadow proof accepted" `Quick test_shadow_proof_accepted;
+    Alcotest.test_case "reject: in-place write" `Quick test_in_place_write_rejected;
+    Alcotest.test_case "reject: flip before fill" `Quick test_flip_first_rejected;
+    Alcotest.test_case "reject: read wrong area" `Quick test_read_wrong_area_rejected;
+    Alcotest.test_case "reject: recovery missing crash step" `Quick test_recovery_missing_crash_step;
+  ]

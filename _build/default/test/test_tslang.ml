@@ -1,0 +1,308 @@
+(* Tests for the transition-system DSL: Value, Transition, Spec. *)
+
+open Tslang
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+module V = Value
+module T = Transition
+open T.Syntax
+
+(* A tiny counter spec used throughout. *)
+let incr_op : (int, V.t) T.t =
+  let* n = T.reads in
+  let* () = T.puts (n + 1) in
+  T.ret (V.int n)
+
+let bounded_incr limit : (int, V.t) T.t =
+  let* n = T.reads in
+  let* () = T.check (n < limit) in
+  let* () = T.puts (n + 1) in
+  T.ret (V.int n)
+
+(* --- Value tests --- *)
+
+let test_value_equal () =
+  Alcotest.(check bool) "unit" true (V.equal V.unit V.unit);
+  Alcotest.(check bool) "int eq" true (V.equal (V.int 3) (V.int 3));
+  Alcotest.(check bool) "int neq" false (V.equal (V.int 3) (V.int 4));
+  Alcotest.(check bool) "cross-type" false (V.equal (V.int 0) (V.bool false));
+  Alcotest.(check bool) "pair" true
+    (V.equal (V.pair (V.str "a") V.none) (V.pair (V.str "a") V.none));
+  Alcotest.(check bool) "list len" false (V.equal (V.list [ V.unit ]) (V.list []))
+
+let test_value_compare_total () =
+  let samples =
+    [ V.unit; V.bool true; V.bool false; V.int 1; V.int 2; V.str "x";
+      V.pair (V.int 1) (V.int 2); V.list [ V.int 1 ]; V.none; V.some V.unit ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = V.compare a b and c2 = V.compare b a in
+          Alcotest.(check bool) "antisym" true (Int.compare c1 0 = -Int.compare c2 0);
+          if c1 = 0 then Alcotest.(check bool) "eq consistent" true (V.equal a b))
+        samples)
+    samples
+
+let test_value_projections () =
+  Alcotest.(check int) "get_int" 7 (V.get_int (V.int 7));
+  Alcotest.(check string) "get_str" "hi" (V.get_str (V.str "hi"));
+  Alcotest.check_raises "wrong projection"
+    (Invalid_argument "Value.get_int: \"hi\"") (fun () ->
+      ignore (V.get_int (V.str "hi")))
+
+(* --- Transition tests --- *)
+
+let test_ret_pure () =
+  match T.run (T.ret 42) 0 with
+  | [ T.Ok (0, 42) ] -> ()
+  | _ -> Alcotest.fail "ret should not change state"
+
+let test_gets_modify () =
+  let tr =
+    let* n = T.gets (fun s -> s * 2) in
+    let* () = T.modify (fun s -> s + 1) in
+    T.ret n
+  in
+  match T.run tr 10 with
+  | [ T.Ok (11, 20) ] -> ()
+  | _ -> Alcotest.fail "gets/modify sequencing"
+
+let test_undefined_taints_branch () =
+  Alcotest.(check bool) "has_undefined" true (T.has_undefined (bounded_incr 5) 5);
+  Alcotest.(check bool) "no undefined below limit" false
+    (T.has_undefined (bounded_incr 5) 4)
+
+let test_choose_enumerates () =
+  let tr =
+    let* v = T.choose [ 1; 2; 3 ] in
+    let* () = T.modify (fun s -> s + v) in
+    T.ret v
+  in
+  let outs = T.outcomes tr 0 in
+  Alcotest.(check int) "three outcomes" 3 (List.length outs);
+  Alcotest.(check bool) "states" true
+    (List.for_all (fun (s, v) -> s = v) outs)
+
+let test_choose_empty_unsat () =
+  Alcotest.(check int) "no outcomes" 0 (List.length (T.run (T.choose []) 0));
+  Alcotest.(check bool) "guard false prunes" true (T.outcomes (T.guard false) 0 = [])
+
+let test_guard_vs_check () =
+  Alcotest.(check bool) "guard true" true (T.outcomes (T.guard true) 0 = [ (0, ()) ]);
+  Alcotest.(check bool) "check false is UB" true (T.has_undefined (T.check false) 0)
+
+let test_determinism () =
+  Alcotest.(check bool) "incr deterministic" true (T.is_deterministic incr_op 0);
+  Alcotest.(check bool) "choose not" false
+    (T.is_deterministic (T.choose [ 1; 2 ]) 0);
+  Alcotest.(check bool) "undefined not" false (T.is_deterministic T.undefined 0)
+
+let test_nested_nondet_bind () =
+  let tr =
+    let* a = T.choose [ 0; 1 ] in
+    let* b = T.choose [ 0; 10 ] in
+    T.ret (a + b)
+  in
+  let vs = List.map snd (T.outcomes tr ()) |> List.sort Int.compare in
+  Alcotest.(check (list int)) "cartesian" [ 0; 1; 10; 11 ] vs
+
+let test_undefined_under_choice () =
+  (* Only one branch is undefined; the other outcomes survive. *)
+  let tr =
+    let* a = T.choose [ 0; 1 ] in
+    let* () = T.check (a = 0) in
+    T.ret a
+  in
+  Alcotest.(check bool) "ub present" true (T.has_undefined tr ());
+  Alcotest.(check (list int)) "defined branch kept" [ 0 ]
+    (List.map snd (T.outcomes tr ()))
+
+(* --- Spec tests --- *)
+
+let counter_spec : int Spec.t =
+  {
+    Spec.name = "counter";
+    init = 0;
+    compare_state = Int.compare;
+    pp_state = Fmt.int;
+    step =
+      (fun op args ->
+        match op, args with
+        | "incr", [] -> incr_op
+        | "get", [] -> T.gets (fun n -> V.int n)
+        | "reset", [] -> T.bind (T.puts 0) (fun () -> T.ret V.unit)
+        | _ -> invalid_arg ("counter: unknown op " ^ op));
+    crash = T.puts 0;
+  }
+
+let test_spec_ops () =
+  let c = Spec.call "incr" [] in
+  (match Spec.op_outcomes counter_spec 5 c with
+  | [ (6, v) ] -> Alcotest.check value_testable "returns old" (V.int 5) v
+  | _ -> Alcotest.fail "incr outcome");
+  Alcotest.(check (list int)) "crash resets" [ 0 ]
+    (Spec.crash_outcomes counter_spec 9)
+
+let test_spec_call_equal () =
+  Alcotest.(check bool) "same" true
+    (Spec.equal_call (Spec.call "a" [ V.int 1 ]) (Spec.call "a" [ V.int 1 ]));
+  Alcotest.(check bool) "diff args" false
+    (Spec.equal_call (Spec.call "a" [ V.int 1 ]) (Spec.call "a" [ V.int 2 ]));
+  Alcotest.(check bool) "diff arity" false
+    (Spec.equal_call (Spec.call "a" []) (Spec.call "a" [ V.int 2 ]))
+
+let test_spec_unknown_op () =
+  Alcotest.check_raises "unknown op"
+    (Invalid_argument "counter: unknown op nope") (fun () ->
+      ignore (Spec.op_outcomes counter_spec 0 (Spec.call "nope" [])))
+
+(* --- The paper's replicated-disk spec (Figure 3) as a sanity check --- *)
+
+module AddrMap = Map.Make (Int)
+
+type rd_state = V.t AddrMap.t
+
+let rd_spec_step op args : (rd_state, V.t) T.t =
+  match op, args with
+  | "rd_read", [ V.Int a ] ->
+    let* mv = T.gets (AddrMap.find_opt a) in
+    (match mv with Some v -> T.ret v | None -> T.undefined)
+  | "rd_write", [ V.Int a; v ] ->
+    let* mv = T.gets (AddrMap.find_opt a) in
+    (match mv with
+    | Some _ ->
+      let* () = T.modify (AddrMap.add a v) in
+      T.ret V.unit
+    | None -> T.undefined)
+  | _ -> invalid_arg "rd spec"
+
+let rd_init size = List.init size (fun a -> (a, V.str "0")) |> List.to_seq |> AddrMap.of_seq
+
+let test_rd_spec_figure3 () =
+  let s = rd_init 3 in
+  (* read in bounds *)
+  (match T.outcomes (rd_spec_step "rd_read" [ V.int 1 ]) s with
+  | [ (s', v) ] ->
+    Alcotest.check value_testable "initial zero" (V.str "0") v;
+    Alcotest.(check bool) "state unchanged" true (AddrMap.equal V.equal s s')
+  | _ -> Alcotest.fail "rd_read outcome");
+  (* write then read *)
+  let s' =
+    match T.outcomes (rd_spec_step "rd_write" [ V.int 2; V.str "x" ]) s with
+    | [ (s', V.Unit) ] -> s'
+    | _ -> Alcotest.fail "rd_write outcome"
+  in
+  (match T.outcomes (rd_spec_step "rd_read" [ V.int 2 ]) s' with
+  | [ (_, v) ] -> Alcotest.check value_testable "reads back" (V.str "x") v
+  | _ -> Alcotest.fail "read-back");
+  (* out of bounds is UB *)
+  Alcotest.(check bool) "oob read UB" true
+    (T.has_undefined (rd_spec_step "rd_read" [ V.int 9 ]) s);
+  Alcotest.(check bool) "oob write UB" true
+    (T.has_undefined (rd_spec_step "rd_write" [ V.int 9; V.str "x" ]) s)
+
+(* --- remaining combinators --- *)
+
+let test_ignore_ret () =
+  match T.run (T.ignore_ret incr_op) 3 with
+  | [ T.Ok (4, ()) ] -> ()
+  | _ -> Alcotest.fail "ignore_ret drops the value, keeps the effect"
+
+let test_pp_outcome () =
+  let s = Fmt.str "%a" (T.pp_outcome Fmt.int Fmt.int) (T.Ok (1, 2)) in
+  Alcotest.(check bool) "ok rendering" true (Astring_contains.contains s "Ok");
+  let s' =
+    Fmt.str "%a" (T.pp_outcome Fmt.int Fmt.int) (T.Undefined_behaviour : (int, int) T.outcome)
+  in
+  Alcotest.(check string) "ub rendering" "undefined" s'
+
+let test_pp_call () =
+  let s = Fmt.str "%a" Spec.pp_call (Spec.call "rd_write" [ V.int 0; V.str "x" ]) in
+  Alcotest.(check bool) "has op name" true (Astring_contains.contains s "rd_write(");
+  Alcotest.(check bool) "has args" true
+    (Astring_contains.contains s "0" && Astring_contains.contains s "\"x\"")
+
+(* --- property tests --- *)
+
+let gen_value =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let base =
+        oneof
+          [ return V.Unit; map V.bool bool; map V.int small_nat;
+            map V.str (string_size (return 3)) ]
+      in
+      if n <= 0 then base
+      else
+        frequency
+          [ (3, base);
+            (1, map2 V.pair (self (n / 2)) (self (n / 2)));
+            (1, map V.list (list_size (int_bound 3) (self (n / 2)))) ])
+
+let arb_value = QCheck.make ~print:V.to_string gen_value
+
+let prop_value_equal_refl =
+  QCheck.Test.make ~name:"Value.equal reflexive" ~count:200 arb_value (fun v ->
+      V.equal v v)
+
+let prop_value_compare_eq =
+  QCheck.Test.make ~name:"Value.compare 0 <-> equal" ~count:200
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      V.compare a b = 0 = V.equal a b)
+
+let prop_value_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equal" ~count:200 arb_value (fun v ->
+      V.hash v = V.hash v)
+
+let prop_run_ret_identity =
+  QCheck.Test.make ~name:"run (ret v) = [Ok (s, v)]" ~count:100
+    QCheck.(pair small_int small_int) (fun (s, v) ->
+      T.run (T.ret v) s = [ T.Ok (s, v) ])
+
+let prop_bind_assoc =
+  (* Monad associativity observed through run. *)
+  QCheck.Test.make ~name:"bind associativity (observational)" ~count:100
+    QCheck.small_int (fun s ->
+      let m = T.choose [ 1; 2 ] in
+      let f x = T.modify (fun st -> st + x) in
+      let g () = T.reads in
+      let lhs = T.bind (T.bind m f) g in
+      let rhs = T.bind m (fun x -> T.bind (f x) g) in
+      T.run lhs s = T.run rhs s)
+
+let prop_choose_order =
+  QCheck.Test.make ~name:"choose enumerates all values" ~count:100
+    QCheck.(small_list small_int) (fun vs ->
+      List.map snd (T.outcomes (T.choose vs) ()) = vs)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_value_equal_refl; prop_value_compare_eq; prop_value_hash_consistent;
+      prop_run_ret_identity; prop_bind_assoc; prop_choose_order ]
+
+let suite =
+  [
+    Alcotest.test_case "value equal" `Quick test_value_equal;
+    Alcotest.test_case "value compare total" `Quick test_value_compare_total;
+    Alcotest.test_case "value projections" `Quick test_value_projections;
+    Alcotest.test_case "ret is pure" `Quick test_ret_pure;
+    Alcotest.test_case "gets/modify" `Quick test_gets_modify;
+    Alcotest.test_case "undefined taints branch" `Quick test_undefined_taints_branch;
+    Alcotest.test_case "choose enumerates" `Quick test_choose_enumerates;
+    Alcotest.test_case "empty choice unsatisfiable" `Quick test_choose_empty_unsat;
+    Alcotest.test_case "guard vs check" `Quick test_guard_vs_check;
+    Alcotest.test_case "determinism predicate" `Quick test_determinism;
+    Alcotest.test_case "nested nondet bind" `Quick test_nested_nondet_bind;
+    Alcotest.test_case "undefined under choice" `Quick test_undefined_under_choice;
+    Alcotest.test_case "spec ops" `Quick test_spec_ops;
+    Alcotest.test_case "spec call equality" `Quick test_spec_call_equal;
+    Alcotest.test_case "unknown op raises" `Quick test_spec_unknown_op;
+    Alcotest.test_case "replicated-disk spec (Fig. 3)" `Quick test_rd_spec_figure3;
+    Alcotest.test_case "ignore_ret" `Quick test_ignore_ret;
+    Alcotest.test_case "pp_outcome" `Quick test_pp_outcome;
+    Alcotest.test_case "pp_call" `Quick test_pp_call;
+  ]
+  @ qcheck_tests
