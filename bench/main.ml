@@ -513,6 +513,130 @@ let durability () =
   Shape.check "durability" (plain && fsynced && still_sync)
 
 (* ------------------------------------------------------------------ *)
+(* Extension: multi-address journal + transactional KVS                 *)
+(* ------------------------------------------------------------------ *)
+
+let kvs () =
+  section "Extension: multi-address journal + transactional KVS (GoJournal rung)";
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  Fmt.pr "  The fixed-pair WAL generalized: per-txn entry lists, a counted@.";
+  Fmt.pr "  commit record, recovery replay, and a per-key-locked KV store@.";
+  Fmt.pr "  with group commit on top.  Lines of code:@.@.";
+  List.iter
+    (fun (name, files) -> Fmt.pr "    %-40s %6d@." name (Loc.count_files files))
+    [
+      ("journal + kvs + proof (lib/journal)",
+       [ "lib/journal/txn_log.ml"; "lib/journal/kvs.ml"; "lib/journal/kvs_proof.ml" ]);
+      ("tests (test/test_journal.ml)", [ "test/test_journal.ml" ]);
+    ];
+  let b = Disk.Block.of_string in
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  let p = K.params ~n_keys:2 () in
+  Fmt.pr "@.  Exhaustive verification (interleavings x crash points):@.";
+  let held =
+    [
+      run_refinement "journal: commit || read, 1 crash"
+        (J.checker_config ly ~max_crashes:1
+           [ [ J.commit_call ly [ (0, b "A"); (1, b "B") ] ]; [ J.read_call ly 0 ] ]);
+      run_refinement "kvs: put || get, 1 crash"
+        (K.checker_config p ~max_crashes:1
+           [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ]);
+      run_refinement "kvs: txn, 2 crashes (during recovery too)"
+        (K.checker_config p ~max_crashes:2 [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]);
+      run_refinement "kvs: async put; flush || get, 1 crash"
+        (K.checker_config p ~max_crashes:1
+           [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ]);
+    ]
+  in
+  Fmt.pr "@.  Seeded bugs (must be rejected):@.";
+  let expect_violation name cfg =
+    match R.check cfg with
+    | R.Refinement_violated (f, _) ->
+      Fmt.pr "    %-44s CAUGHT: %s@." name
+        (String.sub f.R.reason 0 (min 60 (String.length f.R.reason)));
+      true
+    | R.Refinement_holds _ ->
+      Fmt.pr "    %-44s MISSED@." name;
+      false
+    | R.Budget_exhausted _ ->
+      Fmt.pr "    %-44s BUDGET@." name;
+      false
+  in
+  let caught =
+    [
+      expect_violation "journal: commit record before log"
+        (J.checker_config ly ~max_crashes:1
+           [
+             [
+               J.commit_call ly [ (0, b "A") ];
+               J.Buggy.commit_call_record_first ly [ (0, b "C"); (1, b "D") ];
+             ];
+           ]);
+      expect_violation "kvs: txn without the journal"
+        (K.checker_config p ~max_crashes:1
+           [ [ K.Buggy.txn_no_log p [ (0, b "A"); (1, b "B") ] ] ]);
+      expect_violation "kvs: get skips group-commit buffer"
+        (K.checker_config p ~max_crashes:0
+           [ [ K.put_async_call p 0 (V.str "A"); K.Buggy.get_call_skip_buffer p 0 ] ]);
+      expect_violation "kvs: strict (lossless) crash spec"
+        (K.checker_config p ~spec:(K.strict_spec p) ~max_crashes:1
+           [ [ K.put_async_call p 0 (V.str "A") ] ]);
+    ]
+  in
+  Fmt.pr "@.  Proof outlines (Theorem 2 premises, 2-key instance):@.";
+  let outlines = Journal.Kvs_proof.check () in
+  List.iter
+    (fun (name, r) -> Fmt.pr "    journal-kvs %-22s %a@." name O.pp_result r)
+    outlines;
+  let outline_ok =
+    List.for_all (fun (_, r) -> match r with O.Accepted _ -> true | O.Rejected _ -> false) outlines
+  in
+  let buggy_outline_rejected =
+    match Journal.Kvs_proof.check_buggy () with
+    | O.Rejected why ->
+      Fmt.pr "    record-first txn outline REJECTED: %s@."
+        (String.sub why 0 (min 60 (String.length why)));
+      true
+    | O.Accepted _ ->
+      Fmt.pr "    record-first txn outline UNEXPECTEDLY ACCEPTED@.";
+      false
+  in
+  Fmt.pr "@.  Throughput vs cores (simulated; 70/25/5 get/put/txn, 16 keys):@.";
+  let series = Mcsim.Kvs_model.sweep ~requests:20_000 () in
+  Fmt.pr "    %-18s" "cores:";
+  List.iter (fun c -> Fmt.pr "%8d" c) (List.init 12 (fun i -> i + 1));
+  Fmt.pr "@.";
+  List.iter
+    (fun (s : Mcsim.Kvs_model.series) ->
+      Fmt.pr "    %-18s" (Mcsim.Kvs_model.variant_name s.variant);
+      List.iter
+        (fun (pt : Mcsim.Kvs_model.point) -> Fmt.pr "%7.0fk" (pt.throughput_rps /. 1000.))
+        s.points;
+      Fmt.pr "@.")
+    series;
+  let find v = List.find (fun (s : Mcsim.Kvs_model.series) -> s.variant = v) series in
+  let at s c = Mcsim.Kvs_model.throughput_at s c in
+  let gl = find Mcsim.Kvs_model.Global_lock
+  and pk = find Mcsim.Kvs_model.Per_key
+  and gc = find Mcsim.Kvs_model.Group_commit in
+  let ordered = at gc 12 > at pk 12 && at pk 12 > at gl 12 in
+  let group_gain = at gc 12 /. at gl 12 in
+  let global_flat = at gl 12 /. at gl 1 < 2.2 in
+  let group_scales = at gc 12 /. at gc 1 > 2. in
+  Fmt.pr "@.  shape checks:@.";
+  Fmt.pr "    group-commit > per-key > global lock at 12 cores: %b@." ordered;
+  Fmt.pr "    group-commit / global lock at 12 cores: %.2fx (> 1.4x)@." group_gain;
+  Fmt.pr "    global lock flat (12-core speedup %.1fx < 2.2x): %b@."
+    (at gl 12 /. at gl 1) global_flat;
+  Fmt.pr "    group commit scales (12-core speedup %.1fx > 2x; Amdahl-capped@."
+    (at gc 12 /. at gc 1);
+  Fmt.pr "      by txn/flush quiesce + GC, like the paper's fig11): %b@." group_scales;
+  Shape.check "kvs"
+    (List.for_all Fun.id held && List.for_all Fun.id caught && outline_ok
+    && buggy_outline_rejected && ordered && group_gain > 1.4 && global_flat && group_scales)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -605,7 +729,7 @@ let micro () =
 let all =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("table4", table4);
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
-    ("durability", durability); ("micro", micro) ]
+    ("durability", durability); ("kvs", kvs); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

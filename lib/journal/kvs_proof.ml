@@ -1,0 +1,290 @@
+(** The Perennial proof of the journaled key-value store, as checkable
+    outlines — the {!Systems.Wal_proof} argument lifted to the
+    multi-address journal, on the 2-key instance
+    ([Kvs.params ~n_keys:2 ()]).
+
+    Disk locations (cf. {!Txn_log} layout for [n_data = 2],
+    [max_slots = 2]):
+
+    - [k0], [k1]        the data region (one block per key);
+    - [rec]             the commit record (entry count, "0" = idle);
+    - [a0] [v0] [a1] [v1]  the two log slots (address, value).
+
+    Locks: key lock 0 owns the lease on [k0], key lock 1 owns the lease on
+    [k1], and the commit lock 2 owns the log-region leases — with the
+    record lease pinned to "0", so any outline holding the commit lock can
+    cut the committed disjuncts by constant disagreement, exactly like the
+    WAL's flag-pinning trick.
+
+    The crash invariant tracks the journal commit protocol for a
+    full-footprint transaction [kv_txn(w0, w1)]:
+
+    - [E]   record "0": data pair matches the abstract cells;
+    - [C0]  record "2": slots hold (0,l0) (1,l1), a helping token
+            [j ⤇ kv_txn(l0,l1)] is stored, data untouched;
+    - [C1]  as [C0], key 0 already applied;
+    - [C2]  as [C0], both applied, record not yet cleared.
+
+    Two deliberate gaps between this outline and {!Kvs}, both covered by
+    the exhaustive {!Perennial_core.Refinement} checker instead:
+
+    - the outline's get ([Kvs.get_sync_prog]) takes key lock then commit
+      lock; the implementation's fast-path get takes only its key lock.
+      Its safety rests on the committer holding the key locks of its whole
+      footprint, a per-key ownership argument the per-location lease
+      language cannot express (the GoJournal follow-on work adds exactly
+      such lifting predicates);
+    - the group-commit buffer is volatile, so it cannot appear in a crash
+      invariant at all; the buffered path (async put / flush) is checked
+      purely by refinement, as for {!Systems.Group_commit}.  The symbolic
+      crash transition is therefore the identity on the committed cells
+      ([crash_cells = []]). *)
+
+module A = Seplogic.Assertion
+module Sv = Seplogic.Sval
+module O = Perennial_core.Outline
+
+let l_k0 = "k0"
+let l_k1 = "k1"
+let l_rec = "rec"
+let l_a0 = "a0"
+let l_v0 = "v0"
+let l_a1 = "a1"
+let l_v1 = "v1"
+let c_k0 = "sk0"
+let c_k1 = "sk1"
+let s_idle = Sv.str "0"
+let s_committed = Sv.str "2"
+
+let key0_lock = 0
+let key1_lock = 1
+let commit_lock = 2
+
+(* --- symbolic spec operations --- *)
+
+(** [kv_get k] for a concrete key "0" | "1". *)
+let get_op : O.sym_op =
+  {
+    O.op_name = "kv_get";
+    sym_apply =
+      (fun ~lookup args ->
+        let cell k =
+          match lookup k with
+          | Some v -> Ok ([], v)
+          | None -> Error "abstract cell not at hand"
+        in
+        match args with
+        | [ k ] when Sv.equal k (Sv.str "0") -> cell c_k0
+        | [ k ] when Sv.equal k (Sv.str "1") -> cell c_k1
+        | _ -> Error "kv_get expects a concrete key");
+  }
+
+(** Full-footprint transaction: write both keys atomically. *)
+let txn_op : O.sym_op =
+  {
+    O.op_name = "kv_txn";
+    sym_apply =
+      (fun ~lookup:_ args ->
+        match args with
+        | [ w0; w1 ] -> Ok ([ (c_k0, w0); (c_k1, w1) ], Sv.unit)
+        | _ -> Error "kv_txn expects two values");
+  }
+
+(* --- invariants --- *)
+
+let key0_inv : A.t = [ A.heap [ A.lease l_k0 (Sv.var "a") ] ]
+let key1_inv : A.t = [ A.heap [ A.lease l_k1 (Sv.var "b") ] ]
+
+(** The commit lock owns the log region; the record lease is pinned to
+    "0" whenever the lock is free. *)
+let commit_inv : A.t =
+  [
+    A.heap
+      [ A.lease l_rec s_idle; A.lease l_a0 (Sv.var "p"); A.lease l_v0 (Sv.var "q");
+        A.lease l_a1 (Sv.var "r"); A.lease l_v1 (Sv.var "s") ];
+  ]
+
+let crash_inv : A.t =
+  let masters rcd d0 d1 a0 v0 a1 v1 =
+    [ A.master l_rec rcd; A.master l_k0 d0; A.master l_k1 d1;
+      A.master l_a0 a0; A.master l_v0 v0; A.master l_a1 a1; A.master l_v1 v1 ]
+  in
+  let committed d0 d1 =
+    A.heap
+      (masters s_committed d0 d1 (Sv.str "0") (Sv.var "l0") (Sv.str "1") (Sv.var "l1")
+      @ [ A.spec_cell c_k0 (Sv.var "x0"); A.spec_cell c_k1 (Sv.var "x1");
+          A.spec_tok (Sv.var "jh") "kv_txn" [ Sv.var "l0"; Sv.var "l1" ] ])
+  in
+  [
+    (* E: idle; data = abstract cells, log contents irrelevant *)
+    A.heap
+      (masters s_idle (Sv.var "x0") (Sv.var "x1") (Sv.var "g0") (Sv.var "g1")
+         (Sv.var "g2") (Sv.var "g3")
+      @ [ A.spec_cell c_k0 (Sv.var "x0"); A.spec_cell c_k1 (Sv.var "x1") ]);
+    (* C0: committed, not yet applied *)
+    committed (Sv.var "x0") (Sv.var "x1");
+    (* C1: key 0 applied *)
+    committed (Sv.var "l0") (Sv.var "x1");
+    (* C2: both applied, record not yet cleared *)
+    committed (Sv.var "l0") (Sv.var "l1");
+  ]
+
+let cinv = "kvs"
+
+let system : O.system =
+  {
+    O.sys_name = "journal-kvs";
+    ops = [ get_op; txn_op ];
+    (* committed puts survive a crash untouched; the pending queue is
+       volatile and outside the symbolic state *)
+    crash_cells = (fun ~lookup:_ -> []);
+    lock_invs = [ (key0_lock, key0_inv); (key1_lock, key1_inv); (commit_lock, commit_inv) ];
+    crash_invs = [ (cinv, crash_inv) ];
+  }
+
+(* --- outlines --- *)
+
+(** [kv_get 0] under key lock + commit lock ({!Kvs.get_sync_prog}): the
+    pinned record lease makes the committed disjuncts vacuous, so the data
+    block provably equals the abstract cell. *)
+let get_outline : O.op_outline =
+  {
+    O.o_op = "kv_get";
+    o_args = [ Sv.str "0" ];
+    o_ret = Sv.var "x";
+    o_body =
+      [
+        O.Acquire key0_lock;
+        O.Acquire commit_lock;
+        O.Read_durable { loc = l_k0; bind = "x" };
+        O.Open_inv
+          {
+            name = cinv;
+            body = [ O.Simulate { op = "kv_get"; args = [ Sv.str "0" ]; bind_ret = "r" } ];
+          };
+        O.Release commit_lock;
+        O.Release key0_lock;
+      ];
+  }
+
+(** The journal commit protocol for [kv_txn(w0,w1)]: log both entries,
+    commit by writing the record (depositing the helping token), apply,
+    clear (retrieving the token and linearizing). *)
+let txn_outline : O.op_outline =
+  let wr loc value = O.Open_inv { name = cinv; body = [ O.Write_durable { loc; value } ] } in
+  {
+    O.o_op = "kv_txn";
+    o_args = [ Sv.var "w0"; Sv.var "w1" ];
+    o_ret = Sv.unit;
+    o_body =
+      [
+        O.Acquire key0_lock;
+        O.Acquire key1_lock;
+        O.Acquire commit_lock;
+        (* log the entries *)
+        wr l_a0 (Sv.str "0");
+        wr l_v0 (Sv.var "w0");
+        wr l_a1 (Sv.str "1");
+        wr l_v1 (Sv.var "w1");
+        (* commit: one atomic record write, token deposited into C0 *)
+        wr l_rec s_committed;
+        (* apply *)
+        wr l_k0 (Sv.var "w0");
+        wr l_k1 (Sv.var "w1");
+        (* clear: take the token back and linearize *)
+        O.Open_inv
+          {
+            name = cinv;
+            body =
+              [
+                O.Write_durable { loc = l_rec; value = s_idle };
+                O.Simulate
+                  { op = "kv_txn"; args = [ Sv.var "w0"; Sv.var "w1" ]; bind_ret = "r" };
+              ];
+          };
+        O.Release commit_lock;
+        O.Release key1_lock;
+        O.Release key0_lock;
+      ];
+  }
+
+(** Recovery: synthesize every lease, read the record and the logged
+    values; if a transaction committed, replay it and simulate the stored
+    token (helping, §5.4) — the idempotence check after every step is what
+    rules out replaying from the idle state. *)
+let recovery_outline : O.recovery_outline =
+  {
+    O.r_body =
+      [
+        O.Synthesize l_k0;
+        O.Synthesize l_k1;
+        O.Synthesize l_rec;
+        O.Synthesize l_a0;
+        O.Synthesize l_v0;
+        O.Synthesize l_a1;
+        O.Synthesize l_v1;
+        O.Read_durable { loc = l_rec; bind = "f" };
+        O.Read_durable { loc = l_v0; bind = "rv0" };
+        O.Read_durable { loc = l_v1; bind = "rv1" };
+        O.Choice
+          [
+            (* committed: replay the log and complete the transaction *)
+            [
+              O.Atomic [ O.Write_durable { loc = l_k0; value = Sv.var "rv0" } ];
+              O.Atomic [ O.Write_durable { loc = l_k1; value = Sv.var "rv1" } ];
+              O.Atomic
+                [
+                  O.Write_durable { loc = l_rec; value = s_idle };
+                  O.Simulate
+                    { op = "kv_txn"; args = [ Sv.var "rv0"; Sv.var "rv1" ]; bind_ret = "hr" };
+                ];
+            ];
+            (* idle: nothing to do *)
+            [];
+          ];
+        O.Crash_step;
+      ];
+  }
+
+let check () =
+  O.check_system system ~op_outlines:[ get_outline; txn_outline ] ~recovery:recovery_outline
+
+(* --- a seeded proof bug the outline checker must reject --- *)
+
+(** The commit record written BEFORE the log slots ([Txn_log.Buggy.
+    commit_record_first]): closing into [C0] at the record write demands
+    the slots already hold (w0,w1), which the stale slot contents cannot
+    prove. *)
+let txn_record_first_outline : O.op_outline =
+  let wr loc value = O.Open_inv { name = cinv; body = [ O.Write_durable { loc; value } ] } in
+  {
+    txn_outline with
+    O.o_body =
+      [
+        O.Acquire key0_lock;
+        O.Acquire key1_lock;
+        O.Acquire commit_lock;
+        wr l_rec s_committed;
+        wr l_a0 (Sv.str "0");
+        wr l_v0 (Sv.var "w0");
+        wr l_a1 (Sv.str "1");
+        wr l_v1 (Sv.var "w1");
+        wr l_k0 (Sv.var "w0");
+        wr l_k1 (Sv.var "w1");
+        O.Open_inv
+          {
+            name = cinv;
+            body =
+              [
+                O.Write_durable { loc = l_rec; value = s_idle };
+                O.Simulate
+                  { op = "kv_txn"; args = [ Sv.var "w0"; Sv.var "w1" ]; bind_ret = "r" };
+              ];
+          };
+        O.Release commit_lock;
+        O.Release key1_lock;
+        O.Release key0_lock;
+      ];
+  }
+
+let check_buggy () = O.check_op system txn_record_first_outline

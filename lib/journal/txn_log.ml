@@ -1,0 +1,293 @@
+(** Multi-address journaling: the generalization of the fixed-pair
+    write-ahead log ([Systems.Wal]) that GoJournal-style systems are built
+    on.  A transaction is a *list* of (address, block) writes, made atomic
+    and durable by the same commit protocol the WAL uses for its pair:
+
+    1. write every entry — address and value — into the log region;
+    2. commit with ONE atomic write of the entry count into the commit
+       record (count 0 = no transaction in flight);
+    3. apply the entries to the data region in order;
+    4. clear the commit record.
+
+    A crash between (2) and (4) leaves a committed-but-unapplied
+    transaction; recovery replays the first [count] log slots and clears
+    the record — completing the crashed transaction on the writer's behalf
+    (recovery helping, §5.4).  Replay is idempotent, so recovery may itself
+    crash at any point and re-run (§5.5).
+
+    Disk layout for [{ n_data; max_slots }]:
+    - blocks [0 .. n_data-1]:     the data region
+    - block  [n_data]:            the commit record (entry count, decimal)
+    - blocks [n_data+1 ..]:       [max_slots] log slots, 2 blocks each:
+                                  entry address, then entry value
+
+    The commit and recovery programs are lens-parameterized over the world
+    (like {!Disk.Single_disk.read}) so that larger systems — the
+    transactional key-value store in {!Kvs} — can embed a journal in their
+    own world.  A standalone single-lock journal system with its own spec,
+    checker configuration and seeded-bug variants lives below. *)
+
+module V = Tslang.Value
+module T = Tslang.Transition
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Block = Disk.Block
+
+type layout = { n_data : int; max_slots : int }
+
+let layout ~n_data ~max_slots =
+  if n_data <= 0 || max_slots <= 0 then invalid_arg "Txn_log.layout";
+  { n_data; max_slots }
+
+let rec_addr ly = ly.n_data
+let slot_addr ly i = ly.n_data + 1 + (2 * i)
+let slot_val ly i = ly.n_data + 2 + (2 * i)
+let disk_size ly = ly.n_data + 1 + (2 * ly.max_slots)
+
+(** Counts and addresses are stored as decimal strings; [Block.zero] is
+    ["0"], so a fresh disk already holds an empty commit record. *)
+let int_block n = Block.of_string (string_of_int n)
+
+let block_int b = match int_of_string_opt (Block.to_string b) with Some n -> n | None -> 0
+
+(* An entry list as a spec-level value and back. *)
+let value_of_entries entries =
+  V.list (List.map (fun (a, b) -> V.pair (V.int a) (Block.to_value b)) entries)
+
+let entries_of_value v =
+  List.map
+    (fun e ->
+      let a, b = V.get_pair e in
+      (V.get_int a, Block.of_value b))
+    (V.get_list v)
+
+(* ------------------------------------------------------------------ *)
+(* The commit and recovery protocols, over any world with a disk lens   *)
+(* ------------------------------------------------------------------ *)
+
+open P.Syntax
+
+(** Atomically install [entries].  The caller must hold whatever locks
+    protect the log region and the touched data blocks.  Durable once the
+    commit-record write (the single atomic commit point) has hit the
+    disk. *)
+let commit_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+  let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+  if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
+  else if entries = [] then P.return ()
+  else
+    let rec log i = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = dw (slot_addr ly i) (int_block a) in
+        let* () = dw (slot_val ly i) b in
+        log (i + 1) rest
+    in
+    let rec apply = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = dw a b in
+        apply rest
+    in
+    let* () = log 0 entries in
+    (* the commit point: one atomic write of the entry count *)
+    let* () = dw (rec_addr ly) (int_block (List.length entries)) in
+    let* () = apply entries in
+    dw (rec_addr ly) (int_block 0)
+
+(** Replay a committed-but-unapplied transaction, if any, then clear the
+    commit record.  Idempotent: safe to crash anywhere inside and re-run. *)
+let recover_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
+  let dr a = Disk.Single_disk.read ~get_disk a in
+  let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+  let* r = dr (rec_addr ly) in
+  let n = block_int (Block.of_value r) in
+  if n = 0 then P.return V.unit
+  else
+    let rec replay i =
+      if i >= n then P.return ()
+      else
+        let* a = dr (slot_addr ly i) in
+        let* b = dr (slot_val ly i) in
+        let* () = dw (block_int (Block.of_value a)) (Block.of_value b) in
+        replay (i + 1)
+    in
+    let* () = replay 0 in
+    let* () = dw (rec_addr ly) (int_block 0) in
+    P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Specification of the standalone journal: an atomic array of blocks   *)
+(* ------------------------------------------------------------------ *)
+
+type state = Block.t list  (** the data region, one block per address *)
+
+let set_nth xs i v = List.mapi (fun j x -> if i = j then v else x) xs
+
+let spec ly : state Spec.t =
+  let open T.Syntax in
+  let in_bounds a = a >= 0 && a < ly.n_data in
+  {
+    Spec.name = "txn-journal";
+    init = List.init ly.n_data (fun _ -> Block.zero);
+    compare_state = List.compare Block.compare;
+    pp_state = (fun ppf st -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.semi Block.pp) st);
+    step =
+      (fun op args ->
+        match op, args with
+        | "j_commit", [ v ] ->
+          let entries = entries_of_value v in
+          let* () =
+            T.check
+              (List.length entries <= ly.max_slots
+              && List.for_all (fun (a, _) -> in_bounds a) entries)
+          in
+          let* () =
+            T.modify (fun st -> List.fold_left (fun st (a, b) -> set_nth st a b) st entries)
+          in
+          T.ret V.unit
+        | "j_read", [ a ] ->
+          let a = V.get_int a in
+          let* () = T.check (in_bounds a) in
+          let* st = T.reads in
+          T.ret (Block.to_value (List.nth st a))
+        | _ -> invalid_arg "txn-journal spec: unknown op");
+    (* Committed transactions are durable; in-flight ones simply vanish. *)
+    crash = T.ret ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Standalone world and implementation (single log lock)                *)
+(* ------------------------------------------------------------------ *)
+
+type world = { disk : Disk.Single_disk.t; locks : Disk.Locks.t }
+
+let init_world ly = { disk = Disk.Single_disk.init (disk_size ly); locks = Disk.Locks.empty }
+let crash_world w = { w with locks = Disk.Locks.empty }
+
+let pp_world ppf w =
+  Fmt.pf ppf "%a %a" Disk.Single_disk.pp w.disk Disk.Locks.pp w.locks
+
+let get_disk w = w.disk
+let set_disk w disk = { w with disk }
+let get_locks w = w.locks
+let set_locks w locks = { w with locks }
+
+let the_lock = 0
+let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
+let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
+
+let commit_txn_prog ly entries : (world, V.t) P.t =
+  let* () = lock () in
+  let* () = commit_prog ~get_disk ~set_disk ly entries in
+  let* () = unlock () in
+  P.return V.unit
+
+let read_prog ly a : (world, V.t) P.t =
+  ignore ly;
+  let* () = lock () in
+  let* v = Disk.Single_disk.read ~get_disk a in
+  let* () = unlock () in
+  P.return v
+
+let recover ly : (world, V.t) P.t = recover_prog ~get_disk ~set_disk ly
+
+(* ------------------------------------------------------------------ *)
+(* Checker configuration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let commit_call ly entries = (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_prog ly entries)
+let read_call ly a = (Spec.call "j_read" [ V.int a ], read_prog ly a)
+
+(** Post-crash probes: read back every data address. *)
+let probe ly = List.init ly.n_data (fun a -> read_call ly a)
+
+let checker_config ly ?(max_crashes = 1) threads :
+    (world, state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec:(spec ly) ~init_world:(init_world ly)
+    ~crash_world ~pp_world ~threads ~recovery:(recover ly) ~post:(probe ly) ~max_crashes ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Buggy = struct
+  (** Write the commit record BEFORE the log entries: a crash between the
+      record write and the slot writes makes recovery replay whatever
+      garbage the slots held. *)
+  let commit_record_first ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+    let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+    if entries = [] then P.return ()
+    else
+      let rec log i = function
+        | [] -> P.return ()
+        | (a, b) :: rest ->
+          let* () = dw (slot_addr ly i) (int_block a) in
+          let* () = dw (slot_val ly i) b in
+          log (i + 1) rest
+      in
+      let rec apply = function
+        | [] -> P.return ()
+        | (a, b) :: rest ->
+          let* () = dw a b in
+          apply rest
+      in
+      let* () = dw (rec_addr ly) (int_block (List.length entries)) in
+      let* () = log 0 entries in
+      let* () = apply entries in
+      dw (rec_addr ly) (int_block 0)
+
+  (** Apply in place without logging: a crash mid-apply tears the
+      transaction across addresses. *)
+  let commit_no_log ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+    ignore ly;
+    let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+    let rec apply = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = dw a b in
+        apply rest
+    in
+    apply entries
+
+  let commit_txn_record_first ly entries : (world, V.t) P.t =
+    let* () = lock () in
+    let* () = commit_record_first ~get_disk ~set_disk ly entries in
+    let* () = unlock () in
+    P.return V.unit
+
+  let commit_txn_no_log ly entries : (world, V.t) P.t =
+    let* () = lock () in
+    let* () = commit_no_log ~get_disk ~set_disk ly entries in
+    let* () = unlock () in
+    P.return V.unit
+
+  let commit_call_record_first ly entries =
+    (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_record_first ly entries)
+
+  let commit_call_no_log ly entries =
+    (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_no_log ly entries)
+
+  (** Recovery that clears the record before replaying: a crash in between
+      loses the committed transaction. *)
+  let recover_clear_first ly : (world, V.t) P.t =
+    let dr a = Disk.Single_disk.read ~get_disk a in
+    let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+    let* r = dr (rec_addr ly) in
+    let n = block_int (Block.of_value r) in
+    if n = 0 then P.return V.unit
+    else
+      let* () = dw (rec_addr ly) (int_block 0) in
+      let rec replay i =
+        if i >= n then P.return V.unit
+        else
+          let* a = dr (slot_addr ly i) in
+          let* b = dr (slot_val ly i) in
+          let* () = dw (block_int (Block.of_value a)) (Block.of_value b) in
+          replay (i + 1)
+      in
+      replay 0
+
+  (** Recovery that ignores the log entirely. *)
+  let recover_nop : (world, V.t) P.t = P.return V.unit
+end

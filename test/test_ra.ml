@@ -220,6 +220,57 @@ let test_fpu_auth_update () =
   Alcotest.(check bool) "auth-only update rejected" false
     (F.ok1 ~frames:[ Au.frag m ] (Au.auth m) (Au.auth m'))
 
+(* --- fin_map composed under auth: the ghost heap the KVS proof uses --- *)
+
+let auth_frames =
+  (* Frame universe: fragments and authorities over the sample maps, plus
+     single-cell fragments a concurrent thread would plausibly hold. *)
+  auth_sample
+  @ [ Au.frag (Fm.singleton 1 (Ex.ex 2)); Au.frag (Fm.singleton 2 (Ex.ex 3)) ]
+
+let test_fpu_auth_alloc () =
+  let module F = Ra.Fpu.Make (Au) in
+  (* Allocation: ●m ⇝ ●(m[k↦v]) ⋅ ◯{k↦v} for fresh k — how a ghost heap
+     cell is born (the KV proof allocates one per key at init). *)
+  let m = Fm.of_list [ (0, Ex.ex 1); (1, Ex.ex 2) ] in
+  let m' = Fm.add 7 (Ex.ex 5) m in
+  Alcotest.(check bool) "alloc at fresh key ok" true
+    (F.ok1 ~frames:auth_frames (Au.auth m) (Au.both m' (Fm.singleton 7 (Ex.ex 5))));
+  (* At an occupied key the update is not frame-preserving: whoever holds
+     that cell's fragment is the witness. *)
+  let clash = Au.both (Fm.add 1 (Ex.ex 5) m) (Fm.singleton 1 (Ex.ex 5)) in
+  Alcotest.(check bool) "alloc at occupied key rejected" false
+    (F.ok1 ~frames:auth_frames (Au.auth m) clash);
+  match F.counterexample ~frames:auth_frames (Au.auth m) [ clash ] with
+  | Some f ->
+    Alcotest.(check bool) "witness holds key 1" true (Fm.find 1 (Au.get_frag f) <> None)
+  | None -> Alcotest.fail "expected counterexample"
+
+let test_fpu_auth_update_pointwise () =
+  let module F = Ra.Fpu.Make (Au) in
+  (* The KV put: holding a cell's fragment, update authority and fragment
+     together; every other key's fragment keeps composing. *)
+  let m = Fm.of_list [ (0, Ex.ex 1); (1, Ex.ex 2) ] in
+  let pre = Au.both m (Fm.singleton 0 (Ex.ex 1)) in
+  let post = Au.both (Fm.add 0 (Ex.ex 9) m) (Fm.singleton 0 (Ex.ex 9)) in
+  Alcotest.(check bool) "pointwise update ok" true (F.ok1 ~frames:auth_frames pre post);
+  (* Updating a key whose fragment some other thread holds is rejected. *)
+  let bad = Au.both (Fm.add 1 (Ex.ex 9) m) (Fm.singleton 0 (Ex.ex 1)) in
+  Alcotest.(check bool) "updating an unowned key rejected" false
+    (F.ok1 ~frames:auth_frames pre bad)
+
+let test_fpu_auth_dealloc () =
+  let module F = Ra.Fpu.Make (Au) in
+  (* Deallocation: ●m ⋅ ◯{k↦v} ⇝ ●(m − k) — the authority may drop a cell
+     it has reclaimed the fragment for, and only then. *)
+  let m = Fm.of_list [ (0, Ex.ex 1); (1, Ex.ex 2) ] in
+  Alcotest.(check bool) "dealloc owned key ok" true
+    (F.ok1 ~frames:auth_frames
+       (Au.both m (Fm.singleton 1 (Ex.ex 2)))
+       (Au.auth (Fm.remove 1 m)));
+  Alcotest.(check bool) "dealloc without fragment rejected" false
+    (F.ok1 ~frames:auth_frames (Au.auth m) (Au.auth (Fm.remove 1 m)))
+
 (* --- qcheck properties over randomly generated elements --- *)
 
 let arb_lease =
@@ -249,6 +300,57 @@ let prop_lease_valid_mono =
     QCheck.(pair arb_lease arb_lease) (fun (a, b) ->
       (not (Ls.valid (Ls.op a b))) || Ls.valid a)
 
+let gen_fm =
+  QCheck.Gen.(
+    let cell = map2 (fun k v -> (k, Ex.ex v)) (int_bound 3) (int_bound 2) in
+    map
+      (fun cs -> List.fold_left (fun m (k, v) -> Fm.op m (Fm.singleton k v)) Fm.unit cs)
+      (list_size (int_bound 4) cell))
+
+let arb_fm = QCheck.make ~print:(Fmt.to_to_string Fm.pp) gen_fm
+
+let arb_auth =
+  QCheck.make
+    ~print:(Fmt.to_to_string Au.pp)
+    QCheck.Gen.(
+      oneof
+        [ map Au.auth gen_fm; map Au.frag gen_fm;
+          map2 (fun a f -> Au.op (Au.auth a) (Au.frag f)) gen_fm gen_fm ])
+
+let prop_fm_assoc =
+  QCheck.Test.make ~name:"finmap op associative" ~count:300
+    QCheck.(triple arb_fm arb_fm arb_fm) (fun (a, b, c) ->
+      Fm.equal (Fm.op a (Fm.op b c)) (Fm.op (Fm.op a b) c))
+
+let prop_fm_comm =
+  QCheck.Test.make ~name:"finmap op commutative" ~count:300
+    QCheck.(pair arb_fm arb_fm) (fun (a, b) -> Fm.equal (Fm.op a b) (Fm.op b a))
+
+let prop_auth_valid_mono =
+  QCheck.Test.make ~name:"auth validity down-closed" ~count:300
+    QCheck.(pair arb_auth arb_auth) (fun (a, b) ->
+      (not (Au.valid (Au.op a b))) || Au.valid a)
+
+let prop_auth_frag_incl =
+  (* Any summand of a valid authority is an honest fragment of it. *)
+  QCheck.Test.make ~name:"auth: summands are honest fragments" ~count:300
+    QCheck.(pair arb_fm arb_fm) (fun (a, b) ->
+      let m = Fm.op a b in
+      (not (Fm.valid m)) || Au.valid (Au.op (Au.auth m) (Au.frag a)))
+
+let prop_fpu_auth_alloc =
+  let module F = Ra.Fpu.Make (Au) in
+  QCheck.Test.make ~name:"auth alloc frame-preserving at fresh keys" ~count:200
+    QCheck.(pair arb_fm (int_bound 2)) (fun (m, v) ->
+      let k = 9 (* outside the generator's key range: always fresh *) in
+      let frames =
+        Au.frag Fm.unit :: Au.frag m
+        :: List.map (fun (k', v') -> Au.frag (Fm.singleton k' v')) (Fm.to_list m)
+      in
+      (not (Fm.valid m))
+      || F.ok1 ~frames (Au.auth m)
+           (Au.both (Fm.add k (Ex.ex v) m) (Fm.singleton k (Ex.ex v))))
+
 let arb_q =
   QCheck.make
     ~print:(Fmt.to_to_string Ra.Q.pp)
@@ -264,8 +366,9 @@ let prop_q_sub_add =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_lease_assoc; prop_lease_comm; prop_lease_valid_mono; prop_q_add_comm;
-      prop_q_sub_add ]
+    [ prop_lease_assoc; prop_lease_comm; prop_lease_valid_mono; prop_fm_assoc;
+      prop_fm_comm; prop_auth_valid_mono; prop_auth_frag_incl; prop_fpu_auth_alloc;
+      prop_q_add_comm; prop_q_sub_add ]
 
 let suite =
   [
@@ -286,5 +389,8 @@ let suite =
     Alcotest.test_case "fpu: lease write" `Quick test_fpu_lease_write;
     Alcotest.test_case "fpu: lease synthesis" `Quick test_fpu_lease_synthesis;
     Alcotest.test_case "fpu: auth update" `Quick test_fpu_auth_update;
+    Alcotest.test_case "fpu: auth alloc (ghost heap)" `Quick test_fpu_auth_alloc;
+    Alcotest.test_case "fpu: auth pointwise update" `Quick test_fpu_auth_update_pointwise;
+    Alcotest.test_case "fpu: auth dealloc" `Quick test_fpu_auth_dealloc;
   ]
   @ qcheck_tests
