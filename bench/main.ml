@@ -5,6 +5,13 @@
      dune exec bench/main.exe -- table2  -- one experiment
      (sections: table1 table2 table3 table4 fig11 patterns bugs micro)
 
+   Flags:
+     --quick        skip the slow sections (fig11, micro)
+     --json [FILE]  also write per-section machine-readable results —
+                    {name, iters, ns_per_op, metrics} records, where
+                    [metrics] is the delta of the Obs.Metrics counters the
+                    section caused — to FILE (default BENCH_results.json)
+
    Absolute numbers are produced by this repository's own substrate (pure
    OCaml, a discrete-event multicore simulator); the claims being reproduced
    are the *relative* ones — who wins, by what factor, and where the curves
@@ -16,6 +23,34 @@ module O = Perennial_core.Outline
 
 let section title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* Machine-readable results, written when --json is given.  Sections are
+   recorded by the driver (wall time + metric deltas); the micro section
+   additionally pushes one record per Bechamel test. *)
+module Bench_out = struct
+  let records : Obs.Json.t list ref = ref []
+
+  let add name ~iters ~ns_per_op ~metrics =
+    records :=
+      Obs.Json.Obj
+        [ ("name", Obs.Json.Str name);
+          ("iters", Obs.Json.Int iters);
+          ("ns_per_op", Obs.Json.Float ns_per_op);
+          ("metrics", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) metrics)) ]
+      :: !records
+
+  let write path =
+    let doc =
+      Obs.Json.Obj
+        [ ("schema", Obs.Json.Str "perennial-bench/v1");
+          ("sections", Obs.Json.Arr (List.rev !records)) ]
+    in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "@.Wrote %d result records to %s@." (List.length !records) path
+end
 
 (* Pass/fail accumulator so the harness can self-report shape checks. *)
 module Shape = struct
@@ -717,7 +752,9 @@ let micro () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "  %-40s %12.1f ns/run@." name est
+          | Some [ est ] ->
+            Fmt.pr "  %-40s %12.1f ns/run@." name est;
+            Bench_out.add ("micro: " ^ name) ~iters:1 ~ns_per_op:est ~metrics:[]
           | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
         results)
     tests
@@ -731,14 +768,43 @@ let all =
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
     ("durability", durability); ("kvs", kvs); ("micro", micro) ]
 
+let slow_sections = [ "fig11"; "micro" ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
-  let chosen = if args = [] then List.map fst all else args in
+  let quick = List.mem "--quick" args in
+  let json_flag = List.mem "--json" args in
+  let json_file =
+    match List.find_opt (fun a -> Filename.check_suffix a ".json") args with
+    | Some f -> Some f
+    | None -> if json_flag then Some "BENCH_results.json" else None
+  in
+  let args =
+    List.filter
+      (fun a -> a <> "--quick" && a <> "--json" && not (Filename.check_suffix a ".json"))
+      args
+  in
+  let chosen =
+    if args <> [] then args
+    else if quick then
+      List.filter (fun n -> not (List.mem n slow_sections)) (List.map fst all)
+    else List.map fst all
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name all with
-      | Some f -> f ()
+      | Some f ->
+        if json_file = None then f ()
+        else begin
+          let before = Obs.Metrics.snapshot () in
+          let t0 = Obs.Trace.now_us () in
+          f ();
+          let dt_ns = (Obs.Trace.now_us () -. t0) *. 1e3 in
+          Bench_out.add name ~iters:1 ~ns_per_op:dt_ns
+            ~metrics:(Obs.Metrics.counters_delta ~before ~after:(Obs.Metrics.snapshot ()))
+        end
       | None -> Fmt.epr "unknown section %s@." name)
     chosen;
+  Option.iter Bench_out.write json_file;
   Shape.report ()

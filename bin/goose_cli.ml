@@ -2,7 +2,9 @@
    it is within the Goose subset, and emit the Perennial (Coq-flavoured)
    model, exactly like the paper's `goose` tool.
 
-   Usage: goose_cli FILE.go [--ast]           translate (or dump the AST) *)
+   Usage: goose_cli FILE.go [--ast] [--metrics]
+   (translate, or dump the AST; --metrics prints the Obs.Metrics registry
+   afterwards — interpreter counters populate it when the model is run) *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,8 +26,11 @@ let dump_ast (file : Goose.Ast.file) =
     file.funcs
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: path :: rest ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics = List.mem "--metrics" args in
+  let args = List.filter (fun a -> a <> "--metrics") args in
+  (match args with
+  | path :: rest ->
     let src = read_file path in
     if List.mem "--ast" rest then (
       match Goose.Parser.parse_file src with
@@ -45,5 +50,6 @@ let () =
         Printf.eprintf "%s: %s\n" path e;
         exit 1)
   | _ ->
-    prerr_endline "usage: goose_cli FILE.go [--ast]";
-    exit 2
+    prerr_endline "usage: goose_cli FILE.go [--ast] [--metrics]";
+    exit 2);
+  if metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ()

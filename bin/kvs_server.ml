@@ -114,10 +114,14 @@ let demo () =
   print_endline " group-commit window the KVS spec makes explicit)"
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "demo" in
-  match mode with
+  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics = List.mem "--metrics" args in
+  let args = List.filter (fun a -> a <> "--metrics") args in
+  let mode = match args with m :: _ -> m | [] -> "demo" in
+  (match mode with
   | "demo" -> demo ()
   | "repl" -> repl ()
   | _ ->
-    prerr_endline "usage: kvs_server [demo|repl]";
-    exit 2
+    prerr_endline "usage: kvs_server [demo|repl] [--metrics]";
+    exit 2);
+  if metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ()

@@ -2,7 +2,15 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|all] *)
+   Usage: perennial_check [outlines|refinement|kvs|all]
+                          [--trace FILE] [--metrics]
+
+   --trace FILE  write a Chrome trace_event JSON of the run (load it in
+                 chrome://tracing or ui.perfetto.dev): span events for the
+                 exploration/recovery/post phases, instant events for every
+                 injected crash.
+   --metrics     print the metrics registry (counters, gauges, histograms
+                 accumulated by the checkers) after the report. *)
 
 module V = Tslang.Value
 module R = Perennial_core.Refinement
@@ -95,9 +103,59 @@ let run_refinement () =
                [ Mailboat.Core.deliver_call 1 "ef" ];
                [ Mailboat.Core.pickup_call 1; Mailboat.Core.unlock_call 1 ] ])))
 
+let run_kvs () =
+  print_endline "Journaled key-value store (2 keys, exhaustive):";
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  let b = Disk.Block.of_string in
+  let p = K.params ~n_keys:2 () in
+  report "kvs: put || get + crash"
+    (refinement_result
+       (R.check
+          (K.checker_config p ~max_crashes:1
+             [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ])));
+  report "kvs: txn + crash during recovery"
+    (refinement_result
+       (R.check
+          (K.checker_config p ~max_crashes:2
+             [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ])));
+  report "kvs: async put; flush || get + crash"
+    (refinement_result
+       (R.check
+          (K.checker_config p ~max_crashes:1
+             [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ])))
+
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let trace_file = ref None in
+  let metrics = ref false in
+  let what = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse rest
+    | "--trace" :: [] ->
+      prerr_endline "perennial_check: --trace needs a file argument";
+      exit 2
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
+    | w :: rest ->
+      what := w;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let what = !what in
+  (match what with
+  | "outlines" | "refinement" | "kvs" | "all" -> ()
+  | w ->
+    Printf.eprintf "perennial_check: unknown selection %s (want outlines|refinement|kvs|all)\n" w;
+    exit 2);
+  Option.iter Obs.Trace.open_chrome !trace_file;
   if what = "outlines" || what = "all" then run_outlines ();
   if what = "refinement" || what = "all" then run_refinement ();
+  if what = "kvs" || what = "all" then run_kvs ();
+  Obs.Trace.close ();
+  if !metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ();
   Printf.printf "\n%d checks passed, %d failed\n" !ok !failed;
   if !failed > 0 then exit 1

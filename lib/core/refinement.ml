@@ -27,23 +27,181 @@ type stats = {
   crashes_injected : int;
   vacuous : int;
   max_candidates : int;
+  dedup_hits : int;
+  frontier_hwm : int;
 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "executions=%d steps=%d crashes=%d vacuous=%d max_candidates=%d"
-    s.executions s.steps s.crashes_injected s.vacuous s.max_candidates
+  Fmt.pf ppf
+    "executions=%d steps=%d crashes=%d vacuous=%d max_candidates=%d dedup=%d frontier=%d"
+    s.executions s.steps s.crashes_injected s.vacuous s.max_candidates s.dedup_hits
+    s.frontier_hwm
 
-type failure = { reason : string; trace : string list }
+(* ------------------------------------------------------------------ *)
+(* Structured counterexample events                                     *)
+(* ------------------------------------------------------------------ *)
+
+type event_kind = Invoke | Step | Return | Crash
+
+type event_phase = Main | Recovery | Post
+
+type event = {
+  ev_tid : int option;
+  ev_kind : event_kind;
+  ev_phase : event_phase;
+  ev_label : string;
+  ev_text : string;
+}
+
+let ev_invoke tid call =
+  { ev_tid = Some tid; ev_kind = Invoke; ev_phase = Main;
+    ev_label = "invoke " ^ call.Spec.op;
+    ev_text = Fmt.str "t%d: invoke %a" tid Spec.pp_call call }
+
+let ev_return tid call v =
+  { ev_tid = Some tid; ev_kind = Return; ev_phase = Main;
+    ev_label = "return " ^ call.Spec.op;
+    ev_text = Fmt.str "t%d: %a returns %a" tid Spec.pp_call call V.pp v }
+
+let ev_step tid label =
+  { ev_tid = Some tid; ev_kind = Step; ev_phase = Main; ev_label = label;
+    ev_text = Fmt.str "t%d: %s" tid label }
+
+let ev_crash ~during_recovery =
+  { ev_tid = None; ev_kind = Crash;
+    ev_phase = (if during_recovery then Recovery else Main); ev_label = "CRASH";
+    ev_text = (if during_recovery then "CRASH (during recovery)" else "CRASH") }
+
+let ev_rstep label =
+  { ev_tid = None; ev_kind = Step; ev_phase = Recovery; ev_label = label;
+    ev_text = "recovery: " ^ label }
+
+let ev_pstep label =
+  { ev_tid = None; ev_kind = Step; ev_phase = Post; ev_label = label;
+    ev_text = "post: " ^ label }
+
+let ev_post_return tid call v =
+  { ev_tid = Some tid; ev_kind = Return; ev_phase = Post;
+    ev_label = "return " ^ call.Spec.op;
+    ev_text = Fmt.str "post t%d: %a returns %a" tid Spec.pp_call call V.pp v }
+
+type failure = { reason : string; trace : string list; events : event list }
+
+(* [revents] is newest-first, as accumulated during exploration. *)
+let mk_failure reason revents =
+  let events = List.rev revents in
+  { reason; trace = List.map (fun e -> e.ev_text) events; events }
 
 let pp_failure ppf f =
   Fmt.pf ppf "@[<v>refinement violated: %s@,trace:@,  @[<v>%a@]@]" f.reason
     (Fmt.list ~sep:Fmt.cut Fmt.string)
     f.trace
 
+(* Per-thread lanes: one column per thread id (in order of appearance),
+   plus a rightmost lane for global events (crash, recovery, post steps). *)
+let pp_failure_lanes ppf f =
+  let tids =
+    List.fold_left
+      (fun acc e ->
+        match e.ev_tid with
+        | Some t when not (List.mem t acc) -> acc @ [ t ]
+        | _ -> acc)
+      [] f.events
+  in
+  let width = 26 in
+  let n_lanes = List.length tids + 1 in
+  let lane_of e =
+    match e.ev_tid with
+    | Some t ->
+      let rec idx i = function
+        | [] -> n_lanes - 1
+        | t' :: _ when t' = t -> i
+        | _ :: rest -> idx (i + 1) rest
+      in
+      idx 0 tids
+    | None -> n_lanes - 1
+  in
+  let clip s = if String.length s > width - 2 then String.sub s 0 (width - 2) else s in
+  Fmt.pf ppf "@[<v>refinement violated: %s@," f.reason;
+  let header =
+    List.map (fun t -> Printf.sprintf "t%d" t) tids @ [ "(crash/recovery/post)" ]
+  in
+  List.iteri
+    (fun i h -> Fmt.pf ppf "%s%-*s" (if i = 0 then "  " else "| ") (width - 2) (clip h))
+    header;
+  Fmt.pf ppf "@,";
+  List.iter
+    (fun e ->
+      let lane = lane_of e in
+      for i = 0 to n_lanes - 1 do
+        let cell = if i = lane then clip e.ev_label else "" in
+        Fmt.pf ppf "%s%-*s" (if i = 0 then "  " else "| ") (width - 2) cell
+      done;
+      Fmt.pf ppf "@,")
+    f.events;
+  Fmt.pf ppf "@]"
+
+(* Counterexample as a Chrome trace: one lane per thread, each event a
+   1ms-wide box at its position in the interleaving; crashes are instants.
+   Global (crash/recovery/post) events land on tid 1000. *)
+let failure_chrome f =
+  let cat_of = function Main -> "main" | Recovery -> "recovery" | Post -> "post" in
+  let events =
+    List.mapi
+      (fun i e ->
+        {
+          Obs.Trace.name = e.ev_label;
+          cat = cat_of e.ev_phase;
+          ph =
+            (match e.ev_kind with
+            | Crash -> Obs.Trace.Instant
+            | Invoke | Step | Return -> Obs.Trace.Complete 900.);
+          ts = float_of_int (i * 1000);
+          pid = 1;
+          tid = (match e.ev_tid with Some t -> t | None -> 1000);
+          args = [ ("text", Obs.Trace.S e.ev_text) ];
+        })
+      f.events
+  in
+  Obs.Trace.chrome_json events
+
 type result =
   | Refinement_holds of stats
   | Refinement_violated of failure * stats
   | Budget_exhausted of stats
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Registry handles are resolved once here; the hot exploration loop only
+   touches its own [counters] record, and the totals are added to the
+   registry in one [snapshot] call per check — with no sink installed the
+   per-step cost of observability is zero.  Trace spans (phases) and
+   instants (crash injections) are emitted live, gated on
+   [Obs.Trace.enabled]. *)
+module Mx = struct
+  open Obs.Metrics
+
+  let checks = counter "perennial_refinement_checks_total"
+  let executions = counter "perennial_refinement_executions_total"
+  let steps = counter "perennial_refinement_steps_total"
+  let crashes = counter "perennial_refinement_crash_injections_total"
+  let vacuous = counter "perennial_refinement_vacuous_prunes_total"
+  let dedup_hits = counter "perennial_refinement_dedup_hits_total"
+  let violations = counter "perennial_refinement_violations_total"
+  let max_candidates = gauge "perennial_refinement_max_candidates"
+  let frontier = gauge "perennial_refinement_frontier_depth_hwm"
+
+  let cand_sizes =
+    histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+      "perennial_refinement_candidate_set_size"
+
+  let check_seconds = histogram "perennial_refinement_check_seconds"
+  let explore_us = gauge ~labels:[ ("phase", "explore") ] "perennial_refinement_phase_us"
+  let recovery_us = gauge ~labels:[ ("phase", "recovery") ] "perennial_refinement_phase_us"
+  let post_us = gauge ~labels:[ ("phase", "post") ] "perennial_refinement_phase_us"
+end
 
 (* Internal mutable counters; snapshotted into [stats] at the end. *)
 type counters = {
@@ -52,19 +210,62 @@ type counters = {
   mutable c_crashes : int;
   mutable c_vacuous : int;
   mutable c_max_candidates : int;
+  mutable c_dedup : int;
+  mutable c_frontier : int;
+  mutable c_recovery_us : float;
+  mutable c_post_us : float;
 }
 
 let new_counters () =
-  { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0 }
+  Obs.Metrics.inc Mx.checks;
+  { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0;
+    c_dedup = 0; c_frontier = 0; c_recovery_us = 0.; c_post_us = 0. }
 
 let snapshot ctr =
+  Obs.Metrics.inc ~by:ctr.c_executions Mx.executions;
+  Obs.Metrics.inc ~by:ctr.c_steps Mx.steps;
+  Obs.Metrics.inc ~by:ctr.c_crashes Mx.crashes;
+  Obs.Metrics.inc ~by:ctr.c_vacuous Mx.vacuous;
+  Obs.Metrics.inc ~by:ctr.c_dedup Mx.dedup_hits;
+  Obs.Metrics.record_max Mx.max_candidates (float_of_int ctr.c_max_candidates);
+  Obs.Metrics.record_max Mx.frontier (float_of_int ctr.c_frontier);
+  Obs.Metrics.add Mx.recovery_us ctr.c_recovery_us;
+  Obs.Metrics.add Mx.post_us ctr.c_post_us;
   {
     executions = ctr.c_executions;
     steps = ctr.c_steps;
     crashes_injected = ctr.c_crashes;
     vacuous = ctr.c_vacuous;
     max_candidates = ctr.c_max_candidates;
+    dedup_hits = ctr.c_dedup;
+    frontier_hwm = ctr.c_frontier;
   }
+
+(* Time one top-level phase run, accumulating wall time into [cell] and
+   emitting a span when a trace sink is installed. *)
+let timed_phase name cell f =
+  let t0 = Obs.Trace.now_us () in
+  let finally () = cell (Obs.Trace.now_us () -. t0) in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span ~cat:"refinement" name (fun () -> Fun.protect ~finally f)
+  else Fun.protect ~finally f
+
+(* Run a whole check under a span, timing it into the metrics. *)
+let timed_check name ctr f =
+  let t0 = Obs.Trace.now_us () in
+  let finish r =
+    let dt = Obs.Trace.now_us () -. t0 in
+    Obs.Metrics.observe Mx.check_seconds (dt /. 1e6);
+    Obs.Metrics.add Mx.explore_us dt;
+    (match r with
+    | Refinement_violated _ -> Obs.Metrics.inc Mx.violations
+    | Refinement_holds _ | Budget_exhausted _ -> ());
+    ignore ctr;
+    r
+  in
+  if Obs.Trace.enabled () then
+    finish (Obs.Trace.with_span ~cat:"refinement" name f)
+  else finish (f ())
 
 exception Violation of failure
 exception Budget
@@ -98,9 +299,9 @@ type 's tracker = {
       (** close under linearizing any pending operation; raises [Vacuous]
           on reachable spec-level undefined behaviour *)
   add_pending : int -> Spec.call -> 's cand list -> 's cand list;
-  respond : int -> V.t -> string list -> 's cand list -> 's cand list;
+  respond : int -> V.t -> event list -> 's cand list -> 's cand list;
       (** filter candidates by an observed response; raises [Violation] *)
-  crash_cands : string list -> 's cand list -> 's cand list;
+  crash_cands : event list -> 's cand list -> 's cand list;
       (** apply the atomic spec crash transition, dropping in-flight ops;
           raises [Violation] if unsatisfiable *)
 }
@@ -121,9 +322,12 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
     if c <> 0 then c else List.compare compare_pending c1.pend c2.pend
   in
   let dedup cands =
+    let n0 = List.length cands in
     let sorted = List.sort_uniq compare_cand cands in
-    if List.length sorted > ctr.c_max_candidates then
-      ctr.c_max_candidates <- List.length sorted;
+    let n = List.length sorted in
+    ctr.c_dedup <- ctr.c_dedup + (n0 - n);
+    Obs.Metrics.observe Mx.cand_sizes (float_of_int n);
+    if n > ctr.c_max_candidates then ctr.c_max_candidates <- n;
     sorted
   in
   let saturate cands =
@@ -188,11 +392,9 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
     | [] ->
       raise
         (Violation
-           {
-             reason =
-               Fmt.str "no linearization explains thread %d returning %a" tid V.pp v;
-             trace = List.rev trace;
-           })
+           (mk_failure
+              (Fmt.str "no linearization explains thread %d returning %a" tid V.pp v)
+              trace))
     | cs -> cs
   in
   let crash_cands trace cands =
@@ -204,9 +406,7 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
     in
     match dedup crashed with
     | [] ->
-      raise
-        (Violation
-           { reason = "spec crash transition unsatisfiable"; trace = List.rev trace })
+      raise (Violation (mk_failure "spec crash transition unsatisfiable" trace))
     | cs -> cs
   in
   { saturate; add_pending; respond; crash_cands }
@@ -237,14 +437,14 @@ let check (type w s) (cfg : (w, s) config) : result =
     match find [] lives with
     | None -> (lives, cands, trace)
     | Some (others, l, v) ->
-      let trace = Fmt.str "t%d: %a returns %a" l.tid Spec.pp_call l.call V.pp v :: trace in
+      let trace = ev_return l.tid l.call v :: trace in
       let cands = tk.respond l.tid v trace cands in
       (match l.rest with
       | [] -> settle others cands trace
       | (call', prog') :: rest' ->
         let tid = fresh_tid () in
         let live' = { tid; call = call'; prog = prog'; rest = rest' } in
-        let trace = Fmt.str "t%d: invoke %a" tid Spec.pp_call call' :: trace in
+        let trace = ev_invoke tid call' :: trace in
         settle (live' :: others) (tk.add_pending tid call' cands) trace)
   in
 
@@ -267,7 +467,7 @@ let check (type w s) (cfg : (w, s) config) : result =
       let rec go w prog trace =
         match prog with
         | Sched.Prog.Done v ->
-          let trace = Fmt.str "post t%d: %a returns %a" tid Spec.pp_call call V.pp v :: trace in
+          let trace = ev_post_return tid call v :: trace in
           vacuous_ok (fun () ->
               let cands = tk.respond tid v trace cands in
               run_post w cands trace rest)
@@ -277,18 +477,19 @@ let check (type w s) (cfg : (w, s) config) : result =
           | Sched.Prog.Ub reason ->
             raise
               (Violation
-                 {
-                   reason = Fmt.str "post op hit undefined behaviour at %s: %s" label reason;
-                   trace = List.rev trace;
-                 })
+                 (mk_failure
+                    (Fmt.str "post op hit undefined behaviour at %s: %s" label reason)
+                    trace))
           | Sched.Prog.Steps [] ->
-            raise
-              (Violation
-                 { reason = Fmt.str "post op blocked at %s" label; trace = List.rev trace })
+            raise (Violation (mk_failure (Fmt.str "post op blocked at %s" label) trace))
           | Sched.Prog.Steps outs ->
-            List.iter (fun (w', v) -> go w' (k v) (Fmt.str "post: %s" label :: trace)) outs)
+            List.iter (fun (w', v) -> go w' (k v) (ev_pstep label :: trace)) outs)
       in
       go w prog trace
+  in
+  let timed_post w cands trace =
+    timed_phase "post" (fun us -> ctr.c_post_us <- ctr.c_post_us +. us) (fun () ->
+        run_post w cands trace cfg.post)
   in
 
   (* After recovery completes: one atomic spec crash transition; all
@@ -305,8 +506,9 @@ let check (type w s) (cfg : (w, s) config) : result =
       (* crash-during-recovery branch *)
       if crashes < cfg.max_crashes then begin
         ctr.c_crashes <- ctr.c_crashes + 1;
+        Obs.Trace.instant ~cat:"crash" "crash_injection";
         run_recovery (cfg.crash_world w) cands (crashes + 1)
-          ("CRASH (during recovery)" :: trace)
+          (ev_crash ~during_recovery:true :: trace)
       end;
       match prog with
       | Sched.Prog.Done _ -> finish_recovery w cands trace
@@ -316,24 +518,25 @@ let check (type w s) (cfg : (w, s) config) : result =
         | Sched.Prog.Ub reason ->
           raise
             (Violation
-               {
-                 reason = Fmt.str "recovery hit undefined behaviour at %s: %s" label reason;
-                 trace = List.rev trace;
-               })
+               (mk_failure
+                  (Fmt.str "recovery hit undefined behaviour at %s: %s" label reason)
+                  trace))
         | Sched.Prog.Steps [] ->
-          raise
-            (Violation
-               { reason = Fmt.str "recovery blocked at %s" label; trace = List.rev trace })
+          raise (Violation (mk_failure (Fmt.str "recovery blocked at %s" label) trace))
         | Sched.Prog.Steps outs ->
-          List.iter
-            (fun (w', v) -> go w' (k v) crashes (Fmt.str "recovery: %s" label :: trace))
-            outs)
+          List.iter (fun (w', v) -> go w' (k v) crashes (ev_rstep label :: trace)) outs)
     in
     go w cfg.recovery crashes trace
   in
+  let timed_recovery w cands crashes trace =
+    timed_phase "recovery" (fun us -> ctr.c_recovery_us <- ctr.c_recovery_us +. us)
+      (fun () -> run_recovery w cands crashes trace)
+  in
 
-  (* Main exploration: interleave threads; crash at any point. *)
-  let rec explore w lives cands crashes trace =
+  (* Main exploration: interleave threads; crash at any point.  [depth] is
+     the schedule depth of this path, tracked as a high-water mark. *)
+  let rec explore w lives cands crashes trace depth =
+    if depth > ctr.c_frontier then ctr.c_frontier <- depth;
     match settle lives cands trace with
     | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
     | lives, cands, trace ->
@@ -341,11 +544,13 @@ let check (type w s) (cfg : (w, s) config) : result =
          operations completed (durability of acknowledged writes). *)
       if crashes < cfg.max_crashes then begin
         ctr.c_crashes <- ctr.c_crashes + 1;
+        Obs.Trace.instant ~cat:"crash" "crash_injection";
         vacuous_ok (fun () ->
             let sat = tk.saturate cands in
-            run_recovery (cfg.crash_world w) sat (crashes + 1) ("CRASH" :: trace))
+            timed_recovery (cfg.crash_world w) sat (crashes + 1)
+              (ev_crash ~during_recovery:false :: trace))
       end;
-      if lives = [] then run_post w cands trace cfg.post
+      if lives = [] then timed_post w cands trace
       else begin
         (* schedule branches *)
         let ran = ref false in
@@ -358,12 +563,10 @@ let check (type w s) (cfg : (w, s) config) : result =
               | Sched.Prog.Ub reason ->
                 raise
                   (Violation
-                     {
-                       reason =
-                         Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid label
-                           reason;
-                       trace = List.rev trace;
-                     })
+                     (mk_failure
+                        (Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
+                           label reason)
+                        trace))
               | Sched.Prog.Steps [] -> () (* blocked *)
               | Sched.Prog.Steps outs ->
                 ran := true;
@@ -373,18 +576,17 @@ let check (type w s) (cfg : (w, s) config) : result =
                     let lives' =
                       List.mapi (fun j l' -> if i = j then { l' with prog = k v } else l') lives
                     in
-                    explore w' lives' cands crashes (Fmt.str "t%d: %s" l.tid label :: trace))
+                    explore w' lives' cands crashes (ev_step l.tid label :: trace)
+                      (depth + 1))
                   outs))
           lives;
         if (not !ran) && cfg.fail_on_deadlock then
           raise
             (Violation
-               {
-                 reason =
-                   Fmt.str "deadlock: threads %s all blocked"
-                     (String.concat "," (List.map (fun l -> string_of_int l.tid) lives));
-                 trace = List.rev trace;
-               })
+               (mk_failure
+                  (Fmt.str "deadlock: threads %s all blocked"
+                     (String.concat "," (List.map (fun l -> string_of_int l.tid) lives)))
+                  trace))
       end
   in
 
@@ -399,17 +601,22 @@ let check (type w s) (cfg : (w, s) config) : result =
       ([], [ { st = spec.Spec.init; pend = [] } ])
       cfg.threads
   in
-  match explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] with
-  | () -> Refinement_holds (snapshot ctr)
-  | exception Violation f -> Refinement_violated (f, snapshot ctr)
-  | exception Budget -> Budget_exhausted (snapshot ctr)
+  timed_check "refinement.check" ctr (fun () ->
+      match explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0 with
+      | () -> Refinement_holds (snapshot ctr)
+      | exception Violation f -> Refinement_violated (f, snapshot ctr)
+      | exception Budget -> Budget_exhausted (snapshot ctr))
 
 let check_exn cfg =
   match check cfg with
   | Refinement_holds stats -> stats
-  | Refinement_violated (f, _) -> failwith (Fmt.str "%a" pp_failure f)
+  | Refinement_violated (f, stats) ->
+    failwith (Fmt.str "@[<v>Refinement_violated: %a@,stats: %a@]" pp_failure f pp_stats stats)
   | Budget_exhausted stats ->
-    failwith (Fmt.str "refinement check exhausted budget (%a)" pp_stats stats)
+    failwith
+      (Fmt.str
+         "Budget_exhausted: step budget exceeded before the state space was covered (stats: %a)"
+         pp_stats stats)
 
 (* ------------------------------------------------------------------ *)
 (* The randomized checker                                               *)
@@ -438,7 +645,7 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
   let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
 
   (* run a single program to completion with random outcome choices *)
-  let run_solo ~what w prog trace =
+  let run_solo ~what ~mk_ev w prog trace =
     let rec go w prog trace =
       match prog with
       | Sched.Prog.Done v -> (w, v, trace)
@@ -448,17 +655,14 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         | Sched.Prog.Ub reason ->
           raise
             (Violation
-               {
-                 reason = Fmt.str "%s hit undefined behaviour at %s: %s" what label reason;
-                 trace = List.rev trace;
-               })
+               (mk_failure
+                  (Fmt.str "%s hit undefined behaviour at %s: %s" what label reason)
+                  trace))
         | Sched.Prog.Steps [] ->
-          raise
-            (Violation
-               { reason = Fmt.str "%s blocked at %s" what label; trace = List.rev trace })
+          raise (Violation (mk_failure (Fmt.str "%s blocked at %s" what label) trace))
         | Sched.Prog.Steps outs ->
           let w', v = pick outs in
-          go w' (k v) (Fmt.str "%s: %s" what label :: trace))
+          go w' (k v) (mk_ev label :: trace))
     in
     go w prog trace
   in
@@ -469,23 +673,32 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         (fun (w, cands) (call, prog) ->
           let tid = fresh_tid () in
           let cands = tk.add_pending tid call cands in
-          let w, v, trace' = run_solo ~what:"post" w prog trace in
-          let trace' = Fmt.str "post t%d: %a returns %a" tid Spec.pp_call call V.pp v :: trace' in
+          let w, v, trace' = run_solo ~what:"post" ~mk_ev:ev_pstep w prog trace in
+          let trace' = ev_post_return tid call v :: trace' in
           (w, tk.respond tid v trace' cands))
         (w, cands) cfg.post
     in
     ctr.c_executions <- ctr.c_executions + 1
+  in
+  let timed_post w cands trace =
+    timed_phase "post" (fun us -> ctr.c_post_us <- ctr.c_post_us +. us) (fun () ->
+        run_post w cands trace)
   in
 
   (* crash, then recovery (itself subject to random crashes), then the spec
      crash transition and the post probes *)
   let do_crash w cands crashes trace =
     ctr.c_crashes <- ctr.c_crashes + 1;
+    Obs.Trace.instant ~cat:"crash" "crash_injection";
     let sat = tk.saturate cands in
     let rec recover w crashes trace =
       let rec go w prog trace =
-        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
-          recover (cfg.crash_world w) (crashes + 1) ("CRASH (during recovery)" :: trace)
+        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then begin
+          ctr.c_crashes <- ctr.c_crashes + 1;
+          Obs.Trace.instant ~cat:"crash" "crash_injection";
+          recover (cfg.crash_world w) (crashes + 1)
+            (ev_crash ~during_recovery:true :: trace)
+        end
         else
           match prog with
           | Sched.Prog.Done _ -> (w, trace)
@@ -495,23 +708,23 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
             | Sched.Prog.Ub reason ->
               raise
                 (Violation
-                   {
-                     reason =
-                       Fmt.str "recovery hit undefined behaviour at %s: %s" label reason;
-                     trace = List.rev trace;
-                   })
+                   (mk_failure
+                      (Fmt.str "recovery hit undefined behaviour at %s: %s" label reason)
+                      trace))
             | Sched.Prog.Steps [] ->
               raise
-                (Violation
-                   { reason = Fmt.str "recovery blocked at %s" label; trace = List.rev trace })
+                (Violation (mk_failure (Fmt.str "recovery blocked at %s" label) trace))
             | Sched.Prog.Steps outs ->
               let w', v = pick outs in
-              go w' (k v) (Fmt.str "recovery: %s" label :: trace))
+              go w' (k v) (ev_rstep label :: trace))
       in
       go w cfg.recovery trace
     in
-    let w, trace = recover (cfg.crash_world w) crashes ("CRASH" :: trace) in
-    run_post w (tk.crash_cands trace sat) trace
+    let w, trace =
+      timed_phase "recovery" (fun us -> ctr.c_recovery_us <- ctr.c_recovery_us +. us)
+        (fun () -> recover (cfg.crash_world w) crashes (ev_crash ~during_recovery:false :: trace))
+    in
+    timed_post w (tk.crash_cands trace sat) trace
   in
 
   let walk () =
@@ -526,7 +739,8 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         ([], [ { st = spec.Spec.init; pend = [] } ])
         cfg.threads
     in
-    let rec main w lives cands crashes trace =
+    let rec main w lives cands crashes trace depth =
+      if depth > ctr.c_frontier then ctr.c_frontier <- depth;
       (* settle finished threads first *)
       let rec settle lives cands trace =
         let rec find acc = function
@@ -538,22 +752,20 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         match find [] lives with
         | None -> (lives, cands, trace)
         | Some (others, l, v) ->
-          let trace =
-            Fmt.str "t%d: %a returns %a" l.tid Spec.pp_call l.call V.pp v :: trace
-          in
+          let trace = ev_return l.tid l.call v :: trace in
           let cands = tk.respond l.tid v trace cands in
           (match l.rest with
           | [] -> settle others cands trace
           | (call', prog') :: rest' ->
             let tid = fresh_tid () in
             let live' = { tid; call = call'; prog = prog'; rest = rest' } in
-            settle (live' :: others) (tk.add_pending tid call' cands) trace)
+            settle (live' :: others) (tk.add_pending tid call' cands) (ev_invoke tid call' :: trace))
       in
       let lives, cands, trace = settle lives cands trace in
       if lives = [] then
         if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
           do_crash w cands crashes trace
-        else run_post w cands trace
+        else timed_post w cands trace
       else if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
         do_crash w cands crashes trace
       else begin
@@ -570,12 +782,10 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
                    | Sched.Prog.Ub reason ->
                      raise
                        (Violation
-                          {
-                            reason =
-                              Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
-                                label reason;
-                            trace = List.rev trace;
-                          })
+                          (mk_failure
+                             (Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
+                                label reason)
+                             trace))
                    | Sched.Prog.Steps [] -> []
                    | Sched.Prog.Steps outs ->
                      [ (fun () ->
@@ -585,7 +795,7 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
                              (fun j l' -> if i = j then { l' with prog = k v } else l')
                              lives
                          in
-                         (w', lives', Fmt.str "t%d: %s" l.tid label :: trace)) ]))
+                         (w', lives', ev_step l.tid label :: trace)) ]))
                lives)
         in
         match steppable with
@@ -594,27 +804,37 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
           else if cfg.fail_on_deadlock then
             raise
               (Violation
-                 {
-                   reason =
-                     Fmt.str "deadlock: threads %s all blocked"
+                 (mk_failure
+                    (Fmt.str "deadlock: threads %s all blocked"
                        (String.concat ","
-                          (List.map (fun l -> string_of_int l.tid) lives));
-                   trace = List.rev trace;
-                 })
+                          (List.map (fun l -> string_of_int l.tid) lives)))
+                    trace))
           else ()
         | _ ->
           bump_steps ();
           let w', lives', trace' = (pick steppable) () in
-          main w' lives' cands crashes trace'
+          main w' lives' cands crashes trace' (depth + 1)
       end
     in
-    main cfg.init_world (List.rev lives) cands 0 []
+    main cfg.init_world (List.rev lives) cands 0 [] 0
   in
-  match
-    for _ = 1 to schedules do
-      try walk () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
-    done
-  with
-  | () -> Refinement_holds (snapshot ctr)
-  | exception Violation f -> Refinement_violated (f, snapshot ctr)
-  | exception Budget -> Budget_exhausted (snapshot ctr)
+  (* The schedule index makes a randomized counterexample reproducible:
+     re-running with the same [seed] replays schedules 1..i identically. *)
+  let sched_idx = ref 0 in
+  timed_check "refinement.check_random" ctr (fun () ->
+      match
+        for i = 1 to schedules do
+          sched_idx := i;
+          try walk () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
+        done
+      with
+      | () -> Refinement_holds (snapshot ctr)
+      | exception Violation f ->
+        let f =
+          { f with
+            reason =
+              Fmt.str "[seed=%d schedule=%d/%d] %s" seed !sched_idx schedules f.reason
+          }
+        in
+        Refinement_violated (f, snapshot ctr)
+      | exception Budget -> Budget_exhausted (snapshot ctr))

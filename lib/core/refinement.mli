@@ -64,16 +64,48 @@ type stats = {
   crashes_injected : int;
   vacuous : int;  (** paths pruned by spec-level undefined behaviour *)
   max_candidates : int;  (** high-water mark of the linearization set *)
+  dedup_hits : int;  (** duplicate linearization candidates collapsed *)
+  frontier_hwm : int;  (** deepest schedule prefix explored *)
 }
 
 val pp_stats : stats Fmt.t
 
+(** {2 Counterexamples}
+
+    A failing path is kept as structured events — thread id, kind, phase —
+    so it can be rendered as per-thread lanes ({!pp_failure_lanes}) or
+    exported as a Chrome trace ({!failure_chrome}), in addition to the
+    classic flat listing ({!pp_failure}). *)
+
+type event_kind = Invoke | Step | Return | Crash
+
+type event_phase = Main | Recovery | Post
+
+type event = {
+  ev_tid : int option;  (** [None] for global events (crash, recovery, post steps) *)
+  ev_kind : event_kind;
+  ev_phase : event_phase;
+  ev_label : string;  (** short label: op name or atomic-step label *)
+  ev_text : string;  (** the classic one-line rendering of this event *)
+}
+
 type failure = {
   reason : string;
-  trace : string list;  (** events on the failing path, oldest first *)
+  trace : string list;  (** events on the failing path, oldest first —
+                            exactly [List.map (fun e -> e.ev_text) events] *)
+  events : event list;  (** the same path, structured *)
 }
 
 val pp_failure : failure Fmt.t
+
+val pp_failure_lanes : failure Fmt.t
+(** The failing path as one column per thread (order of first appearance)
+    plus a rightmost lane for crash/recovery/post events. *)
+
+val failure_chrome : failure -> Obs.Json.t
+(** The failing path as a Chrome [trace_event] document: one timeline lane
+    per thread (tid 1000 holds global events), each event a fixed-width box
+    at its position in the interleaving, crashes as instants. *)
 
 type result =
   | Refinement_holds of stats
@@ -84,7 +116,10 @@ val check : ('w, 's) config -> result
 
 val check_exn : ('w, 's) config -> stats
 (** Like {!check} but raises [Failure] with a rendered report on violation
-    or budget exhaustion; convenient in tests and examples. *)
+    or budget exhaustion; convenient in tests and examples.  The message is
+    prefixed ["Refinement_violated: "] or ["Budget_exhausted: "] so callers
+    (and test suites) can tell the two apart, and both variants include the
+    rendered {!stats}. *)
 
 val check_random :
   ?schedules:int -> ?seed:int -> ?crash_prob:float -> ('w, 's) config -> result
@@ -93,4 +128,5 @@ val check_random :
     {!check}.  Use on instances too large to exhaust — a reported violation
     is a real counterexample; a pass is evidence, not proof.  [crash_prob]
     is the per-step probability of injecting a crash (while the crash budget
-    lasts). *)
+    lasts).  A failure's [reason] is prefixed ["[seed=S schedule=I/N] "] so
+    the exact failing walk can be replayed. *)

@@ -48,6 +48,18 @@ type outcome = {
 
 exception Sim_stuck of string
 
+(* Observability: totals across simulation runs, on the default registry. *)
+module Mx = struct
+  open Obs.Metrics
+
+  let runs = counter "perennial_mcsim_runs_total"
+  let events = counter "perennial_mcsim_events_total"
+  let requests = counter "perennial_mcsim_requests_total"
+  let gc_slices = counter "perennial_mcsim_gc_slices_total"
+  let serial_waits = counter "perennial_mcsim_serial_waits_total"
+  let lock_waits = counter "perennial_mcsim_lock_waits_total"
+end
+
 let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list array) :
     outcome =
   let n = Array.length requests in
@@ -68,7 +80,11 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       r
   in
   let makespan = ref 0. in
-  let budget = ref (200_000_000 + (n * 64)) in
+  let budget0 = 200_000_000 + (n * 64) in
+  let budget = ref budget0 in
+  let n_gc = ref 0 in
+  let n_serial_waits = ref 0 in
+  let n_lock_waits = ref 0 in
   let observe t = if t > !makespan then makespan := t in
   (* Process core [c] at time [t] until it blocks or schedules a future
      event. *)
@@ -92,6 +108,7 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
     | A (Cpu d) :: rest ->
       if st.cpu_since_gc +. d >= gc_quantum then begin
         st.cpu_since_gc <- 0.;
+        incr n_gc;
         st.pending <- A (Serial ("gc", gc_slice)) :: rest
       end
       else begin
@@ -101,7 +118,10 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       Heap.push events (t +. d) c
     | A (Serial (name, d)) :: rest ->
       let r = get serials name in
-      if r.busy then r.queue <- r.queue @ [ c ] (* retried when woken *)
+      if r.busy then begin
+        incr n_serial_waits;
+        r.queue <- r.queue @ [ c ] (* retried when woken *)
+      end
       else begin
         r.busy <- true;
         st.pending <- Release_serial name :: rest;
@@ -119,7 +139,10 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       step t c
     | A (Lock l) :: rest ->
       let r = get locks l in
-      if r.busy then r.queue <- r.queue @ [ c ]
+      if r.busy then begin
+        incr n_lock_waits;
+        r.queue <- r.queue @ [ c ]
+      end
       else begin
         r.busy <- true;
         st.pending <- rest;
@@ -148,6 +171,12 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       drain ()
   in
   drain ();
+  Obs.Metrics.inc Mx.runs;
+  Obs.Metrics.inc ~by:(budget0 - !budget) Mx.events;
+  Obs.Metrics.inc ~by:n Mx.requests;
+  Obs.Metrics.inc ~by:!n_gc Mx.gc_slices;
+  Obs.Metrics.inc ~by:!n_serial_waits Mx.serial_waits;
+  Obs.Metrics.inc ~by:!n_lock_waits Mx.lock_waits;
   let per_core_completed = Array.map (fun s -> s.completed) states in
   let total = Array.fold_left ( + ) 0 per_core_completed in
   if total <> n then

@@ -1,0 +1,35 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    Deliberately dependency-free: the observability layer must not drag a
+    JSON library into the checker's build.  The emitter produces compact
+    RFC 8259 output; the parser accepts everything the emitter produces
+    (and ordinary hand-written JSON), which is what the round-trip tests
+    rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats render as [null]
+    (JSON has no NaN/infinity). *)
+
+val pp : t Fmt.t
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error. *)
+
+(** {2 Accessors} (total: [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option

@@ -1,0 +1,145 @@
+type arg = I of int | F of float | S of string | B of bool
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Complete of float
+  | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type sink =
+  | Null
+  | Memory
+  | Jsonl of out_channel
+  | Chrome of out_channel
+
+let current : sink ref = ref Null
+let on = ref false
+let buffer : event list ref = ref [] (* newest first; Memory and Chrome *)
+let buffered = ref 0
+let limit = ref 200_000
+let n_dropped = ref 0
+
+let enabled () = !on
+let dropped () = !n_dropped
+let set_limit n = limit := n
+
+let clock : (unit -> float) ref = ref (fun () -> Unix.gettimeofday () *. 1e6)
+let now_us () = !clock ()
+let set_clock f = clock := f
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arg_json = function
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.Str s
+  | B b -> Json.Bool b
+
+let event_json e =
+  let ph, dur =
+    match e.ph with
+    | Span_begin -> ("B", None)
+    | Span_end -> ("E", None)
+    | Complete d -> ("X", Some d)
+    | Instant -> ("i", None)
+  in
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str ph);
+      ("ts", Json.Float e.ts);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid) ]
+  in
+  let base = match dur with Some d -> base @ [ ("dur", Json.Float d) ] | None -> base in
+  let base = match e.ph with Instant -> base @ [ ("s", Json.Str "t") ] | _ -> base in
+  let base =
+    match e.args with
+    | [] -> base
+    | args -> base @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) args)) ]
+  in
+  Json.Obj base
+
+let chrome_json events =
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+(* ------------------------------------------------------------------ *)
+(* Sink management                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let push e =
+  if !buffered >= !limit then incr n_dropped
+  else begin
+    buffer := e :: !buffer;
+    incr buffered
+  end
+
+let emit e =
+  match !current with
+  | Null -> ()
+  | Memory | Chrome _ -> push e
+  | Jsonl oc ->
+    output_string oc (Json.to_string (event_json e));
+    output_char oc '\n'
+
+let reset_state () =
+  buffer := [];
+  buffered := 0;
+  n_dropped := 0
+
+let close () =
+  (match !current with
+  | Null -> ()
+  | Memory -> ()
+  | Jsonl oc ->
+    flush oc;
+    close_out oc
+  | Chrome oc ->
+    output_string oc (Json.to_string (chrome_json (List.rev !buffer)));
+    output_char oc '\n';
+    close_out oc);
+  current := Null;
+  on := false;
+  reset_state ()
+
+let install s =
+  close ();
+  current := s;
+  on := s <> Null
+
+let install_memory () = install Memory
+let open_jsonl path = install (Jsonl (open_out path))
+let open_chrome path = install (Chrome (open_out path))
+let memory_events () = List.rev !buffer
+
+(* ------------------------------------------------------------------ *)
+(* Emitting helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if !on then emit { name; cat; ph = Instant; ts = now_us (); pid = 1; tid; args }
+
+let with_span ?(cat = "") ?(tid = 0) ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_us () in
+        emit { name; cat; ph = Complete (t1 -. t0); ts = t0; pid = 1; tid; args })
+      f
+  end

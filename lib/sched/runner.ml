@@ -10,7 +10,18 @@ type 'w outcome = {
   results : V.t array;
   trace : (int * string) list;
   steps : int;
+  per_thread_steps : int array;
+  context_switches : int;
 }
+
+(* Observability: scheduler-level counters on the default registry. *)
+module Mx = struct
+  open Obs.Metrics
+
+  let runs = counter "perennial_sched_runs_total"
+  let steps = counter "perennial_sched_steps_total"
+  let switches = counter "perennial_sched_context_switches_total"
+end
 
 exception Undefined_behaviour of string
 exception Deadlock of string
@@ -25,6 +36,10 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
   let world = ref world in
   let trace = ref [] in
   let steps = ref 0 in
+  let per_thread = Array.make n 0 in
+  let switches = ref 0 in
+  let last_ran = ref (-1) in
+  Obs.Metrics.inc Mx.runs;
   let rng = match policy with Random seed -> Some (Random.State.make [| seed |]) | Round_robin | Fixed _ -> None
   in
   let fixed = ref (match policy with Fixed l -> l | Round_robin | Random _ -> []) in
@@ -103,15 +118,21 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
           commit idx;
           trace := (i, label) :: !trace;
           incr steps;
+          per_thread.(i) <- per_thread.(i) + 1;
+          if !last_ran >= 0 && !last_ran <> i then incr switches;
+          last_ran := i;
           if !steps > max_steps then failwith "Runner.run: step budget exceeded");
         rr := (i + 1) mod n;
         loop ())
   in
   loop ();
+  Obs.Metrics.inc ~by:!steps Mx.steps;
+  Obs.Metrics.inc ~by:!switches Mx.switches;
   let results =
     Array.map (function Finished v -> v | Running _ -> assert false) states
   in
-  { world = !world; results; trace = List.rev !trace; steps = !steps }
+  { world = !world; results; trace = List.rev !trace; steps = !steps;
+    per_thread_steps = per_thread; context_switches = !switches }
 
 let run1 world prog =
   let out = run world [ prog ] in

@@ -17,6 +17,9 @@ type 'w outcome = {
   results : Tslang.Value.t array;  (** per-thread final values *)
   trace : (int * string) list;  (** (thread, step label) in execution order *)
   steps : int;
+  per_thread_steps : int array;  (** steps committed by each thread *)
+  context_switches : int;
+      (** times the scheduler ran a different thread than the previous step *)
 }
 
 exception Undefined_behaviour of string

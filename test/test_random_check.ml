@@ -76,6 +76,27 @@ let test_random_deterministic_given_seed () =
     Alcotest.(check int) "same steps" s1.R.steps s2.R.steps
   | _ -> Alcotest.fail "expected both runs to hold"
 
+let test_random_failure_names_seed_and_schedule () =
+  (* Regression: a randomized counterexample must say which seed and which
+     schedule index produced it, so the walk can be replayed exactly. *)
+  match
+    R.check_random ~schedules:500 ~seed:123 ~crash_prob:0.2
+      (R.config ~spec:(Rd.spec 1)
+         ~init_world:(Rd.init_world ~may_fail:false 1)
+         ~crash_world:Rd.crash_world ~pp_world:Rd.pp_world
+         ~threads:[ [ Rd.write_call 0 (V.str "x") ] ]
+         ~recovery:(Rd.Buggy.recover_zero 1) ~post:(Rd.probe 1) ~max_crashes:1 ())
+  with
+  | R.Refinement_violated (f, _) ->
+    Alcotest.(check bool) "reason names the seed" true
+      (Astring_contains.contains f.R.reason "seed=123");
+    Alcotest.(check bool) "reason names the schedule index" true
+      (Astring_contains.contains f.R.reason "schedule=");
+    Alcotest.(check bool) "reason names the schedule budget" true
+      (Astring_contains.contains f.R.reason "/500]")
+  | R.Refinement_holds stats -> Alcotest.failf "missed (%a)" R.pp_stats stats
+  | R.Budget_exhausted stats -> Alcotest.failf "budget (%a)" R.pp_stats stats
+
 let test_random_wal_with_deep_crashes () =
   expect_holds "wal deep crashes"
     (R.check_random ~schedules:300 ~crash_prob:0.15
@@ -91,5 +112,7 @@ let suite =
     Alcotest.test_case "random: scales beyond exhaustive" `Quick test_random_scales_beyond_exhaustive;
     Alcotest.test_case "random: catches unspooled deliver" `Quick test_random_catches_unspooled_large;
     Alcotest.test_case "random: deterministic given seed" `Quick test_random_deterministic_given_seed;
+    Alcotest.test_case "random: failure names seed+schedule" `Quick
+      test_random_failure_names_seed_and_schedule;
     Alcotest.test_case "random: wal with 3 crashes" `Quick test_random_wal_with_deep_crashes;
   ]

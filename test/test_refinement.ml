@@ -188,8 +188,72 @@ let test_stats_accounting () =
     Alcotest.(check bool) "steps >= executions" true (s.R.steps >= s.R.executions);
     Alcotest.(check bool) "crashes counted" true (s.R.crashes_injected > 0);
     Alcotest.(check bool) "candidates bounded" true
-      (s.R.max_candidates >= 1 && s.R.max_candidates < 100)
+      (s.R.max_candidates >= 1 && s.R.max_candidates < 100);
+    Alcotest.(check bool) "frontier depth tracked" true (s.R.frontier_hwm > 0);
+    Alcotest.(check bool) "frontier no deeper than total steps" true
+      (s.R.frontier_hwm <= s.R.steps)
   | _ -> Alcotest.fail "expected pass"
+
+let test_structured_events () =
+  (* the structured counterexample must agree with the flat trace and be
+     renderable as lanes and as a Chrome trace document *)
+  let cfg =
+    buggy_config ~recovery:(Rd.Buggy.recover_zero 1) ~may_fail:false ~size:1
+      [ [ Rd.write_call 0 (V.str "x") ] ]
+  in
+  match R.check cfg with
+  | R.Refinement_violated (f, _) ->
+    Alcotest.(check bool) "events present" true (f.R.events <> []);
+    Alcotest.(check (list string))
+      "trace is the rendered events" f.R.trace
+      (List.map (fun e -> e.R.ev_text) f.R.events);
+    Alcotest.(check bool) "a crash event is structured" true
+      (List.exists (fun e -> e.R.ev_kind = R.Crash) f.R.events);
+    Alcotest.(check bool) "main-phase events carry a thread id" true
+      (List.exists
+         (fun e -> e.R.ev_phase = R.Main && e.R.ev_tid <> None)
+         f.R.events);
+    let lanes = Fmt.str "%a" R.pp_failure_lanes f in
+    Alcotest.(check bool) "lanes mention t0" true (Astring_contains.contains lanes "t0");
+    (* the Chrome export must survive a JSON round-trip *)
+    let doc = Obs.Json.to_string (R.failure_chrome f) in
+    (match Obs.Json.of_string doc with
+    | Ok (Obs.Json.Obj fields) ->
+      (match List.assoc_opt "traceEvents" fields with
+      | Some (Obs.Json.Arr evs) ->
+        Alcotest.(check int) "one trace event per failure event"
+          (List.length f.R.events) (List.length evs)
+      | _ -> Alcotest.fail "no traceEvents array")
+    | Ok _ -> Alcotest.fail "chrome doc is not an object"
+    | Error e -> Alcotest.failf "chrome doc does not parse: %s" e)
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_check_exn_messages () =
+  (* the two check_exn failure modes must be distinguishable by prefix and
+     both must include the rendered stats *)
+  let violating =
+    buggy_config ~recovery:Rd.Buggy.recover_nop ~size:1
+      [ [ Rd.write_call 0 (V.str "x") ] ]
+  in
+  (match R.check_exn violating with
+  | _ -> Alcotest.fail "expected check_exn to raise on a violation"
+  | exception Failure msg ->
+    Alcotest.(check bool) "violation prefix" true
+      (String.length msg > 20 && String.sub msg 0 20 = "Refinement_violated:");
+    Alcotest.(check bool) "violation includes stats" true
+      (Astring_contains.contains msg "executions="));
+  let starved =
+    Rd.checker_config ~may_fail:false ~max_crashes:1 ~size:1
+      [ [ Rd.write_call 0 (V.str "x") ] ]
+  in
+  let starved = { starved with R.step_budget = 3 } in
+  match R.check_exn starved with
+  | _ -> Alcotest.fail "expected check_exn to raise on budget exhaustion"
+  | exception Failure msg ->
+    Alcotest.(check bool) "budget prefix" true
+      (String.length msg > 17 && String.sub msg 0 17 = "Budget_exhausted:");
+    Alcotest.(check bool) "budget includes stats" true
+      (Astring_contains.contains msg "steps=")
 
 (* --- deadlock detection --- *)
 
@@ -243,5 +307,7 @@ let suite =
     Alcotest.test_case "bug: double release is UB" `Quick test_bug_double_release_is_ub;
     Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
     Alcotest.test_case "counterexample trace contents" `Quick test_trace_contents;
+    Alcotest.test_case "structured counterexample events" `Quick test_structured_events;
+    Alcotest.test_case "check_exn distinct messages" `Quick test_check_exn_messages;
     Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
   ]
