@@ -672,6 +672,116 @@ let kvs () =
     && buggy_outline_rejected && ordered && group_gain > 1.4 && global_flat && group_scales)
 
 (* ------------------------------------------------------------------ *)
+(* Exploration strategies: naive vs DPOR vs DPOR+sleep                  *)
+(* ------------------------------------------------------------------ *)
+
+let strategies () =
+  section "Exploration strategies: naive vs DPOR vs DPOR+sleep sets";
+  let module E = Perennial_core.Explore in
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  Fmt.pr "  Partial-order reduction prunes interleavings of commuting steps@.";
+  Fmt.pr "  (disjoint footprints) and crash points that reach already-explored@.";
+  Fmt.pr "  recovery states; the verdict must never change (differential@.";
+  Fmt.pr "  harness: test/test_explore.ml).@.@.";
+  let b = Disk.Block.of_string in
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  let p = K.params ~n_keys:2 () in
+  let vx = V.str "x" and vy = V.str "y" in
+  let instances : (string * (E.strategy -> R.result)) list =
+    [
+      ( "rd: 2 writers + crash + disk failure",
+        fun strategy ->
+          R.check ~strategy
+            (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1
+               ~size:1
+               [ [ Systems.Replicated_disk.write_call 0 vx ];
+                 [ Systems.Replicated_disk.write_call 0 vy ] ]) );
+      ( "journal: commit || read + crash",
+        fun strategy ->
+          R.check ~strategy
+            (J.checker_config ly ~max_crashes:1
+               [ [ J.commit_call ly [ (0, b "A"); (1, b "B") ] ]; [ J.read_call ly 0 ] ]) );
+      ( "kvs: put || get + crash",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:1
+               [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ]) );
+      ( "kvs: txn + crash during recovery",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:2
+               [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]) );
+      ( "kvs: async put; flush || get + crash",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:1
+               [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ];
+                 [ K.get_call p 0 ] ]) );
+    ]
+  in
+  let verdict = function
+    | R.Refinement_holds _ -> "holds"
+    | R.Refinement_violated _ -> "violated"
+    | R.Budget_exhausted _ -> "budget"
+  in
+  let stats_of = function
+    | R.Refinement_holds st | R.Refinement_violated (_, st) | R.Budget_exhausted st -> st
+  in
+  Fmt.pr "  %-40s %-11s %8s %10s %8s %7s %7s %8s@." "instance" "strategy" "execs"
+    "steps" "pruned" "crashsk" "sleepsk" "time";
+  let ok = ref true in
+  let kvs_reduction = ref 0. in
+  List.iter
+    (fun (name, run) ->
+      let rows =
+        List.map
+          (fun s ->
+            let t0 = Unix.gettimeofday () in
+            let r = run s in
+            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            (s, r, ms))
+          E.all_strategies
+      in
+      let naive_st, naive_v =
+        let _, r, _ = List.find (fun (s, _, _) -> s = E.Naive) rows in
+        (stats_of r, verdict r)
+      in
+      List.iter
+        (fun (s, r, ms) ->
+          let st = stats_of r in
+          Fmt.pr "  %-40s %-11s %8d %10d %8d %7d %7d %6.1fms@."
+            (if s = E.Naive then name else "")
+            (E.strategy_name s) st.R.executions st.R.steps st.R.commutations_pruned
+            st.R.crash_skips st.R.sleep_skips ms;
+          Bench_out.add
+            (Printf.sprintf "strategies: %s [%s]" name (E.strategy_name s))
+            ~iters:1 ~ns_per_op:(ms *. 1e6)
+            ~metrics:
+              [ ("executions", st.R.executions); ("steps", st.R.steps);
+                ("commutations_pruned", st.R.commutations_pruned);
+                ("crash_skips", st.R.crash_skips); ("sleep_skips", st.R.sleep_skips) ];
+          if verdict r <> naive_v then begin
+            Fmt.pr "    VERDICT MISMATCH: %s says %s, naive says %s@."
+              (E.strategy_name s) (verdict r) naive_v;
+            ok := false
+          end;
+          if st.R.executions > naive_st.R.executions then begin
+            Fmt.pr "    PRUNING REGRESSION: %s explored %d > naive's %d@."
+              (E.strategy_name s) st.R.executions naive_st.R.executions;
+            ok := false
+          end;
+          if name = "kvs: put || get + crash" && s = E.Dpor then
+            kvs_reduction :=
+              float_of_int naive_st.R.executions /. float_of_int (max 1 st.R.executions))
+        rows)
+    instances;
+  Fmt.pr "@.  shape checks:@.";
+  Fmt.pr "    verdicts agree and reduced strategies never explore more: %b@." !ok;
+  Fmt.pr "    kvs put||get reduction under dpor: %.1fx (required: >= 3x)@." !kvs_reduction;
+  Shape.check "strategies" (!ok && !kvs_reduction >= 3.)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -766,7 +876,8 @@ let micro () =
 let all =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("table4", table4);
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
-    ("durability", durability); ("kvs", kvs); ("micro", micro) ]
+    ("durability", durability); ("kvs", kvs); ("strategies", strategies);
+    ("micro", micro) ]
 
 let slow_sections = [ "fig11"; "micro" ]
 

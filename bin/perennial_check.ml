@@ -2,7 +2,8 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|kvs|all]
+   Usage: perennial_check [outlines|refinement|kvs|strategies|all]
+                          [--strategy naive|dpor|dpor+sleep]
                           [--trace FILE] [--metrics]
 
    --trace FILE  write a Chrome trace_event JSON of the run (load it in
@@ -10,11 +11,16 @@
                  exploration/recovery/post phases, instant events for every
                  injected crash.
    --metrics     print the metrics registry (counters, gauges, histograms
-                 accumulated by the checkers) after the report. *)
+                 accumulated by the checkers) after the report.
+   --strategy    exploration strategy for the exhaustive checks (default
+                 naive); the strategies selection cross-checks all of them
+                 against each other and fails on any verdict mismatch or
+                 pruning regression (DPOR exploring MORE than naive). *)
 
 module V = Tslang.Value
 module R = Perennial_core.Refinement
 module O = Perennial_core.Outline
+module E = Perennial_core.Explore
 
 let ok = ref 0
 let failed = ref 0
@@ -52,47 +58,47 @@ let run_outlines () =
     (fun (name, r) -> report ("cached-block " ^ name) (outline_result r))
     (Systems.Cached_proof.check ())
 
-let run_refinement () =
-  print_endline "Exhaustive concurrent-recovery-refinement checks:";
+let run_refinement ~strategy () =
+  Printf.printf "Exhaustive concurrent-recovery-refinement checks [strategy=%s]:\n" (E.strategy_name strategy);
   let vx = V.str "x" and vy = V.str "y" in
   report "replicated-disk: 2 writers + crash + disk failure"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1 ~size:1
              [ [ Systems.Replicated_disk.write_call 0 vx ];
                [ Systems.Replicated_disk.write_call 0 vy ] ])));
   report "cached-block: put + get + crash (versioned memory)"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Systems.Cached_block.checker_config ~max_crashes:1
              [ [ Systems.Cached_block.put_call (V.str "x") ];
                [ Systems.Cached_block.get_call ] ])));
   report "shadow-copy: writer + reader + crash"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Systems.Shadow_copy.checker_config ~max_crashes:1
              [ [ Systems.Shadow_copy.write_call vx vy ]; [ Systems.Shadow_copy.read_call ] ])));
   report "write-ahead-log: writer + crash during recovery"
     (refinement_result
-       (R.check (Systems.Wal.checker_config ~max_crashes:2 [ [ Systems.Wal.write_call vx vy ] ])));
+       (R.check ~strategy (Systems.Wal.checker_config ~max_crashes:2 [ [ Systems.Wal.write_call vx vy ] ])));
   report "group-commit: write+flush + crash (lossy spec)"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Systems.Group_commit.checker_config ~max_crashes:1
              [ [ Systems.Group_commit.write_call vx vy; Systems.Group_commit.flush_call ] ])));
   report "mailboat: deliver + crash + recovery"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Mailboat.Core.checker_config ~users:1 ~max_crashes:1
              [ [ Mailboat.Core.deliver_call 0 "ab" ] ])));
   report "mailboat: fsync deliver under deferred durability"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Mailboat.Core.checker_config ~users:1 ~max_crashes:1 ~durability:`Deferred
              [ [ Mailboat.Core.deliver_fsync_call 0 "ab" ] ])));
   report "layered: WAL over replicated disk + crash + disk failure"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (Systems.Layered.checker_config ~may_fail:true ~max_crashes:1
              [ [ Systems.Layered.write_call (V.str "x") (V.str "y") ] ])));
   report "mailboat: randomized check, larger instance"
@@ -103,31 +109,114 @@ let run_refinement () =
                [ Mailboat.Core.deliver_call 1 "ef" ];
                [ Mailboat.Core.pickup_call 1; Mailboat.Core.unlock_call 1 ] ])))
 
-let run_kvs () =
-  print_endline "Journaled key-value store (2 keys, exhaustive):";
+let run_kvs ~strategy () =
+  Printf.printf "Journaled key-value store (2 keys, exhaustive) [strategy=%s]:\n" (E.strategy_name strategy);
   let module J = Journal.Txn_log in
   let module K = Journal.Kvs in
   let b = Disk.Block.of_string in
   let p = K.params ~n_keys:2 () in
   report "kvs: put || get + crash"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (K.checker_config p ~max_crashes:1
              [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ])));
   report "kvs: txn + crash during recovery"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (K.checker_config p ~max_crashes:2
              [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ])));
   report "kvs: async put; flush || get + crash"
     (refinement_result
-       (R.check
+       (R.check ~strategy
           (K.checker_config p ~max_crashes:1
              [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ])))
+
+(* Cross-strategy guard: every strategy must reach the same verdict on the
+   bundled instances, and the reduced strategies must never explore more
+   executions than naive.  This is the CI pruning-regression gate. *)
+let run_strategies () =
+  print_endline "Exploration-strategy cross-check (verdicts + pruning guard):";
+  let vx = V.str "x" and vy = V.str "y" in
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  let b = Disk.Block.of_string in
+  let p = K.params ~n_keys:2 () in
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  let instances : (string * (E.strategy -> R.result)) list =
+    [
+      ( "replicated-disk: 2 writers + crash + disk failure",
+        fun strategy ->
+          R.check ~strategy
+            (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1
+               ~size:1
+               [ [ Systems.Replicated_disk.write_call 0 vx ];
+                 [ Systems.Replicated_disk.write_call 0 vy ] ]) );
+      ( "journal: commit || read + crash",
+        fun strategy ->
+          R.check ~strategy
+            (J.checker_config ly
+               [ [ J.commit_call ly [ (0, b "A"); (1, b "B") ] ]; [ J.read_call ly 0 ] ]) );
+      ( "kvs: put || get + crash",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:1
+               [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ]) );
+      ( "kvs: txn + crash during recovery",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:2
+               [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]) );
+      ( "kvs: async put; flush || get + crash",
+        fun strategy ->
+          R.check ~strategy
+            (K.checker_config p ~max_crashes:1
+               [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ];
+                 [ K.get_call p 0 ] ]) );
+    ]
+  in
+  let verdict = function
+    | R.Refinement_holds _ -> "holds"
+    | R.Refinement_violated _ -> "violated"
+    | R.Budget_exhausted _ -> "budget"
+  in
+  let stats_of = function
+    | R.Refinement_holds st | R.Refinement_violated (_, st) | R.Budget_exhausted st -> st
+  in
+  List.iter
+    (fun (name, run) ->
+      let res = List.map (fun s -> (s, run s)) E.all_strategies in
+      let naive = List.assoc E.Naive res in
+      let problems =
+        List.filter_map
+          (fun (s, r) ->
+            if verdict r <> verdict naive then
+              Some
+                (Fmt.str "%s verdict %s, naive %s" (E.strategy_name s) (verdict r)
+                   (verdict naive))
+            else if (stats_of r).R.executions > (stats_of naive).R.executions then
+              Some
+                (Fmt.str "%s explored %d executions > naive's %d" (E.strategy_name s)
+                   (stats_of r).R.executions (stats_of naive).R.executions)
+            else None)
+          res
+      in
+      let detail =
+        String.concat " "
+          (List.map
+             (fun (s, r) ->
+               Fmt.str "%s=%s/%d" (E.strategy_name s) (verdict r)
+                 (stats_of r).R.executions)
+             res)
+      in
+      match problems with
+      | [] -> report name (Ok detail)
+      | ps -> report name (Error (String.concat "; " ps)))
+    instances
 
 let () =
   let trace_file = ref None in
   let metrics = ref false in
+  let strategy = ref E.Naive in
   let what = ref "all" in
   let rec parse = function
     | [] -> ()
@@ -140,6 +229,17 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse rest
+    | "--strategy" :: s :: rest ->
+      (match E.strategy_of_string s with
+      | Some st ->
+        strategy := st;
+        parse rest
+      | None ->
+        Printf.eprintf "perennial_check: unknown strategy %s (want naive|dpor|dpor+sleep)\n" s;
+        exit 2)
+    | "--strategy" :: [] ->
+      prerr_endline "perennial_check: --strategy needs an argument";
+      exit 2
     | w :: rest ->
       what := w;
       parse rest
@@ -147,14 +247,17 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let what = !what in
   (match what with
-  | "outlines" | "refinement" | "kvs" | "all" -> ()
+  | "outlines" | "refinement" | "kvs" | "strategies" | "all" -> ()
   | w ->
-    Printf.eprintf "perennial_check: unknown selection %s (want outlines|refinement|kvs|all)\n" w;
+    Printf.eprintf
+      "perennial_check: unknown selection %s (want outlines|refinement|kvs|strategies|all)\n" w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
+  let strategy = !strategy in
   if what = "outlines" || what = "all" then run_outlines ();
-  if what = "refinement" || what = "all" then run_refinement ();
-  if what = "kvs" || what = "all" then run_kvs ();
+  if what = "refinement" || what = "all" then run_refinement ~strategy ();
+  if what = "kvs" || what = "all" then run_kvs ~strategy ();
+  if what = "strategies" || what = "all" then run_strategies ();
   Obs.Trace.close ();
   if !metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ();
   Printf.printf "\n%d checks passed, %d failed\n" !ok !failed;

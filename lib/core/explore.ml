@@ -1,0 +1,113 @@
+module Fp = Sched.Footprint
+
+type strategy = Naive | Dpor | Dpor_sleep
+
+let all_strategies = [ Naive; Dpor; Dpor_sleep ]
+
+let strategy_name = function
+  | Naive -> "naive"
+  | Dpor -> "dpor"
+  | Dpor_sleep -> "dpor+sleep"
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "naive" -> Some Naive
+  | "dpor" -> Some Dpor
+  | "dpor+sleep" | "dpor_sleep" | "sleep" -> Some Dpor_sleep
+  | _ -> None
+
+let pp_strategy ppf s = Fmt.string ppf (strategy_name s)
+
+(* ------------------------------------------------------------------ *)
+(* Step infos, nodes, race detection                                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'w step_info = {
+  si_tid : int;
+  si_label : string;
+  si_fp : Fp.t;
+  si_visible : bool;
+  si_branches : ('w * ('w, Tslang.Value.t) Sched.Prog.t) list;
+}
+
+let crash_relevant fp = Fp.writes_durable fp
+
+let dependent a b =
+  a.si_visible || b.si_visible || Fp.conflicts a.si_fp b.si_fp
+
+type 'w node = {
+  n_enabled : 'w step_info list;
+  mutable n_backtrack : int list;
+  mutable n_done : int list;
+}
+
+type 'w frame = { f_node : 'w node; f_step : 'w step_info }
+
+let node ~sleep enabled =
+  let asleep si = List.mem si.si_tid sleep in
+  let init =
+    match List.find_opt (fun si -> (not si.si_visible) && not (asleep si)) enabled with
+    | Some si -> Some si.si_tid
+    | None ->
+      (match List.find_opt (fun si -> not (asleep si)) enabled with
+      | Some si -> Some si.si_tid
+      | None -> None (* every enabled thread is asleep: prune the node *))
+  in
+  {
+    n_enabled = enabled;
+    n_backtrack = (match init with Some t -> [ t ] | None -> []);
+    n_done = [];
+  }
+
+let add_backtrack n tid =
+  if not (List.mem tid n.n_backtrack) then n.n_backtrack <- tid :: n.n_backtrack
+
+let enabled_at n tid = List.exists (fun q -> q.si_tid = tid) n.n_enabled
+
+(* Flanagan–Godefroid race detection.  For each step [p] enabled at the new
+   node, walk the path (newest frame first) to the most recent step by a
+   *different* thread that is dependent with [p] and may be co-enabled with
+   it, and schedule [p] for exploration at that frame's node — or, if [p]
+   was not enabled there, every thread that was (the conservative
+   fallback).  The co-enabledness filter is not an optimization: a
+   dependent-but-never-co-enabled step (a release of the very lock [p]
+   wants) would otherwise shadow the real race deeper in the path. *)
+let detect_races (stack : 'w frame list) (n : 'w node) =
+  List.iter
+    (fun p ->
+      let rec scan = function
+        | [] -> ()
+        | f :: rest ->
+          if
+            f.f_step.si_tid <> p.si_tid
+            && dependent f.f_step p
+            && Fp.may_be_coenabled f.f_step.si_fp p.si_fp
+          then
+            if enabled_at f.f_node p.si_tid then add_backtrack f.f_node p.si_tid
+            else List.iter (fun q -> add_backtrack f.f_node q.si_tid) f.f_node.n_enabled
+          else scan rest
+      in
+      scan stack)
+    n.n_enabled
+
+let next_candidate n =
+  List.find_opt
+    (fun si -> List.mem si.si_tid n.n_backtrack && not (List.mem si.si_tid n.n_done))
+    n.n_enabled
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Mx = struct
+  open Obs.Metrics
+
+  let commutations = counter "perennial_explore_commutations_pruned_total"
+  let sleep_skips = counter "perennial_explore_sleep_skips_total"
+  let crash_skips = counter "perennial_explore_crash_skips_total"
+end
+
+let strategy_us s =
+  Obs.Metrics.gauge
+    ~labels:[ ("strategy", strategy_name s) ]
+    "perennial_explore_strategy_us"

@@ -29,13 +29,19 @@ type stats = {
   max_candidates : int;
   dedup_hits : int;
   frontier_hwm : int;
+  commutations_pruned : int;
+  sleep_skips : int;
+  crash_skips : int;
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "executions=%d steps=%d crashes=%d vacuous=%d max_candidates=%d dedup=%d frontier=%d"
     s.executions s.steps s.crashes_injected s.vacuous s.max_candidates s.dedup_hits
-    s.frontier_hwm
+    s.frontier_hwm;
+  if s.commutations_pruned > 0 || s.sleep_skips > 0 || s.crash_skips > 0 then
+    Fmt.pf ppf " pruned=%d sleep_skips=%d crash_skips=%d" s.commutations_pruned
+      s.sleep_skips s.crash_skips
 
 (* ------------------------------------------------------------------ *)
 (* Structured counterexample events                                     *)
@@ -212,6 +218,9 @@ type counters = {
   mutable c_max_candidates : int;
   mutable c_dedup : int;
   mutable c_frontier : int;
+  mutable c_commut : int;
+  mutable c_sleep : int;
+  mutable c_crash_skips : int;
   mutable c_recovery_us : float;
   mutable c_post_us : float;
 }
@@ -219,7 +228,8 @@ type counters = {
 let new_counters () =
   Obs.Metrics.inc Mx.checks;
   { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0;
-    c_dedup = 0; c_frontier = 0; c_recovery_us = 0.; c_post_us = 0. }
+    c_dedup = 0; c_frontier = 0; c_commut = 0; c_sleep = 0; c_crash_skips = 0;
+    c_recovery_us = 0.; c_post_us = 0. }
 
 let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_executions Mx.executions;
@@ -229,6 +239,9 @@ let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_dedup Mx.dedup_hits;
   Obs.Metrics.record_max Mx.max_candidates (float_of_int ctr.c_max_candidates);
   Obs.Metrics.record_max Mx.frontier (float_of_int ctr.c_frontier);
+  Obs.Metrics.inc ~by:ctr.c_commut Explore.Mx.commutations;
+  Obs.Metrics.inc ~by:ctr.c_sleep Explore.Mx.sleep_skips;
+  Obs.Metrics.inc ~by:ctr.c_crash_skips Explore.Mx.crash_skips;
   Obs.Metrics.add Mx.recovery_us ctr.c_recovery_us;
   Obs.Metrics.add Mx.post_us ctr.c_post_us;
   {
@@ -239,6 +252,9 @@ let snapshot ctr =
     max_candidates = ctr.c_max_candidates;
     dedup_hits = ctr.c_dedup;
     frontier_hwm = ctr.c_frontier;
+    commutations_pruned = ctr.c_commut;
+    sleep_skips = ctr.c_sleep;
+    crash_skips = ctr.c_crash_skips;
   }
 
 (* Time one top-level phase run, accumulating wall time into [cell] and
@@ -415,7 +431,7 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
 (* The exhaustive checker                                               *)
 (* ------------------------------------------------------------------ *)
 
-let check (type w s) (cfg : (w, s) config) : result =
+let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result =
   let spec = cfg.spec in
   let ctr = new_counters () in
   let tk = make_tracker spec ctr in
@@ -457,9 +473,20 @@ let check (type w s) (cfg : (w, s) config) : result =
      correct: the spec constrains nothing for such clients (§8.3). *)
   let vacuous_ok f = try f () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1 in
 
+  (* Thread ids must be a function of the path, not of how many sibling
+     paths the DFS visited first: each exploration subtree restores the
+     tid counter on exit, so the rendered counterexample for a given path
+     is identical whichever strategy (or sibling order) found it. *)
+  let scoped_tids f =
+    let saved = !next_tid in
+    Fun.protect ~finally:(fun () -> next_tid := saved) f
+  in
+
   (* Run the post-phase probe operations sequentially (exploring any
      nondeterminism in their actions), then count one finished execution. *)
-  let rec run_post w cands trace = function
+  let rec run_post w cands trace ops =
+    scoped_tids @@ fun () ->
+    match ops with
     | [] -> ctr.c_executions <- ctr.c_executions + 1
     | (call, prog) :: rest ->
       let tid = fresh_tid () in
@@ -471,7 +498,7 @@ let check (type w s) (cfg : (w, s) config) : result =
           vacuous_ok (fun () ->
               let cands = tk.respond tid v trace cands in
               run_post w cands trace rest)
-        | Sched.Prog.Atomic { label; action; k } ->
+        | Sched.Prog.Atomic { label; action; k; _ } ->
           bump_steps ();
           (match action w with
           | Sched.Prog.Ub reason ->
@@ -512,7 +539,7 @@ let check (type w s) (cfg : (w, s) config) : result =
       end;
       match prog with
       | Sched.Prog.Done _ -> finish_recovery w cands trace
-      | Sched.Prog.Atomic { label; action; k } ->
+      | Sched.Prog.Atomic { label; action; k; _ } ->
         bump_steps ();
         (match action w with
         | Sched.Prog.Ub reason ->
@@ -526,7 +553,7 @@ let check (type w s) (cfg : (w, s) config) : result =
         | Sched.Prog.Steps outs ->
           List.iter (fun (w', v) -> go w' (k v) crashes (ev_rstep label :: trace)) outs)
     in
-    go w cfg.recovery crashes trace
+    scoped_tids (fun () -> go w cfg.recovery crashes trace)
   in
   let timed_recovery w cands crashes trace =
     timed_phase "recovery" (fun us -> ctr.c_recovery_us <- ctr.c_recovery_us +. us)
@@ -536,6 +563,7 @@ let check (type w s) (cfg : (w, s) config) : result =
   (* Main exploration: interleave threads; crash at any point.  [depth] is
      the schedule depth of this path, tracked as a high-water mark. *)
   let rec explore w lives cands crashes trace depth =
+    scoped_tids @@ fun () ->
     if depth > ctr.c_frontier then ctr.c_frontier <- depth;
     match settle lives cands trace with
     | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
@@ -558,7 +586,7 @@ let check (type w s) (cfg : (w, s) config) : result =
           (fun i l ->
             match l.prog with
             | Sched.Prog.Done _ -> assert false (* settled above *)
-            | Sched.Prog.Atomic { label; action; k } ->
+            | Sched.Prog.Atomic { label; action; k; _ } ->
               (match action w with
               | Sched.Prog.Ub reason ->
                 raise
@@ -590,6 +618,144 @@ let check (type w s) (cfg : (w, s) config) : result =
       end
   in
 
+  (* Partial-order-reduced exploration: Flanagan–Godefroid DPOR over thread
+     steps, optional sleep sets, plus crash-point pruning.  Soundness rests
+     on three conservative rules (cross-validated against [Naive] by the
+     differential harness in test/test_explore.ml):
+     - a crash branch is skipped only at "clean" nodes — the step into the
+       node wrote no durable state ([dirty] from its footprint) and settling
+       observed no response/invocation (trace unchanged) — so crashing here
+       reaches exactly the recovery state and candidate set already explored
+       at the nearest dirty ancestor;
+     - a step is globally dependent (kept in order w.r.t. everything) if it
+       writes durable state, has an [Unknown] footprint, or may complete its
+       operation: responses and the invocations they trigger reorder the
+       linearization obligations, so only footprint-disjoint steps strictly
+       between those points commute;
+     - threads blocked or unannotated degrade to naive exploration around
+       them. *)
+  let explore_por ~sleep_sets w0 lives0 cands0 =
+    let module E = Explore in
+    let rec go w lives cands crashes trace depth ~dirty ~stack ~sleep =
+      scoped_tids @@ fun () ->
+      if depth > ctr.c_frontier then ctr.c_frontier <- depth;
+      match settle lives cands trace with
+      | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
+      | lives, cands, trace' ->
+        let dirty = dirty || not (trace' == trace) in
+        let trace = trace' in
+        if crashes < cfg.max_crashes then begin
+          if dirty then begin
+            ctr.c_crashes <- ctr.c_crashes + 1;
+            Obs.Trace.instant ~cat:"crash" "crash_injection";
+            vacuous_ok (fun () ->
+                let sat = tk.saturate cands in
+                timed_recovery (cfg.crash_world w) sat (crashes + 1)
+                  (ev_crash ~during_recovery:false :: trace))
+          end
+          else ctr.c_crash_skips <- ctr.c_crash_skips + 1
+        end;
+        if lives = [] then timed_post w cands trace
+        else begin
+          let infos =
+            List.filter_map
+              (fun l ->
+                match l.prog with
+                | Sched.Prog.Done _ -> assert false (* settled above *)
+                | Sched.Prog.Atomic { label; fp; action; k } ->
+                  (match action w with
+                  | Sched.Prog.Ub reason ->
+                    raise
+                      (Violation
+                         (mk_failure
+                            (Fmt.str "thread %d hit undefined behaviour at %s: %s"
+                               l.tid label reason)
+                            trace))
+                  | Sched.Prog.Steps [] -> None (* blocked *)
+                  | Sched.Prog.Steps outs ->
+                    let branches = List.map (fun (w', v) -> (w', k v)) outs in
+                    let fp = fp w in
+                    let responds =
+                      List.exists
+                        (fun (_, p) ->
+                          match p with Sched.Prog.Done _ -> true | _ -> false)
+                        branches
+                    in
+                    Some
+                      { E.si_tid = l.tid; si_label = label; si_fp = fp;
+                        si_visible = E.crash_relevant fp || responds;
+                        si_branches = branches }))
+              lives
+          in
+          match infos with
+          | [] ->
+            if cfg.fail_on_deadlock then
+              raise
+                (Violation
+                   (mk_failure
+                      (Fmt.str "deadlock: threads %s all blocked"
+                         (String.concat ","
+                            (List.map (fun l -> string_of_int l.tid) lives)))
+                      trace))
+          | _ :: _ ->
+            let node = E.node ~sleep infos in
+            E.detect_races stack node;
+            let explored = ref 0 and slept = ref 0 in
+            let z = ref sleep in
+            let rec drive () =
+              match E.next_candidate node with
+              | None -> ()
+              | Some si ->
+                node.E.n_done <- si.E.si_tid :: node.E.n_done;
+                if sleep_sets && List.mem si.E.si_tid !z then begin
+                  incr slept;
+                  ctr.c_sleep <- ctr.c_sleep + 1;
+                  drive ()
+                end
+                else begin
+                  incr explored;
+                  bump_steps ();
+                  let child_sleep =
+                    if not sleep_sets then []
+                    else
+                      List.filter
+                        (fun tid ->
+                          match
+                            List.find_opt (fun q -> q.E.si_tid = tid) node.E.n_enabled
+                          with
+                          | Some q -> not (E.dependent q si)
+                          | None -> false (* blocked or finished: wake it *))
+                        !z
+                  in
+                  List.iter
+                    (fun (w', prog') ->
+                      let lives' =
+                        List.map
+                          (fun l ->
+                            if l.tid = si.E.si_tid then { l with prog = prog' } else l)
+                          lives
+                      in
+                      go w' lives' cands crashes
+                        (ev_step si.E.si_tid si.E.si_label :: trace)
+                        (depth + 1)
+                        ~dirty:(E.crash_relevant si.E.si_fp)
+                        ~stack:({ E.f_node = node; f_step = si } :: stack)
+                        ~sleep:child_sleep)
+                    si.E.si_branches;
+                  if sleep_sets then z := si.E.si_tid :: !z;
+                  drive ()
+                end
+            in
+            drive ();
+            let pruned = List.length infos - !explored - !slept in
+            if pruned > 0 then ctr.c_commut <- ctr.c_commut + pruned
+        end
+    in
+    (* [dirty = true] at the root: the crash before any step is always
+       explored. *)
+    go w0 lives0 cands0 0 [] 0 ~dirty:true ~stack:[] ~sleep:[]
+  in
+
   let initial_lives, initial_cands =
     List.fold_left
       (fun (lives, cands) ops ->
@@ -601,11 +767,27 @@ let check (type w s) (cfg : (w, s) config) : result =
       ([], [ { st = spec.Spec.init; pend = [] } ])
       cfg.threads
   in
-  timed_check "refinement.check" ctr (fun () ->
-      match explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0 with
-      | () -> Refinement_holds (snapshot ctr)
-      | exception Violation f -> Refinement_violated (f, snapshot ctr)
-      | exception Budget -> Budget_exhausted (snapshot ctr))
+  let t0 = Obs.Trace.now_us () in
+  let r =
+    timed_check "refinement.check" ctr (fun () ->
+        let run () =
+          match strategy with
+          | Explore.Naive ->
+            explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0
+          | Explore.Dpor ->
+            explore_por ~sleep_sets:false cfg.init_world (List.rev initial_lives)
+              initial_cands
+          | Explore.Dpor_sleep ->
+            explore_por ~sleep_sets:true cfg.init_world (List.rev initial_lives)
+              initial_cands
+        in
+        match run () with
+        | () -> Refinement_holds (snapshot ctr)
+        | exception Violation f -> Refinement_violated (f, snapshot ctr)
+        | exception Budget -> Budget_exhausted (snapshot ctr))
+  in
+  Obs.Metrics.add (Explore.strategy_us strategy) (Obs.Trace.now_us () -. t0);
+  r
 
 let check_exn cfg =
   match check cfg with
@@ -625,13 +807,19 @@ let check_exn cfg =
 (* One random walk through the schedule/outcome/crash space.  Same
    linearization bookkeeping as the exhaustive checker, but each choice
    point picks a single alternative.  Sound for bug-finding on instances
-   too large to exhaust; a pass is evidence, not proof. *)
-let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
+   too large to exhaust; a pass is evidence, not proof.
+
+   Every schedule draws from its own RNG, seeded by [(seed, index)]: a
+   failure tagged [seed=S schedule=I/N] replays from those numbers alone
+   (see {!check_random_replay}), independent of the draws — schedule
+   choices, outcome picks, crash coins during recovery — consumed by the
+   preceding N-1 walks. *)
+let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
     (cfg : (w, s) config) : result =
   let spec = cfg.spec in
   let ctr = new_counters () in
   let tk = make_tracker spec ctr in
-  let rng = Random.State.make [| seed |] in
+  let current_rng = ref (Random.State.make [| seed; first |]) in
   let next_tid = ref 0 in
   let fresh_tid () =
     let t = !next_tid in
@@ -642,14 +830,14 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
     ctr.c_steps <- ctr.c_steps + 1;
     if ctr.c_steps > cfg.step_budget then raise Budget
   in
-  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let pick xs = List.nth xs (Random.State.int !current_rng (List.length xs)) in
 
   (* run a single program to completion with random outcome choices *)
   let run_solo ~what ~mk_ev w prog trace =
     let rec go w prog trace =
       match prog with
       | Sched.Prog.Done v -> (w, v, trace)
-      | Sched.Prog.Atomic { label; action; k } ->
+      | Sched.Prog.Atomic { label; action; k; _ } ->
         bump_steps ();
         (match action w with
         | Sched.Prog.Ub reason ->
@@ -693,7 +881,7 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
     let sat = tk.saturate cands in
     let rec recover w crashes trace =
       let rec go w prog trace =
-        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then begin
+        if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then begin
           ctr.c_crashes <- ctr.c_crashes + 1;
           Obs.Trace.instant ~cat:"crash" "crash_injection";
           recover (cfg.crash_world w) (crashes + 1)
@@ -702,7 +890,7 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         else
           match prog with
           | Sched.Prog.Done _ -> (w, trace)
-          | Sched.Prog.Atomic { label; action; k } ->
+          | Sched.Prog.Atomic { label; action; k; _ } ->
             bump_steps ();
             (match action w with
             | Sched.Prog.Ub reason ->
@@ -763,10 +951,10 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
       in
       let lives, cands, trace = settle lives cands trace in
       if lives = [] then
-        if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
+        if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then
           do_crash w cands crashes trace
         else timed_post w cands trace
-      else if crashes < cfg.max_crashes && Random.State.float rng 1.0 < crash_prob then
+      else if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then
         do_crash w cands crashes trace
       else begin
         (* collect the runnable threads as commit closures (the step's
@@ -777,7 +965,7 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
                (fun i l ->
                  match l.prog with
                  | Sched.Prog.Done _ -> []
-                 | Sched.Prog.Atomic { label; action; k } -> (
+                 | Sched.Prog.Atomic { label; action; k; _ } -> (
                    match action w with
                    | Sched.Prog.Ub reason ->
                      raise
@@ -819,12 +1007,15 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
     main cfg.init_world (List.rev lives) cands 0 [] 0
   in
   (* The schedule index makes a randomized counterexample reproducible:
-     re-running with the same [seed] replays schedules 1..i identically. *)
+     walk [i] draws only from [Random.State.make [| seed; i |]], so the
+     failing schedule replays from [seed=.. schedule=i/n] alone. *)
   let sched_idx = ref 0 in
   timed_check "refinement.check_random" ctr (fun () ->
       match
-        for i = 1 to schedules do
+        for i = first to last do
           sched_idx := i;
+          current_rng := Random.State.make [| seed; i |];
+          next_tid := 0;
           try walk () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
         done
       with
@@ -838,3 +1029,12 @@ let check_random (type w s) ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05)
         in
         Refinement_violated (f, snapshot ctr)
       | exception Budget -> Budget_exhausted (snapshot ctr))
+
+let check_random ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) cfg =
+  check_random_walks ~schedules ~first:1 ~last:schedules ~seed ~crash_prob cfg
+
+let check_random_replay ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) ~schedule
+    cfg =
+  if schedule < 1 || schedule > schedules then
+    invalid_arg "Refinement.check_random_replay: schedule out of range";
+  check_random_walks ~schedules ~first:schedule ~last:schedule ~seed ~crash_prob cfg

@@ -66,6 +66,11 @@ type stats = {
   max_candidates : int;  (** high-water mark of the linearization set *)
   dedup_hits : int;  (** duplicate linearization candidates collapsed *)
   frontier_hwm : int;  (** deepest schedule prefix explored *)
+  commutations_pruned : int;
+      (** enabled steps never explored because no race required them
+          (partial-order reduction; 0 under {!Explore.Naive}) *)
+  sleep_skips : int;  (** backtrack candidates skipped by sleep sets *)
+  crash_skips : int;  (** crash branches pruned as state-equivalent *)
 }
 
 val pp_stats : stats Fmt.t
@@ -112,7 +117,13 @@ type result =
   | Refinement_violated of failure * stats
   | Budget_exhausted of stats
 
-val check : ('w, 's) config -> result
+val check : ?strategy:Explore.strategy -> ('w, 's) config -> result
+(** Exhaustive check under the given exploration strategy (default
+    {!Explore.Naive}).  The partial-order-reduced strategies
+    ({!Explore.Dpor}, {!Explore.Dpor_sleep}) explore a sound subset of the
+    interleavings — same verdict, fewer executions; the reduction is
+    measurable in the returned {!stats} ([commutations_pruned],
+    [crash_skips], [sleep_skips]). *)
 
 val check_exn : ('w, 's) config -> stats
 (** Like {!check} but raises [Failure] with a rendered report on violation
@@ -128,5 +139,23 @@ val check_random :
     {!check}.  Use on instances too large to exhaust — a reported violation
     is a real counterexample; a pass is evidence, not proof.  [crash_prob]
     is the per-step probability of injecting a crash (while the crash budget
-    lasts).  A failure's [reason] is prefixed ["[seed=S schedule=I/N] "] so
-    the exact failing walk can be replayed. *)
+    lasts).  A failure's [reason] is prefixed ["[seed=S schedule=I/N] "].
+
+    Walk [i] draws every choice — schedule picks, nondeterministic outcome
+    picks, crash coins (including those flipped while recovery re-runs) —
+    from its own RNG seeded by [(seed, i)], so the prefix identifies the
+    walk completely: {!check_random_replay} re-runs it in isolation. *)
+
+val check_random_replay :
+  ?schedules:int ->
+  ?seed:int ->
+  ?crash_prob:float ->
+  schedule:int ->
+  ('w, 's) config ->
+  result
+(** Replay exactly one walk of {!check_random}: [check_random_replay ~seed
+    ~schedule cfg] reproduces walk [schedule] of [check_random ~seed cfg] —
+    same trace, same verdict, same [reason] prefix — without re-running the
+    preceding walks.  [schedules] (default 200) only scales the ["I/N"] in
+    the reason and must match the original run for byte-identical output.
+    Raises [Invalid_argument] if [schedule] is outside [1..schedules]. *)

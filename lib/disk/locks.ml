@@ -23,6 +23,7 @@ let pp ppf t =
 let acquire ~get ~set id : ('w, unit) Sched.Prog.t =
   Sched.Prog.bind
     (Sched.Prog.blocked_until
+       ~fp:(Sched.Footprint.const (Sched.Footprint.acquire (Sched.Footprint.lock id)))
        (Printf.sprintf "acquire(%d)" id)
        (fun w ->
          let locks = get w in
@@ -34,6 +35,7 @@ let acquire ~get ~set id : ('w, unit) Sched.Prog.t =
 let release ~get ~set id : ('w, unit) Sched.Prog.t =
   Sched.Prog.bind
     (Sched.Prog.atomic
+       ~fp:(Sched.Footprint.const (Sched.Footprint.release (Sched.Footprint.lock id)))
        (Printf.sprintf "release(%d)" id)
        (fun w ->
          let locks = get w in

@@ -41,6 +41,7 @@ let crash t = t
 
 let read ~get_disk a : ('w, V.t) Sched.Prog.t =
   Sched.Prog.atomic
+    ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.disk a ]))
     (Printf.sprintf "disk_read(%d)" a)
     (fun w ->
       let d = get_disk w in
@@ -50,6 +51,7 @@ let read ~get_disk a : ('w, V.t) Sched.Prog.t =
 let write ~get_disk ~set_disk a b : ('w, unit) Sched.Prog.t =
   Sched.Prog.bind
     (Sched.Prog.atomic
+       ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.disk a ]))
        (Printf.sprintf "disk_write(%d)" a)
        (fun w ->
          let d = get_disk w in

@@ -61,11 +61,30 @@ let crash t = t
 
 (* --- program-level operations --- *)
 
+(* Footprints: every operation consults the failure status (a failed disk
+   changes read results and turns writes into no-ops), and in [may_fail]
+   worlds that still have both disks it may also *set* it.  The status is
+   durable — it survives crashes, so recovery depends on it. *)
+module Fp = Sched.Footprint
+
+let region = function D1 -> "d1" | D2 -> "d2"
+let status_loc = Fp.Durable ("td-status", 0)
+
+let op_fp ~get id a ~durable_write w =
+  let t = get w in
+  let addr = Fp.Durable (region id, a) in
+  let fail_write = if t.may_fail && not (one_failed t) then [ status_loc ] else [] in
+  Fp.rw
+    ~reads:(addr :: status_loc :: [])
+    ~writes:((if durable_write then [ addr ] else []) @ fail_write)
+    ()
+
 (** [read ~get ~set id a] returns [Some block] or [None] on a failed disk
     (encoded as a [Value.Opt]).  With [may_fail] the disk may also fail at
     this very step. *)
 let read ~get ~set id a : ('w, V.t) Sched.Prog.t =
   Sched.Prog.atomic
+    ~fp:(op_fp ~get id a ~durable_write:false)
     (Fmt.str "disk_read(%a,%d)" pp_id id a)
     (fun w ->
       let t = get w in
@@ -89,6 +108,7 @@ let read ~get ~set id a : ('w, V.t) Sched.Prog.t =
 let write ~get ~set id a b : ('w, unit) Sched.Prog.t =
   Sched.Prog.bind
     (Sched.Prog.atomic
+       ~fp:(op_fp ~get id a ~durable_write:true)
        (Fmt.str "disk_write(%a,%d)" pp_id id a)
        (fun w ->
          let t = get w in

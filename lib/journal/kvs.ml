@@ -184,12 +184,12 @@ let buffered_value k buffer =
 (** Commit the whole buffer plus [extra] as ONE journal transaction.
     Caller holds every key lock and the commit lock. *)
 let commit_pending_prog p (extra : txn list) : (world, unit) P.t =
-  let* mv = P.read "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ extra))) in
+  let* mv = P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ extra))) in
   match entries_of_value mv with
   | [] -> P.return ()
   | entries ->
     let* () = Txn_log.commit_prog ~get_disk ~set_disk (layout p) entries in
-    P.write "buffer_clear" (fun w -> { w with buffer = [] })
+    P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] })
 
 (** Read key [k] under its key lock alone: a committing transaction holds
     the key locks of its whole footprint from log-append to record-clear,
@@ -198,7 +198,7 @@ let get_prog p k : (world, V.t) P.t =
   ignore p;
   let* () = lock k in
   let* buf =
-    P.read "buffer_find" (fun w ->
+    P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_find" (fun w ->
         match buffered_value k w.buffer with
         | Some b -> V.some (Block.to_value b)
         | None -> V.none)
@@ -214,7 +214,7 @@ let get_sync_prog p k : (world, V.t) P.t =
   let* () = lock k in
   let* () = lock (commit_lock p) in
   let* buf =
-    P.read "buffer_find" (fun w ->
+    P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_find" (fun w ->
         match buffered_value k w.buffer with
         | Some b -> V.some (Block.to_value b)
         | None -> V.none)
@@ -242,7 +242,7 @@ let txn_prog p (entries : txn) : (world, V.t) P.t =
 let put_async_prog p k v : (world, V.t) P.t =
   let* () = lock (commit_lock p) in
   let* () =
-    P.write "buffer_append" (fun w ->
+    P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_append" (fun w ->
         { w with buffer = w.buffer @ [ [ (k, Block.of_value v) ] ] })
   in
   let* () = unlock (commit_lock p) in
@@ -296,13 +296,13 @@ module Buggy = struct
   (* Commit through a broken journal protocol. *)
   let commit_via buggy_commit p extra : (world, V.t) P.t =
     let* () = lock_all p in
-    let* mv = P.read "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ extra))) in
+    let* mv = P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ extra))) in
     let* () =
       match entries_of_value mv with
       | [] -> P.return ()
       | entries ->
         let* () = buggy_commit ~get_disk ~set_disk (layout p) entries in
-        P.write "buffer_clear" (fun w -> { w with buffer = [] })
+        P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] })
     in
     let* () = unlock_all p in
     P.return V.unit

@@ -8,6 +8,7 @@ type ('w, 'a) t =
   | Done of 'a
   | Atomic : {
       label : string;
+      fp : 'w -> Footprint.t;
       action : 'w -> ('w, 'b) step_result;
       k : 'b -> ('w, 'a) t;
     }
@@ -19,23 +20,30 @@ let rec bind : type a b. ('w, a) t -> (a -> ('w, b) t) -> ('w, b) t =
  fun m f ->
   match m with
   | Done a -> f a
-  | Atomic { label; action; k } -> Atomic { label; action; k = (fun v -> bind (k v) f) }
+  | Atomic { label; fp; action; k } ->
+    Atomic { label; fp; action; k = (fun v -> bind (k v) f) }
 
 let map f m = bind m (fun a -> Done (f a))
-let atomic label action = Atomic { label; action; k = (fun v -> Done v) }
-let det label f = atomic label (fun w -> Steps [ f w ])
-let read label f = det label (fun w -> (w, f w))
 
-let write label f =
-  bind (det label (fun w -> (f w, V.unit))) (fun _ -> Done ())
+let unknown_fp _w = Footprint.Unknown
 
-let blocked_until label f =
-  atomic label (fun w -> match f w with None -> Steps [] | Some out -> Steps [ out ])
+let atomic ?(fp = unknown_fp) label action =
+  Atomic { label; fp; action; k = (fun v -> Done v) }
+
+let det ?fp label f = atomic ?fp label (fun w -> Steps [ f w ])
+let read ?fp label f = det ?fp label (fun w -> (w, f w))
+
+let write ?fp label f =
+  bind (det ?fp label (fun w -> (f w, V.unit))) (fun _ -> Done ())
+
+let blocked_until ?fp label f =
+  atomic ?fp label (fun w -> match f w with None -> Steps [] | Some out -> Steps [ out ])
 
 let ub reason =
   Atomic
     {
       label = "UB";
+      fp = unknown_fp;
       action = (fun _ -> (Ub reason : ('w, unit) step_result));
       k = (fun () -> assert false);
     }
@@ -50,3 +58,7 @@ module Syntax = struct
 end
 
 let label_of = function Done _ -> None | Atomic { label; _ } -> Some label
+
+let footprint_of w = function
+  | Done _ -> None
+  | Atomic { fp; _ } -> Some (fp w)

@@ -29,6 +29,10 @@ type ('w, 'a) t =
   | Done of 'a
   | Atomic : {
       label : string;  (** for traces, e.g. ["disk_write d1[0]"] *)
+      fp : 'w -> Footprint.t;
+          (** read/write footprint of the step in the given world, for
+              partial-order reduction; defaults to {!Footprint.Unknown},
+              which is always sound *)
       action : 'w -> ('w, 'b) step_result;
       k : 'b -> ('w, 'a) t;
     }
@@ -38,19 +42,19 @@ val return : 'a -> ('w, 'a) t
 val bind : ('w, 'a) t -> ('a -> ('w, 'b) t) -> ('w, 'b) t
 val map : ('a -> 'b) -> ('w, 'a) t -> ('w, 'b) t
 
-val atomic : string -> ('w -> ('w, 'b) step_result) -> ('w, 'b) t
+val atomic : ?fp:('w -> Footprint.t) -> string -> ('w -> ('w, 'b) step_result) -> ('w, 'b) t
 (** One atomic step. *)
 
-val det : string -> ('w -> 'w * 'b) -> ('w, 'b) t
+val det : ?fp:('w -> Footprint.t) -> string -> ('w -> 'w * 'b) -> ('w, 'b) t
 (** Deterministic atomic step. *)
 
-val read : string -> ('w -> 'b) -> ('w, 'b) t
+val read : ?fp:('w -> Footprint.t) -> string -> ('w -> 'b) -> ('w, 'b) t
 (** Deterministic read-only step. *)
 
-val write : string -> ('w -> 'w) -> ('w, unit) t
+val write : ?fp:('w -> Footprint.t) -> string -> ('w -> 'w) -> ('w, unit) t
 (** Deterministic world update returning unit. *)
 
-val blocked_until : string -> ('w -> ('w * 'b) option) -> ('w, 'b) t
+val blocked_until : ?fp:('w -> Footprint.t) -> string -> ('w -> ('w * 'b) option) -> ('w, 'b) t
 (** Step that blocks (is unschedulable) while the function returns [None] —
     the shape of lock acquisition. *)
 
@@ -66,3 +70,7 @@ end
 
 val label_of : ('w, 'a) t -> string option
 (** Label of the next step, if the program is not finished. *)
+
+val footprint_of : 'w -> ('w, 'a) t -> Footprint.t option
+(** Footprint of the next step in world [w], if the program is not
+    finished. *)

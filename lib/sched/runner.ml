@@ -9,6 +9,7 @@ type 'w outcome = {
   world : 'w;
   results : V.t array;
   trace : (int * string) list;
+  footprints : Footprint.t list;
   steps : int;
   per_thread_steps : int array;
   context_switches : int;
@@ -35,6 +36,7 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
   let states = Array.of_list (List.map (fun p -> Running p) threads) in
   let world = ref world in
   let trace = ref [] in
+  let fps = ref [] in
   let steps = ref 0 in
   let per_thread = Array.make n 0 in
   let switches = ref 0 in
@@ -54,18 +56,19 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
     | Running (Prog.Done v) ->
       states.(i) <- Finished v;
       None
-    | Running (Prog.Atomic { label; action; k }) ->
+    | Running (Prog.Atomic { label; fp; action; k }) ->
       (match action !world with
       | Prog.Ub reason ->
         raise (Undefined_behaviour (Printf.sprintf "thread %d at %s: %s" i label reason))
       | Prog.Steps [] -> None (* blocked *)
       | Prog.Steps outs ->
+        let fp = fp !world in
         let commit idx =
           let w', v = List.nth outs idx in
           world := w';
           states.(i) <- Running (k v)
         in
-        Some (label, List.length outs, commit))
+        Some (label, fp, List.length outs, commit))
   in
   let unfinished () =
     let acc = ref [] in
@@ -111,11 +114,12 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
         let i = pick runnable in
         (match step_of i with
         | None -> ()
-        | Some (label, n_outs, commit) ->
+        | Some (label, fp, n_outs, commit) ->
           let idx =
             match rng with Some st -> Random.State.int st n_outs | None -> 0
           in
           commit idx;
+          fps := fp :: !fps;
           trace := (i, label) :: !trace;
           incr steps;
           per_thread.(i) <- per_thread.(i) + 1;
@@ -131,7 +135,8 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
   let results =
     Array.map (function Finished v -> v | Running _ -> assert false) states
   in
-  { world = !world; results; trace = List.rev !trace; steps = !steps;
+  { world = !world; results; trace = List.rev !trace;
+    footprints = List.rev !fps; steps = !steps;
     per_thread_steps = per_thread; context_switches = !switches }
 
 let run1 world prog =

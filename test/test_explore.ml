@@ -1,0 +1,376 @@
+(* The soundness argument for the partial-order-reduced strategies is
+   differential: for every bundled system and every seeded-bug variant,
+   {!Explore.Dpor} and {!Explore.Dpor_sleep} must reach exactly the verdict
+   of {!Explore.Naive} — while never exploring more executions.  On top of
+   that:
+
+   - qcheck properties over the dependence relation: swapping adjacent
+     steps that the footprints classify as independent never changes the
+     final state or either step's observation, and the seeded dependent
+     pairs (same-address write/write, crash vs durable write, [Unknown]
+     vs anything) are never classified independent;
+   - golden counterexample snapshots: the [pp_failure_lanes] rendering of
+     the seeded journal/kvs bugs and the refuted strict-KVS spec is
+     byte-for-byte identical under every strategy (test/golden/);
+   - the reduction is real: on the kvs put||get instance DPOR must explore
+     at least 3x fewer executions than naive, with nonzero
+     [commutations_pruned] and [crash_skips]. *)
+
+module V = Tslang.Value
+module R = Perennial_core.Refinement
+module E = Perennial_core.Explore
+module Fp = Sched.Footprint
+module Sd = Disk.Single_disk
+module Rd = Systems.Replicated_disk
+module Cb = Systems.Cached_block
+module Sc = Systems.Shadow_copy
+module W = Systems.Wal
+module Gc = Systems.Group_commit
+module L = Systems.Layered
+module J = Journal.Txn_log
+module K = Journal.Kvs
+
+let b = Disk.Block.of_string
+let bv s = Disk.Block.to_value (b s)
+let vx = V.str "x"
+let vy = V.str "y"
+let ly2 = J.layout ~n_data:2 ~max_slots:2
+let p = K.params ~n_keys:2 ()
+
+let verdict = function
+  | R.Refinement_holds _ -> "holds"
+  | R.Refinement_violated _ -> "violated"
+  | R.Budget_exhausted _ -> "budget"
+
+let stats_of = function
+  | R.Refinement_holds st | R.Refinement_violated (_, st) | R.Budget_exhausted st -> st
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one instance under every strategy: same verdict as naive, never
+   more executions than naive. *)
+let differential name (run : E.strategy -> R.result) =
+  let naive = run E.Naive in
+  List.iter
+    (fun s ->
+      let r = run s in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s verdict" name (E.strategy_name s))
+        (verdict naive) (verdict r);
+      if (stats_of r).R.executions > (stats_of naive).R.executions then
+        Alcotest.failf "%s: %s explored %d executions > naive's %d" name
+          (E.strategy_name s) (stats_of r).R.executions (stats_of naive).R.executions)
+    E.all_strategies
+
+(* --- honest systems: every strategy must accept --- *)
+
+let test_diff_systems () =
+  differential "rd: 2 writers + crash + disk failure" (fun strategy ->
+      R.check ~strategy
+        (Rd.checker_config ~may_fail:true ~max_crashes:1 ~size:1
+           [ [ Rd.write_call 0 (V.str "a") ]; [ Rd.write_call 0 (V.str "b") ] ]));
+  differential "cached-block: put || get + crash" (fun strategy ->
+      R.check ~strategy
+        (Cb.checker_config ~max_crashes:1 [ [ Cb.put_call vx ]; [ Cb.get_call ] ]));
+  differential "shadow-copy: write || read + crash" (fun strategy ->
+      R.check ~strategy
+        (Sc.checker_config ~max_crashes:1 [ [ Sc.write_call vx vy ]; [ Sc.read_call ] ]));
+  differential "wal: write + 2 crashes" (fun strategy ->
+      R.check ~strategy (W.checker_config ~max_crashes:2 [ [ W.write_call vx vy ] ]));
+  differential "group-commit: write; flush + crash" (fun strategy ->
+      R.check ~strategy
+        (Gc.checker_config ~max_crashes:1 [ [ Gc.write_call vx vy; Gc.flush_call ] ]))
+
+let test_diff_layered () =
+  differential "layered: WAL over rd + crash + disk failure" (fun strategy ->
+      R.check ~strategy
+        (L.checker_config ~may_fail:true ~max_crashes:1 [ [ L.write_call vx vy ] ]))
+
+let test_diff_journal_kvs () =
+  differential "journal: commit || read + crash" (fun strategy ->
+      R.check ~strategy
+        (J.checker_config ly2 ~max_crashes:1
+           [ [ J.commit_call ly2 [ (0, b "A"); (1, b "B") ] ]; [ J.read_call ly2 0 ] ]));
+  differential "kvs: put || get + crash" (fun strategy ->
+      R.check ~strategy
+        (K.checker_config p ~max_crashes:1
+           [ [ K.put_call p 0 (bv "A") ]; [ K.get_call p 1 ] ]));
+  differential "kvs: txn + crash during recovery" (fun strategy ->
+      R.check ~strategy
+        (K.checker_config p ~max_crashes:2 [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]));
+  differential "kvs: async put; flush || get + crash" (fun strategy ->
+      R.check ~strategy
+        (K.checker_config p ~max_crashes:1
+           [ [ K.put_async_call p 0 (bv "A"); K.flush_call p ]; [ K.get_call p 0 ] ]))
+
+(* --- seeded bugs: every strategy must reject --- *)
+
+let rd_buggy ~recovery ?(may_fail = true) ?(max_crashes = 1) ~size threads strategy =
+  R.check ~strategy
+    (R.config ~spec:(Rd.spec size)
+       ~init_world:(Rd.init_world ~may_fail size)
+       ~crash_world:Rd.crash_world ~pp_world:Rd.pp_world ~threads ~recovery
+       ~post:(Rd.probe size) ~max_crashes ())
+
+let test_diff_bugs_rd () =
+  differential "bug rd: nop recovery"
+    (rd_buggy ~recovery:Rd.Buggy.recover_nop ~size:1 [ [ Rd.write_call 0 vx ] ]);
+  differential "bug rd: zeroing recovery"
+    (rd_buggy ~recovery:(Rd.Buggy.recover_zero 1) ~may_fail:false ~size:1
+       [ [ Rd.write_call 0 vx ] ]);
+  differential "bug rd: unlocked writers"
+    (rd_buggy ~recovery:(Rd.recover_prog 1) ~max_crashes:0 ~size:1
+       [ [ Rd.Buggy.write_call_unlocked 0 (V.str "a") ];
+         [ Rd.Buggy.write_call_unlocked 0 (V.str "b") ] ])
+
+let test_diff_bugs_wal_shadow () =
+  differential "bug wal: commit before log" (fun strategy ->
+      R.check ~strategy
+        (R.config ~spec:W.spec ~init_world:(W.init_world ())
+           ~crash_world:W.crash_world ~pp_world:W.pp_world
+           ~threads:[ [ W.Buggy.write_call_commit_first vx vy ] ]
+           ~recovery:W.recover_prog ~post:[ W.read_call ] ~max_crashes:1 ()));
+  differential "bug wal: recovery clears flag first" (fun strategy ->
+      R.check ~strategy
+        (R.config ~spec:W.spec ~init_world:(W.init_world ())
+           ~crash_world:W.crash_world ~pp_world:W.pp_world
+           ~threads:[ [ W.write_call vx vy ] ]
+           ~recovery:W.Buggy.recover_clear_first ~post:[ W.read_call ] ~max_crashes:2 ()));
+  differential "bug shadow: in-place write" (fun strategy ->
+      R.check ~strategy
+        (Sc.checker_config ~max_crashes:1 [ [ Sc.Buggy.write_call_in_place vx vy ] ]))
+
+let test_diff_bugs_journal_kvs () =
+  differential "bug journal: record before log" (fun strategy ->
+      R.check ~strategy
+        (J.checker_config ly2 ~max_crashes:1
+           [ [ J.commit_call ly2 [ (0, b "A") ];
+               J.Buggy.commit_call_record_first ly2 [ (0, b "C"); (1, b "D") ] ] ]));
+  differential "bug journal: unlogged multi-write" (fun strategy ->
+      R.check ~strategy
+        (J.checker_config ly2 ~max_crashes:1
+           [ [ J.Buggy.commit_call_no_log ly2 [ (0, b "A"); (1, b "B") ] ] ]));
+  differential "bug kvs: nop recovery" (fun strategy ->
+      R.check ~strategy
+        (R.config ~spec:(K.spec p) ~init_world:(K.init_world p)
+           ~crash_world:K.crash_world ~pp_world:K.pp_world
+           ~threads:[ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]
+           ~recovery:K.Buggy.recover_nop ~post:(K.probe p) ~max_crashes:1 ()));
+  differential "bug kvs: async put vs strict crash spec" (fun strategy ->
+      R.check ~strategy
+        (K.checker_config p ~spec:(K.strict_spec p) ~max_crashes:1
+           [ [ K.put_async_call p 0 (bv "A") ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* The reduction is real                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_kvs_reduction () =
+  let run strategy =
+    R.check ~strategy
+      (K.checker_config p ~max_crashes:1
+         [ [ K.put_call p 0 (bv "A") ]; [ K.get_call p 1 ] ])
+  in
+  let st name r =
+    match r with
+    | R.Refinement_holds st -> st
+    | _ -> Alcotest.failf "kvs put||get should hold under %s" name
+  in
+  let naive = st "naive" (run E.Naive) in
+  let dpor = st "dpor" (run E.Dpor) in
+  if dpor.R.executions * 3 > naive.R.executions then
+    Alcotest.failf "dpor explored %d executions, naive %d: less than the required 3x reduction"
+      dpor.R.executions naive.R.executions;
+  Alcotest.(check bool) "dpor pruned commutations" true (dpor.R.commutations_pruned > 0);
+  Alcotest.(check bool) "dpor skipped clean crash points" true (dpor.R.crash_skips > 0);
+  let sleep = st "dpor+sleep" (run E.Dpor_sleep) in
+  Alcotest.(check bool) "sleep sets explore no more than dpor" true
+    (sleep.R.executions <= dpor.R.executions)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: the dependence relation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny concrete step language over a 4-block disk: enough to state the
+   commutation property the whole reduction rests on. *)
+type op = Wr of int * int | Rd_ of int
+
+let op_fp = function
+  | Wr (a, _) -> Fp.writes [ Fp.disk a ]
+  | Rd_ a -> Fp.reads [ Fp.disk a ]
+
+let apply w = function
+  | Wr (a, v) -> (Sd.set w a (b (string_of_int v)), "()")
+  | Rd_ a -> (w, Disk.Block.to_string (Sd.get w a))
+
+let print_op = function
+  | Wr (a, v) -> Printf.sprintf "disk[%d]:=%d" a v
+  | Rd_ a -> Printf.sprintf "read disk[%d]" a
+
+let gen_op =
+  QCheck.Gen.(
+    let addr = int_range 0 3 in
+    oneof [ map2 (fun a v -> Wr (a, v)) addr (int_range 0 9); map (fun a -> Rd_ a) addr ])
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (o1, o2, init) ->
+      Printf.sprintf "%s; %s from [%s]" (print_op o1) (print_op o2)
+        (String.concat ";" (List.map string_of_int init)))
+    QCheck.Gen.(triple gen_op gen_op (list_size (return 4) (int_range 0 9)))
+
+let init_disk init =
+  List.fold_left
+    (fun (w, a) v -> (Sd.set w a (b (string_of_int v)), a + 1))
+    (Sd.init 4, 0) init
+  |> fst
+
+(* Steps whose footprints are classified independent commute: running them
+   in either order from any state yields the same final state and the same
+   per-step observations.  This is exactly what lets DPOR explore one of
+   the two orders. *)
+let prop_independent_steps_commute =
+  QCheck.Test.make ~name:"independent steps commute (state + observations)" ~count:500
+    arb_case (fun (o1, o2, init) ->
+      Fp.conflicts (op_fp o1) (op_fp o2)
+      ||
+      let w0 = init_disk init in
+      let w1, r1 = apply w0 o1 in
+      let w12, r2 = apply w1 o2 in
+      let w2, r2' = apply w0 o2 in
+      let w21, r1' = apply w2 o1 in
+      Sd.equal w12 w21 && String.equal r1 r1' && String.equal r2 r2')
+
+(* The converse guard: any pair sharing an address where at least one side
+   writes must be classified dependent — including write/write. *)
+let prop_same_address_write_dependent =
+  QCheck.Test.make ~name:"same-address pair with a write is dependent" ~count:500 arb_case
+    (fun (o1, o2, _) ->
+      let addr = function Wr (a, _) -> a | Rd_ a -> a in
+      let is_wr = function Wr _ -> true | Rd_ _ -> false in
+      addr o1 <> addr o2
+      || (not (is_wr o1 || is_wr o2))
+      || Fp.conflicts (op_fp o1) (op_fp o2))
+
+(* Dummy step_infos over a unit world, to exercise Explore.dependent
+   itself (not just Footprint.conflicts). *)
+let info ?(visible = false) tid fp =
+  { E.si_tid = tid; si_label = "step"; si_fp = fp; si_visible = visible; si_branches = [] }
+
+let prop_visible_always_dependent =
+  QCheck.Test.make ~name:"visible steps are dependent on everything" ~count:200 arb_case
+    (fun (o1, o2, _) ->
+      E.dependent (info ~visible:true 0 (op_fp o1)) (info 1 (op_fp o2))
+      && E.dependent (info 0 (op_fp o1)) (info ~visible:true 1 (op_fp o2)))
+
+let test_dependence_seeded_pairs () =
+  let w0 = Fp.writes [ Fp.disk 0 ] in
+  let r0 = Fp.reads [ Fp.disk 0 ] in
+  let w1 = Fp.writes [ Fp.disk 1 ] in
+  let c = Fp.writes [ Fp.cell "buffer" ] in
+  Alcotest.(check bool) "write/write same address conflicts" true (Fp.conflicts w0 w0);
+  Alcotest.(check bool) "write/read same address conflicts" true (Fp.conflicts w0 r0);
+  Alcotest.(check bool) "write/write distinct addresses commute" false (Fp.conflicts w0 w1);
+  Alcotest.(check bool) "read/read same address commutes" false (Fp.conflicts r0 r0);
+  Alcotest.(check bool) "unknown conflicts with a read" true (Fp.conflicts Fp.unknown r0);
+  Alcotest.(check bool) "unknown conflicts with pure" true (Fp.conflicts Fp.unknown Fp.pure);
+  (* crash vs durable write: only durable writes are crash-relevant *)
+  Alcotest.(check bool) "durable write is crash-relevant" true (E.crash_relevant w0);
+  Alcotest.(check bool) "volatile write is not crash-relevant" false (E.crash_relevant c);
+  Alcotest.(check bool) "read is not crash-relevant" false (E.crash_relevant r0);
+  Alcotest.(check bool) "unknown is crash-relevant" true (E.crash_relevant Fp.unknown);
+  (* lock discipline: an acquire is never co-enabled with the release of
+     the same lock — load-bearing for catching lock-order deadlocks *)
+  let l = Fp.lock 0 in
+  Alcotest.(check bool) "acquire vs release same lock never co-enabled" false
+    (Fp.may_be_coenabled (Fp.acquire l) (Fp.release l));
+  Alcotest.(check bool) "acquire vs release distinct locks may be co-enabled" true
+    (Fp.may_be_coenabled (Fp.acquire l) (Fp.release (Fp.lock 1)));
+  (* Explore.dependent is conflicts + visibility *)
+  Alcotest.(check bool) "disjoint invisible steps independent" false
+    (E.dependent (info 0 w0) (info 1 w1))
+
+(* ------------------------------------------------------------------ *)
+(* Golden counterexamples                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_golden name =
+  (* cwd is test/ under `dune runtest` but the project root under
+     `dune exec test/test_main.exe` *)
+  let candidates =
+    [ Filename.concat "golden" (name ^ ".lanes.txt");
+      Filename.concat "test/golden" (name ^ ".lanes.txt") ]
+  in
+  let file =
+    match List.find_opt Sys.file_exists candidates with
+    | Some f -> f
+    | None -> Alcotest.failf "golden file %s.lanes.txt not found" name
+  in
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let golden name (run : E.strategy -> R.result) =
+  List.iter
+    (fun s ->
+      match run s with
+      | R.Refinement_violated (f, _) ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s lanes under %s" name (E.strategy_name s))
+          (read_golden name)
+          (Fmt.str "%a" R.pp_failure_lanes f)
+      | r -> Alcotest.failf "%s: expected violation under %s, got %s" name
+               (E.strategy_name s) (verdict r))
+    E.all_strategies
+
+let test_golden_journal () =
+  golden "journal_record_first" (fun strategy ->
+      R.check ~strategy
+        (J.checker_config ly2 ~max_crashes:1
+           [ [ J.commit_call ly2 [ (0, b "A") ];
+               J.Buggy.commit_call_record_first ly2 [ (0, b "C"); (1, b "D") ] ] ]));
+  golden "journal_no_log" (fun strategy ->
+      R.check ~strategy
+        (J.checker_config ly2 ~max_crashes:1
+           [ [ J.Buggy.commit_call_no_log ly2 [ (0, b "A"); (1, b "B") ] ] ]));
+  golden "journal_recover_clear_first" (fun strategy ->
+      R.check ~strategy
+        (R.config ~spec:(J.spec ly2) ~init_world:(J.init_world ly2)
+           ~crash_world:J.crash_world ~pp_world:J.pp_world
+           ~threads:[ [ J.commit_call ly2 [ (0, b "A"); (1, b "B") ] ] ]
+           ~recovery:(J.Buggy.recover_clear_first ly2) ~post:(J.probe ly2)
+           ~max_crashes:2 ()))
+
+let test_golden_kvs () =
+  golden "kvs_recover_nop" (fun strategy ->
+      R.check ~strategy
+        (R.config ~spec:(K.spec p) ~init_world:(K.init_world p)
+           ~crash_world:K.crash_world ~pp_world:K.pp_world
+           ~threads:[ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]
+           ~recovery:K.Buggy.recover_nop ~post:(K.probe p) ~max_crashes:1 ()));
+  golden "kvs_strict_spec" (fun strategy ->
+      R.check ~strategy
+        (K.checker_config p ~spec:(K.strict_spec p) ~max_crashes:1
+           [ [ K.put_async_call p 0 (bv "A") ] ]))
+
+let suite =
+  [
+    Alcotest.test_case "differential: pattern systems" `Quick test_diff_systems;
+    Alcotest.test_case "differential: layered" `Quick test_diff_layered;
+    Alcotest.test_case "differential: journal + kvs" `Quick test_diff_journal_kvs;
+    Alcotest.test_case "differential: rd seeded bugs" `Quick test_diff_bugs_rd;
+    Alcotest.test_case "differential: wal/shadow seeded bugs" `Quick
+      test_diff_bugs_wal_shadow;
+    Alcotest.test_case "differential: journal/kvs seeded bugs" `Quick
+      test_diff_bugs_journal_kvs;
+    Alcotest.test_case "kvs reduction: >=3x fewer executions" `Quick test_kvs_reduction;
+    Alcotest.test_case "dependence: seeded pairs" `Quick test_dependence_seeded_pairs;
+    QCheck_alcotest.to_alcotest prop_independent_steps_commute;
+    QCheck_alcotest.to_alcotest prop_same_address_write_dependent;
+    QCheck_alcotest.to_alcotest prop_visible_always_dependent;
+    Alcotest.test_case "golden: journal counterexamples" `Quick test_golden_journal;
+    Alcotest.test_case "golden: kvs counterexamples" `Quick test_golden_kvs;
+  ]

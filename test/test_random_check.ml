@@ -97,6 +97,37 @@ let test_random_failure_names_seed_and_schedule () =
   | R.Refinement_holds stats -> Alcotest.failf "missed (%a)" R.pp_stats stats
   | R.Budget_exhausted stats -> Alcotest.failf "budget (%a)" R.pp_stats stats
 
+let test_random_replay_round_trip () =
+  (* A failure tagged [seed=S schedule=I/N] must replay from those numbers
+     alone: check_random_replay on walk I reproduces the identical failure —
+     reason, trace and all — without re-running walks 1..I-1.  The buggy
+     config crashes during recovery (crash_prob 0.2, max_crashes 2), so this
+     also covers the recovery-phase RNG draws. *)
+  let cfg () =
+    R.config ~spec:(Rd.spec 1)
+      ~init_world:(Rd.init_world ~may_fail:false 1)
+      ~crash_world:Rd.crash_world ~pp_world:Rd.pp_world
+      ~threads:[ [ Rd.write_call 0 (V.str "x") ] ]
+      ~recovery:(Rd.Buggy.recover_zero 1) ~post:(Rd.probe 1) ~max_crashes:2 ()
+  in
+  match R.check_random ~schedules:500 ~seed:123 ~crash_prob:0.2 (cfg ()) with
+  | R.Refinement_violated (f, _) ->
+    let schedule =
+      (* parse the I out of "[seed=123 schedule=I/500] ..." *)
+      Scanf.sscanf f.R.reason "[seed=%d schedule=%d/%d]" (fun _ i _ -> i)
+    in
+    (match
+       R.check_random_replay ~schedules:500 ~seed:123 ~crash_prob:0.2 ~schedule (cfg ())
+     with
+    | R.Refinement_violated (f', _) ->
+      Alcotest.(check string) "same reason" f.R.reason f'.R.reason;
+      Alcotest.(check (list string)) "same trace" f.R.trace f'.R.trace
+    | R.Refinement_holds stats ->
+      Alcotest.failf "replay missed the failure (%a)" R.pp_stats stats
+    | R.Budget_exhausted stats -> Alcotest.failf "replay budget (%a)" R.pp_stats stats)
+  | R.Refinement_holds stats -> Alcotest.failf "missed (%a)" R.pp_stats stats
+  | R.Budget_exhausted stats -> Alcotest.failf "budget (%a)" R.pp_stats stats
+
 let test_random_wal_with_deep_crashes () =
   expect_holds "wal deep crashes"
     (R.check_random ~schedules:300 ~crash_prob:0.15
@@ -114,5 +145,6 @@ let suite =
     Alcotest.test_case "random: deterministic given seed" `Quick test_random_deterministic_given_seed;
     Alcotest.test_case "random: failure names seed+schedule" `Quick
       test_random_failure_names_seed_and_schedule;
+    Alcotest.test_case "random: replay round-trip" `Quick test_random_replay_round_trip;
     Alcotest.test_case "random: wal with 3 crashes" `Quick test_random_wal_with_deep_crashes;
   ]
