@@ -13,94 +13,27 @@
      DUMP                 print every key
      QUIT                 exit
 
+   The command interpreter lives in Journal.Kvs_repl (so the test suite can
+   drive it); it never raises on malformed or oversized input — every bad
+   line gets an `ERR ...` response and the session keeps going.
+
    `kvs_server demo` (the default) runs a scripted session showing the
    durable path, the group-commit loss window, and recovery. *)
 
-module K = Journal.Kvs
-module V = Tslang.Value
-module Block = Disk.Block
-
-let p = K.params ~n_keys:8 ()
-
-let world = ref (K.init_world p)
-
-let run prog =
-  let w, v = Sched.Runner.run1 !world prog in
-  world := w;
-  v
-
-let in_bounds k = k >= 0 && k < p.K.n_keys
-
-let dump () =
-  List.init p.K.n_keys (fun k ->
-      let v = run (K.get_prog p k) in
-      Printf.sprintf "  %d -> %s" k (Block.to_string (Block.of_value v)))
-
-let exec_line line : string list =
-  let words = String.split_on_char ' ' (String.trim line) in
-  let words = List.filter (fun w -> w <> "") words in
-  let key s = match int_of_string_opt s with Some k when in_bounds k -> Some k | _ -> None in
-  match words with
-  | [] -> []
-  | cmd :: args -> (
-    match String.uppercase_ascii cmd, args with
-    | "GET", [ k ] -> (
-      match key k with
-      | Some k -> [ Block.to_string (Block.of_value (run (K.get_prog p k))) ]
-      | None -> [ "ERR bad key" ])
-    | "PUT", [ k; v ] -> (
-      match key k with
-      | Some k ->
-        ignore (run (K.put_prog p k (V.str v)));
-        [ "OK durable" ]
-      | None -> [ "ERR bad key" ])
-    | "ASYNC", [ k; v ] -> (
-      match key k with
-      | Some k ->
-        ignore (run (K.put_async_prog p k (V.str v)));
-        [ "OK buffered" ]
-      | None -> [ "ERR bad key" ])
-    | "TXN", (_ :: _ as pairs) -> (
-      let parse pair =
-        match String.index_opt pair '=' with
-        | Some i ->
-          let k = String.sub pair 0 i in
-          let v = String.sub pair (i + 1) (String.length pair - i - 1) in
-          Option.map (fun k -> (k, Block.of_string v)) (key k)
-        | None -> None
-      in
-      let entries = List.map parse pairs in
-      if List.exists Option.is_none entries then [ "ERR usage: TXN k=v [k=v ...]" ]
-      else
-        let entries = List.filter_map Fun.id entries in
-        if List.length entries > p.K.max_slots then [ "ERR transaction too large" ]
-        else begin
-          ignore (run (K.txn_prog p entries));
-          [ Printf.sprintf "OK committed %d keys" (List.length entries) ]
-        end)
-    | "FLUSH", [] ->
-      ignore (run (K.flush_prog p));
-      [ "OK flushed" ]
-    | "CRASH", [] ->
-      world := K.crash_world !world;
-      [ "OK crashed (buffer lost)" ]
-    | "RECOVER", [] ->
-      ignore (run (K.recover p));
-      [ "OK recovered" ]
-    | "DUMP", [] -> dump ()
-    | "QUIT", [] -> raise End_of_file
-    | _ -> [ "ERR unknown command" ])
+module Repl = Journal.Kvs_repl
 
 let repl () =
-  print_endline "journaled kvs ready (GET/PUT/TXN/ASYNC/FLUSH/CRASH/RECOVER/DUMP/QUIT)";
+  let t = Repl.create () in
+  print_endline ("journaled kvs ready (" ^ Repl.help ^ ")");
   try
     while true do
       let line = input_line stdin in
-      List.iter print_endline (exec_line line)
+      List.iter print_endline (Repl.exec_line t line)
     done
-  with End_of_file -> ()
+  with End_of_file | Repl.Quit -> ()
 
 let demo () =
+  let t = Repl.create () in
   let script =
     [ "PUT 0 alpha"; "GET 0"; "TXN 1=beta 2=gamma"; "DUMP"; "ASYNC 3 delta"; "GET 3";
       "CRASH"; "RECOVER"; "GET 3"; "GET 1"; "DUMP" ]
@@ -108,7 +41,7 @@ let demo () =
   List.iter
     (fun line ->
       Printf.printf "> %s\n" line;
-      List.iter print_endline (exec_line line))
+      List.iter print_endline (Repl.exec_line t line))
     script;
   print_endline "(note GET 3 after the crash: the buffered put was lost — the";
   print_endline " group-commit window the KVS spec makes explicit)"

@@ -2,20 +2,26 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|kvs|strategies|all]
+   Usage: perennial_check [outlines|refinement|kvs|faults|strategies|all]
                           [--strategy naive|dpor|dpor+sleep]
+                          [--faults N] [--max-seconds S]
                           [--trace FILE] [--metrics]
 
    --trace FILE  write a Chrome trace_event JSON of the run (load it in
                  chrome://tracing or ui.perfetto.dev): span events for the
                  exploration/recovery/post phases, instant events for every
-                 injected crash.
+                 injected crash or fault.
    --metrics     print the metrics registry (counters, gauges, histograms
                  accumulated by the checkers) after the report.
    --strategy    exploration strategy for the exhaustive checks (default
                  naive); the strategies selection cross-checks all of them
                  against each other and fails on any verdict mismatch or
-                 pruning regression (DPOR exploring MORE than naive). *)
+                 pruning regression (DPOR exploring MORE than naive).
+   --faults N    per-execution fault budget for the faults selection
+                 (default 2): the checker enumerates every schedule of at
+                 most N injected I/O faults alongside crash points.
+   --max-seconds S  wall-clock budget per exhaustive check; exceeding it
+                 reports budget exhaustion instead of hanging. *)
 
 module V = Tslang.Value
 module R = Perennial_core.Refinement
@@ -24,6 +30,11 @@ module E = Perennial_core.Explore
 
 let ok = ref 0
 let failed = ref 0
+
+(* --max-seconds: wall-clock budget applied to every exhaustive check *)
+let max_secs : float option ref = ref None
+
+let rcheck ?faults ~strategy cfg = R.check ~strategy ?faults ?max_seconds:!max_secs cfg
 
 let report name result =
   match result with
@@ -63,42 +74,42 @@ let run_refinement ~strategy () =
   let vx = V.str "x" and vy = V.str "y" in
   report "replicated-disk: 2 writers + crash + disk failure"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1 ~size:1
              [ [ Systems.Replicated_disk.write_call 0 vx ];
                [ Systems.Replicated_disk.write_call 0 vy ] ])));
   report "cached-block: put + get + crash (versioned memory)"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Systems.Cached_block.checker_config ~max_crashes:1
              [ [ Systems.Cached_block.put_call (V.str "x") ];
                [ Systems.Cached_block.get_call ] ])));
   report "shadow-copy: writer + reader + crash"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Systems.Shadow_copy.checker_config ~max_crashes:1
              [ [ Systems.Shadow_copy.write_call vx vy ]; [ Systems.Shadow_copy.read_call ] ])));
   report "write-ahead-log: writer + crash during recovery"
     (refinement_result
-       (R.check ~strategy (Systems.Wal.checker_config ~max_crashes:2 [ [ Systems.Wal.write_call vx vy ] ])));
+       (rcheck ~strategy (Systems.Wal.checker_config ~max_crashes:2 [ [ Systems.Wal.write_call vx vy ] ])));
   report "group-commit: write+flush + crash (lossy spec)"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Systems.Group_commit.checker_config ~max_crashes:1
              [ [ Systems.Group_commit.write_call vx vy; Systems.Group_commit.flush_call ] ])));
   report "mailboat: deliver + crash + recovery"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Mailboat.Core.checker_config ~users:1 ~max_crashes:1
              [ [ Mailboat.Core.deliver_call 0 "ab" ] ])));
   report "mailboat: fsync deliver under deferred durability"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Mailboat.Core.checker_config ~users:1 ~max_crashes:1 ~durability:`Deferred
              [ [ Mailboat.Core.deliver_fsync_call 0 "ab" ] ])));
   report "layered: WAL over replicated disk + crash + disk failure"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (Systems.Layered.checker_config ~may_fail:true ~max_crashes:1
              [ [ Systems.Layered.write_call (V.str "x") (V.str "y") ] ])));
   report "mailboat: randomized check, larger instance"
@@ -117,19 +128,71 @@ let run_kvs ~strategy () =
   let p = K.params ~n_keys:2 () in
   report "kvs: put || get + crash"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (K.checker_config p ~max_crashes:1
              [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ])));
   report "kvs: txn + crash during recovery"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (K.checker_config p ~max_crashes:2
              [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ])));
   report "kvs: async put; flush || get + crash"
     (refinement_result
-       (R.check ~strategy
+       (rcheck ~strategy
           (K.checker_config p ~max_crashes:1
              [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ])))
+
+(* The fault-injection selection: the retry/degradation paths must HOLD
+   under an exhaustive fault x crash x interleaving check, and the three
+   seeded fault-handling bugs must each produce a counterexample.  This is
+   the CI fault-matrix gate (`perennial_check faults --faults 2`). *)
+let run_faults ~strategy ~faults () =
+  Printf.printf "Fault-injection checks [strategy=%s faults=%d]:\n"
+    (E.strategy_name strategy) faults;
+  let module RD = Systems.Replicated_disk in
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  let b = Disk.Block.of_string in
+  let p = K.params ~n_keys:2 () in
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  let check cfg = rcheck ~faults ~strategy cfg in
+  let bug_result name = function
+    | R.Refinement_violated (f, stats) ->
+      Ok (Fmt.str "caught: %s (%a)" f.R.reason R.pp_stats stats)
+    | R.Refinement_holds stats ->
+      Error (Fmt.str "seeded bug %s NOT caught (%a)" name R.pp_stats stats)
+    | R.Budget_exhausted stats -> Error (Fmt.str "budget exhausted (%a)" R.pp_stats stats)
+  in
+  report "replicated-disk: ft write || ft read + crash + faults"
+    (refinement_result
+       (check
+          (RD.checker_config ~size:1 ~max_crashes:1
+             [ [ RD.write_ft_call 0 (V.str "x") ]; [ RD.read_ft_call 0 ] ])));
+  report "journal: ft commit || ft read + crash + faults"
+    (refinement_result
+       (check
+          (J.checker_config ly ~max_crashes:1
+             [ [ J.commit_ft_call ly [ (0, b "A"); (1, b "B") ] ]; [ J.read_ft_call ly 0 ] ])));
+  report "kvs: ft put; ft get + crash + faults"
+    (refinement_result
+       (check
+          (K.checker_config p ~max_crashes:1
+             [ [ K.put_ft_call p 0 (V.str "A"); K.get_ft_call p 0 ] ])));
+  report "seeded: rd retry-without-re-read"
+    (bug_result "rd retry-without-re-read"
+       (check
+          (RD.checker_config ~may_fail:false ~size:1 ~max_crashes:0
+             [ [ RD.write_call 0 (V.str "x"); RD.Buggy.read_ft_call_no_retry 0 ] ])));
+  report "seeded: journal torn commit record"
+    (bug_result "journal torn commit record"
+       (check
+          (J.checker_config ly ~max_crashes:1
+             [ [ J.Buggy.commit_ft_call_ignore_torn ly [ (0, b "A"); (1, b "B") ] ] ])));
+  report "seeded: kvs error swallowed after partial apply"
+    (bug_result "kvs swallowed apply error"
+       (check
+          (K.checker_config p ~max_crashes:0
+             [ [ K.Buggy.put_ft_call_swallow_apply p 0 (V.str "A"); K.get_call p 0 ] ])))
 
 (* Cross-strategy guard: every strategy must reach the same verdict on the
    bundled instances, and the reduced strategies must never explore more
@@ -146,29 +209,29 @@ let run_strategies () =
     [
       ( "replicated-disk: 2 writers + crash + disk failure",
         fun strategy ->
-          R.check ~strategy
+          rcheck ~strategy
             (Systems.Replicated_disk.checker_config ~may_fail:true ~max_crashes:1
                ~size:1
                [ [ Systems.Replicated_disk.write_call 0 vx ];
                  [ Systems.Replicated_disk.write_call 0 vy ] ]) );
       ( "journal: commit || read + crash",
         fun strategy ->
-          R.check ~strategy
+          rcheck ~strategy
             (J.checker_config ly
                [ [ J.commit_call ly [ (0, b "A"); (1, b "B") ] ]; [ J.read_call ly 0 ] ]) );
       ( "kvs: put || get + crash",
         fun strategy ->
-          R.check ~strategy
+          rcheck ~strategy
             (K.checker_config p ~max_crashes:1
                [ [ K.put_call p 0 (V.str "A") ]; [ K.get_call p 1 ] ]) );
       ( "kvs: txn + crash during recovery",
         fun strategy ->
-          R.check ~strategy
+          rcheck ~strategy
             (K.checker_config p ~max_crashes:2
                [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]) );
       ( "kvs: async put; flush || get + crash",
         fun strategy ->
-          R.check ~strategy
+          rcheck ~strategy
             (K.checker_config p ~max_crashes:1
                [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ];
                  [ K.get_call p 0 ] ]) );
@@ -217,6 +280,7 @@ let () =
   let trace_file = ref None in
   let metrics = ref false in
   let strategy = ref E.Naive in
+  let faults = ref 2 in
   let what = ref "all" in
   let rec parse = function
     | [] -> ()
@@ -229,6 +293,28 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse rest
+    | "--faults" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        faults := n;
+        parse rest
+      | _ ->
+        Printf.eprintf "perennial_check: --faults needs a non-negative integer, got %s\n" n;
+        exit 2)
+    | "--faults" :: [] ->
+      prerr_endline "perennial_check: --faults needs an argument";
+      exit 2
+    | "--max-seconds" :: s :: rest ->
+      (match float_of_string_opt s with
+      | Some s when s > 0. ->
+        max_secs := Some s;
+        parse rest
+      | _ ->
+        Printf.eprintf "perennial_check: --max-seconds needs a positive number, got %s\n" s;
+        exit 2)
+    | "--max-seconds" :: [] ->
+      prerr_endline "perennial_check: --max-seconds needs an argument";
+      exit 2
     | "--strategy" :: s :: rest ->
       (match E.strategy_of_string s with
       | Some st ->
@@ -247,16 +333,18 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let what = !what in
   (match what with
-  | "outlines" | "refinement" | "kvs" | "strategies" | "all" -> ()
+  | "outlines" | "refinement" | "kvs" | "faults" | "strategies" | "all" -> ()
   | w ->
     Printf.eprintf
-      "perennial_check: unknown selection %s (want outlines|refinement|kvs|strategies|all)\n" w;
+      "perennial_check: unknown selection %s (want outlines|refinement|kvs|faults|strategies|all)\n"
+      w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
   let strategy = !strategy in
   if what = "outlines" || what = "all" then run_outlines ();
   if what = "refinement" || what = "all" then run_refinement ~strategy ();
   if what = "kvs" || what = "all" then run_kvs ~strategy ();
+  if what = "faults" || what = "all" then run_faults ~strategy ~faults:!faults ();
   if what = "strategies" || what = "all" then run_strategies ();
   Obs.Trace.close ();
   if !metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ();

@@ -28,6 +28,8 @@ type 'w step_info = {
   si_fp : Fp.t;
   si_visible : bool;
   si_branches : ('w * ('w, Tslang.Value.t) Sched.Prog.t) list;
+  si_faults : (Sched.Fault.kind * ('w * ('w, Tslang.Value.t) Sched.Prog.t)) list;
+  si_fault_site : bool;
 }
 
 let crash_relevant fp = Fp.writes_durable fp

@@ -45,10 +45,17 @@ type 'w step_info = {
   si_label : string;
   si_fp : Sched.Footprint.t;  (** footprint in the node's world *)
   si_visible : bool;
-      (** globally dependent: durable write, [Unknown] footprint, or some
-          outcome completes the operation *)
+      (** globally dependent: durable write, [Unknown] footprint, some
+          outcome completes the operation, or a fault branch will be
+          explored here (faulted steps are never reordered) *)
   si_branches : ('w * ('w, Tslang.Value.t) Sched.Prog.t) list;
       (** the step's outcomes, pre-applied: next world and continuation *)
+  si_faults : (Sched.Fault.kind * ('w * ('w, Tslang.Value.t) Sched.Prog.t)) list;
+      (** fault outcomes to explore at this step (empty once the path's
+          fault budget is spent), pre-applied like [si_branches] *)
+  si_fault_site : bool;
+      (** the step declares fault points, whether or not budget remains —
+          drives the path's canonical fault-site numbering *)
 }
 
 val crash_relevant : Sched.Footprint.t -> bool

@@ -10,15 +10,18 @@ type ('w, 's) config = {
   recovery : ('w, V.t) Sched.Prog.t;
   post : (Spec.call * ('w, V.t) Sched.Prog.t) list;
   max_crashes : int;
+  fault_budget : int;
+  max_seconds : float option;
   step_budget : int;
   fail_on_deadlock : bool;
 }
 
 let config ~spec ~init_world ~crash_world ~pp_world ~threads ~recovery ?(post = [])
-    ?(max_crashes = 1) ?(step_budget = 5_000_000) ?(fail_on_deadlock = true) () =
+    ?(max_crashes = 1) ?(fault_budget = 0) ?max_seconds ?(step_budget = 5_000_000)
+    ?(fail_on_deadlock = true) () =
   {
     spec; init_world; crash_world; pp_world; threads; recovery; post; max_crashes;
-    step_budget; fail_on_deadlock;
+    fault_budget; max_seconds; step_budget; fail_on_deadlock;
   }
 
 type stats = {
@@ -32,6 +35,9 @@ type stats = {
   commutations_pruned : int;
   sleep_skips : int;
   crash_skips : int;
+  faults_injected : int;
+  fault_schedules : int;
+  retries_observed : int;
 }
 
 let pp_stats ppf s =
@@ -41,13 +47,16 @@ let pp_stats ppf s =
     s.frontier_hwm;
   if s.commutations_pruned > 0 || s.sleep_skips > 0 || s.crash_skips > 0 then
     Fmt.pf ppf " pruned=%d sleep_skips=%d crash_skips=%d" s.commutations_pruned
-      s.sleep_skips s.crash_skips
+      s.sleep_skips s.crash_skips;
+  if s.faults_injected > 0 || s.fault_schedules > 0 || s.retries_observed > 0 then
+    Fmt.pf ppf " faults=%d fault_schedules=%d retries=%d" s.faults_injected
+      s.fault_schedules s.retries_observed
 
 (* ------------------------------------------------------------------ *)
 (* Structured counterexample events                                     *)
 (* ------------------------------------------------------------------ *)
 
-type event_kind = Invoke | Step | Return | Crash
+type event_kind = Invoke | Step | Return | Crash | Fault
 
 type event_phase = Main | Recovery | Post
 
@@ -72,6 +81,14 @@ let ev_return tid call v =
 let ev_step tid label =
   { ev_tid = Some tid; ev_kind = Step; ev_phase = Main; ev_label = label;
     ev_text = Fmt.str "t%d: %s" tid label }
+
+(* A fault replaces the step's normal outcome, so one event carries both
+   the step label and the injected kind; it renders inline in the faulting
+   thread's lane. *)
+let ev_fault tid label kind =
+  { ev_tid = Some tid; ev_kind = Fault; ev_phase = Main;
+    ev_label = "FAULT " ^ Sched.Fault.kind_name kind;
+    ev_text = Fmt.str "t%d: %s FAULT %s" tid label (Sched.Fault.kind_name kind) }
 
 let ev_crash ~during_recovery =
   { ev_tid = None; ev_kind = Crash;
@@ -160,7 +177,7 @@ let failure_chrome f =
           cat = cat_of e.ev_phase;
           ph =
             (match e.ev_kind with
-            | Crash -> Obs.Trace.Instant
+            | Crash | Fault -> Obs.Trace.Instant
             | Invoke | Step | Return -> Obs.Trace.Complete 900.);
           ts = float_of_int (i * 1000);
           pid = 1;
@@ -203,6 +220,10 @@ module Mx = struct
     histogram ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
       "perennial_refinement_candidate_set_size"
 
+  let faults = counter "perennial_refinement_faults_injected_total"
+  let fault_scheds = counter "perennial_refinement_fault_schedules_total"
+  let retries = counter "perennial_refinement_retries_observed_total"
+
   let check_seconds = histogram "perennial_refinement_check_seconds"
   let explore_us = gauge ~labels:[ ("phase", "explore") ] "perennial_refinement_phase_us"
   let recovery_us = gauge ~labels:[ ("phase", "recovery") ] "perennial_refinement_phase_us"
@@ -221,6 +242,9 @@ type counters = {
   mutable c_commut : int;
   mutable c_sleep : int;
   mutable c_crash_skips : int;
+  mutable c_faults : int;
+  mutable c_fault_scheds : int;
+  mutable c_retries : int;
   mutable c_recovery_us : float;
   mutable c_post_us : float;
 }
@@ -229,6 +253,7 @@ let new_counters () =
   Obs.Metrics.inc Mx.checks;
   { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0;
     c_dedup = 0; c_frontier = 0; c_commut = 0; c_sleep = 0; c_crash_skips = 0;
+    c_faults = 0; c_fault_scheds = 0; c_retries = 0;
     c_recovery_us = 0.; c_post_us = 0. }
 
 let snapshot ctr =
@@ -242,6 +267,9 @@ let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_commut Explore.Mx.commutations;
   Obs.Metrics.inc ~by:ctr.c_sleep Explore.Mx.sleep_skips;
   Obs.Metrics.inc ~by:ctr.c_crash_skips Explore.Mx.crash_skips;
+  Obs.Metrics.inc ~by:ctr.c_faults Mx.faults;
+  Obs.Metrics.inc ~by:ctr.c_fault_scheds Mx.fault_scheds;
+  Obs.Metrics.inc ~by:ctr.c_retries Mx.retries;
   Obs.Metrics.add Mx.recovery_us ctr.c_recovery_us;
   Obs.Metrics.add Mx.post_us ctr.c_post_us;
   {
@@ -255,6 +283,9 @@ let snapshot ctr =
     commutations_pruned = ctr.c_commut;
     sleep_skips = ctr.c_sleep;
     crash_skips = ctr.c_crash_skips;
+    faults_injected = ctr.c_faults;
+    fault_schedules = ctr.c_fault_scheds;
+    retries_observed = ctr.c_retries;
   }
 
 (* Time one top-level phase run, accumulating wall time into [cell] and
@@ -431,10 +462,19 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
 (* The exhaustive checker                                               *)
 (* ------------------------------------------------------------------ *)
 
-let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result =
+let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
+    (cfg : (w, s) config) : result =
   let spec = cfg.spec in
   let ctr = new_counters () in
   let tk = make_tracker spec ctr in
+  let fault_budget =
+    match faults with Some n -> max 0 n | None -> cfg.fault_budget
+  in
+  let deadline =
+    match (match max_seconds with Some _ as s -> s | None -> cfg.max_seconds) with
+    | None -> None
+    | Some s -> Some (Obs.Trace.now_us () +. (s *. 1e6))
+  in
   let next_tid = ref 0 in
   let fresh_tid () =
     let t = !next_tid in
@@ -466,7 +506,50 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
 
   let bump_steps () =
     ctr.c_steps <- ctr.c_steps + 1;
-    if ctr.c_steps > cfg.step_budget then raise Budget
+    if ctr.c_steps > cfg.step_budget then raise Budget;
+    (* The wall clock is polled once per 1024 steps: cheap enough to leave
+       on, coarse enough that a check never overshoots by much. *)
+    match deadline with
+    | Some t when ctr.c_steps land 1023 = 0 && Obs.Trace.now_us () > t ->
+      raise Budget
+    | Some _ | None -> ()
+  in
+
+  (* Fault bookkeeping.  [fpath] is the fault schedule of the current DFS
+     path, newest injection first, as (site, kind): fault-eligible steps
+     are numbered 0, 1, … per path in commit order, mirroring the runner's
+     oracle.  Distinct non-empty schedules across completed executions
+     feed the [fault_schedules] stat. *)
+  let fpath = ref [] in
+  let fault_scheds_seen = Hashtbl.create 16 in
+  let in_fault_branch site kind f =
+    ctr.c_faults <- ctr.c_faults + 1;
+    Obs.Trace.instant ~cat:"fault" "fault_injection";
+    fpath := (site, kind) :: !fpath;
+    Fun.protect ~finally:(fun () -> fpath := List.tl !fpath) f
+  in
+  let record_execution () =
+    ctr.c_executions <- ctr.c_executions + 1;
+    match !fpath with
+    | [] -> ()
+    | path ->
+      let key =
+        String.concat ";"
+          (List.rev_map
+             (fun (site, kind) ->
+               Printf.sprintf "%d:%s" site (Sched.Fault.kind_name kind))
+             path)
+      in
+      if not (Hashtbl.mem fault_scheds_seen key) then begin
+        Hashtbl.add fault_scheds_seen key ();
+        ctr.c_fault_scheds <- ctr.c_fault_scheds + 1
+      end
+  in
+  (* Retry loops announce themselves by labelling their steps "retry…";
+     counting committed retry steps gives the [retries_observed] stat. *)
+  let note_label label =
+    if String.length label >= 5 && String.sub label 0 5 = "retry" then
+      ctr.c_retries <- ctr.c_retries + 1
   in
 
   (* A path that reaches spec-level undefined behaviour is vacuously
@@ -487,7 +570,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
   let rec run_post w cands trace ops =
     scoped_tids @@ fun () ->
     match ops with
-    | [] -> ctr.c_executions <- ctr.c_executions + 1
+    | [] -> record_execution ()
     | (call, prog) :: rest ->
       let tid = fresh_tid () in
       let cands = tk.add_pending tid call cands in
@@ -560,9 +643,12 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
       (fun () -> run_recovery w cands crashes trace)
   in
 
-  (* Main exploration: interleave threads; crash at any point.  [depth] is
-     the schedule depth of this path, tracked as a high-water mark. *)
-  let rec explore w lives cands crashes trace depth =
+  (* Main exploration: interleave threads; crash at any point; while the
+     fault budget [fused < fault_budget] lasts, every fault point also
+     branches.  [depth] is the schedule depth of this path, tracked as a
+     high-water mark; [fsite] numbers the fault-eligible steps committed on
+     this path. *)
+  let rec explore w lives cands crashes trace depth fused fsite =
     scoped_tids @@ fun () ->
     if depth > ctr.c_frontier then ctr.c_frontier <- depth;
     match settle lives cands trace with
@@ -586,7 +672,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
           (fun i l ->
             match l.prog with
             | Sched.Prog.Done _ -> assert false (* settled above *)
-            | Sched.Prog.Atomic { label; action; k; _ } ->
+            | Sched.Prog.Atomic { label; action; faults; k; _ } ->
               (match action w with
               | Sched.Prog.Ub reason ->
                 raise
@@ -599,14 +685,28 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
               | Sched.Prog.Steps outs ->
                 ran := true;
                 bump_steps ();
+                note_label label;
+                let flts = faults w in
+                let fsite' = if flts <> [] then fsite + 1 else fsite in
+                let resume j v =
+                  List.mapi (fun j' l' -> if j = j' then { l' with prog = k v } else l') lives
+                in
                 List.iter
                   (fun (w', v) ->
-                    let lives' =
-                      List.mapi (fun j l' -> if i = j then { l' with prog = k v } else l') lives
-                    in
-                    explore w' lives' cands crashes (ev_step l.tid label :: trace)
-                      (depth + 1))
-                  outs))
+                    explore w' (resume i v) cands crashes
+                      (ev_step l.tid label :: trace)
+                      (depth + 1) fused fsite')
+                  outs;
+                (* fault branches, after the normal outcomes so the first
+                   counterexample found is path-deterministic *)
+                if fused < fault_budget then
+                  List.iter
+                    (fun (kind, w', v) ->
+                      in_fault_branch fsite kind (fun () ->
+                          explore w' (resume i v) cands crashes
+                            (ev_fault l.tid label kind :: trace)
+                            (depth + 1) (fused + 1) fsite'))
+                    flts))
           lives;
         if (not !ran) && cfg.fail_on_deadlock then
           raise
@@ -636,7 +736,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
        them. *)
   let explore_por ~sleep_sets w0 lives0 cands0 =
     let module E = Explore in
-    let rec go w lives cands crashes trace depth ~dirty ~stack ~sleep =
+    let rec go w lives cands crashes trace depth fused fsite ~dirty ~stack ~sleep =
       scoped_tids @@ fun () ->
       if depth > ctr.c_frontier then ctr.c_frontier <- depth;
       match settle lives cands trace with
@@ -662,7 +762,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
               (fun l ->
                 match l.prog with
                 | Sched.Prog.Done _ -> assert false (* settled above *)
-                | Sched.Prog.Atomic { label; fp; action; k } ->
+                | Sched.Prog.Atomic { label; fp; action; faults; k } ->
                   (match action w with
                   | Sched.Prog.Ub reason ->
                     raise
@@ -674,6 +774,12 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
                   | Sched.Prog.Steps [] -> None (* blocked *)
                   | Sched.Prog.Steps outs ->
                     let branches = List.map (fun (w', v) -> (w', k v)) outs in
+                    let flts = faults w in
+                    let fault_branches =
+                      if fused < fault_budget then
+                        List.map (fun (kind, w', v) -> (kind, (w', k v))) flts
+                      else []
+                    in
                     let fp = fp w in
                     let responds =
                       List.exists
@@ -683,8 +789,15 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
                     in
                     Some
                       { E.si_tid = l.tid; si_label = label; si_fp = fp;
-                        si_visible = E.crash_relevant fp || responds;
-                        si_branches = branches }))
+                        (* a step whose fault branches will be explored is
+                           globally dependent, like an [Unknown] footprint:
+                           faulted and normal outcomes may diverge
+                           arbitrarily, so it is never reordered *)
+                        si_visible =
+                          E.crash_relevant fp || responds || fault_branches <> [];
+                        si_branches = branches;
+                        si_faults = fault_branches;
+                        si_fault_site = flts <> [] }))
               lives
           in
           match infos with
@@ -715,6 +828,8 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
                 else begin
                   incr explored;
                   bump_steps ();
+                  note_label si.E.si_label;
+                  let fsite' = if si.E.si_fault_site then fsite + 1 else fsite in
                   let child_sleep =
                     if not sleep_sets then []
                     else
@@ -727,21 +842,33 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
                           | None -> false (* blocked or finished: wake it *))
                         !z
                   in
+                  let resume prog' =
+                    List.map
+                      (fun l ->
+                        if l.tid = si.E.si_tid then { l with prog = prog' } else l)
+                      lives
+                  in
                   List.iter
                     (fun (w', prog') ->
-                      let lives' =
-                        List.map
-                          (fun l ->
-                            if l.tid = si.E.si_tid then { l with prog = prog' } else l)
-                          lives
-                      in
-                      go w' lives' cands crashes
+                      go w' (resume prog') cands crashes
                         (ev_step si.E.si_tid si.E.si_label :: trace)
-                        (depth + 1)
+                        (depth + 1) fused fsite'
                         ~dirty:(E.crash_relevant si.E.si_fp)
                         ~stack:({ E.f_node = node; f_step = si } :: stack)
                         ~sleep:child_sleep)
                     si.E.si_branches;
+                  (* fault branches, after the normal outcomes; a torn
+                     write persists a durable prefix, so fault children are
+                     always crash-dirty *)
+                  List.iter
+                    (fun (kind, (w', prog')) ->
+                      in_fault_branch fsite kind (fun () ->
+                          go w' (resume prog') cands crashes
+                            (ev_fault si.E.si_tid si.E.si_label kind :: trace)
+                            (depth + 1) (fused + 1) fsite' ~dirty:true
+                            ~stack:({ E.f_node = node; f_step = si } :: stack)
+                            ~sleep:child_sleep))
+                    si.E.si_faults;
                   if sleep_sets then z := si.E.si_tid :: !z;
                   drive ()
                 end
@@ -753,7 +880,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
     in
     (* [dirty = true] at the root: the crash before any step is always
        explored. *)
-    go w0 lives0 cands0 0 [] 0 ~dirty:true ~stack:[] ~sleep:[]
+    go w0 lives0 cands0 0 [] 0 0 0 ~dirty:true ~stack:[] ~sleep:[]
   in
 
   let initial_lives, initial_cands =
@@ -773,7 +900,7 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
         let run () =
           match strategy with
           | Explore.Naive ->
-            explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0
+            explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0 0 0
           | Explore.Dpor ->
             explore_por ~sleep_sets:false cfg.init_world (List.rev initial_lives)
               initial_cands
@@ -789,15 +916,15 @@ let check (type w s) ?(strategy = Explore.Naive) (cfg : (w, s) config) : result 
   Obs.Metrics.add (Explore.strategy_us strategy) (Obs.Trace.now_us () -. t0);
   r
 
-let check_exn cfg =
-  match check cfg with
+let check_exn ?strategy ?faults ?max_seconds cfg =
+  match check ?strategy ?faults ?max_seconds cfg with
   | Refinement_holds stats -> stats
   | Refinement_violated (f, stats) ->
     failwith (Fmt.str "@[<v>Refinement_violated: %a@,stats: %a@]" pp_failure f pp_stats stats)
   | Budget_exhausted stats ->
     failwith
       (Fmt.str
-         "Budget_exhausted: step budget exceeded before the state space was covered (stats: %a)"
+         "Budget_exhausted: step or wall-clock budget exceeded before the state space was covered (stats: %a)"
          pp_stats stats)
 
 (* ------------------------------------------------------------------ *)

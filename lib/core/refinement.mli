@@ -38,6 +38,18 @@ type ('w, 's) config = {
           recovery — typically reads of all state, to force the abstract
           and concrete states to agree observably *)
   max_crashes : int;  (** 0 disables crash injection *)
+  fault_budget : int;
+      (** max faults injected per execution; 0 disables fault injection.
+          While budget remains, every step that declares fault points
+          (see {!Sched.Prog.atomic}'s [?faults]) also branches into each
+          declared fault, exploring all fault schedules up to the budget
+          alongside all crash points.  Faults fire only in the main phase:
+          recovery and post probes run fault-free (the reliable-recovery
+          assumption — recovery retried forever eventually sees good
+          I/O). *)
+  max_seconds : float option;
+      (** wall-clock budget for the whole check; [None] = unlimited.
+          Exceeding it yields {!Budget_exhausted}, like [step_budget]. *)
   step_budget : int;
   fail_on_deadlock : bool;
 }
@@ -51,11 +63,14 @@ val config :
   recovery:('w, V.t) Sched.Prog.t ->
   ?post:(Spec.call * ('w, V.t) Sched.Prog.t) list ->
   ?max_crashes:int ->
+  ?fault_budget:int ->
+  ?max_seconds:float ->
   ?step_budget:int ->
   ?fail_on_deadlock:bool ->
   unit ->
   ('w, 's) config
-(** Defaults: no post probes, [max_crashes = 1], [step_budget = 5_000_000],
+(** Defaults: no post probes, [max_crashes = 1], [fault_budget = 0],
+    no wall-clock budget, [step_budget = 5_000_000],
     [fail_on_deadlock = true]. *)
 
 type stats = {
@@ -71,6 +86,11 @@ type stats = {
           (partial-order reduction; 0 under {!Explore.Naive}) *)
   sleep_skips : int;  (** backtrack candidates skipped by sleep sets *)
   crash_skips : int;  (** crash branches pruned as state-equivalent *)
+  faults_injected : int;  (** fault branches explored *)
+  fault_schedules : int;
+      (** distinct non-empty fault schedules over completed executions *)
+  retries_observed : int;
+      (** committed steps labelled ["retry…"] — the retry-loop convention *)
 }
 
 val pp_stats : stats Fmt.t
@@ -82,7 +102,7 @@ val pp_stats : stats Fmt.t
     exported as a Chrome trace ({!failure_chrome}), in addition to the
     classic flat listing ({!pp_failure}). *)
 
-type event_kind = Invoke | Step | Return | Crash
+type event_kind = Invoke | Step | Return | Crash | Fault
 
 type event_phase = Main | Recovery | Post
 
@@ -117,15 +137,27 @@ type result =
   | Refinement_violated of failure * stats
   | Budget_exhausted of stats
 
-val check : ?strategy:Explore.strategy -> ('w, 's) config -> result
+val check :
+  ?strategy:Explore.strategy ->
+  ?faults:int ->
+  ?max_seconds:float ->
+  ('w, 's) config ->
+  result
 (** Exhaustive check under the given exploration strategy (default
     {!Explore.Naive}).  The partial-order-reduced strategies
     ({!Explore.Dpor}, {!Explore.Dpor_sleep}) explore a sound subset of the
     interleavings — same verdict, fewer executions; the reduction is
     measurable in the returned {!stats} ([commutations_pruned],
-    [crash_skips], [sleep_skips]). *)
+    [crash_skips], [sleep_skips]).
 
-val check_exn : ('w, 's) config -> stats
+    [?faults] overrides the config's [fault_budget]: all fault schedules
+    with at most that many injections are enumerated alongside all crash
+    points.  Faulted steps are globally dependent under DPOR (never
+    reordered), so the reduced strategies stay sound with faults on.
+    [?max_seconds] overrides the config's wall-clock budget. *)
+
+val check_exn :
+  ?strategy:Explore.strategy -> ?faults:int -> ?max_seconds:float -> ('w, 's) config -> stats
 (** Like {!check} but raises [Failure] with a rendered report on violation
     or budget exhaustion; convenient in tests and examples.  The message is
     prefixed ["Refinement_violated: "] or ["Budget_exhausted: "] so callers

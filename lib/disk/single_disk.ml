@@ -58,3 +58,76 @@ let write ~get_disk ~set_disk a b : ('w, unit) Sched.Prog.t =
          if in_bounds d a then Sched.Prog.Steps [ (set_disk w (set d a b), V.unit) ]
          else Sched.Prog.Ub (Printf.sprintf "disk_write out of bounds: %d" a)))
     (fun _ -> Sched.Prog.return ())
+
+(* --- fallible operations ---
+
+   Same semantics as read/write plus declared fault points.  The infallible
+   ops above stay untouched: existing systems keep compiling and keep their
+   exact state spaces.  Success returns the raw value; a transient fault
+   returns {!Sched.Fault.eio} (distinguishable with [Fault.is_eio] — blocks
+   are [Str] values, never [Pair ("EIO", _)]), with nothing persisted for a
+   failed write. *)
+
+module Fault = Sched.Fault
+
+let eio k = Fault.eio (Fault.Eio k)
+
+let read_f ~get_disk a : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.disk a ]))
+    ~faults:(fun w ->
+      if in_bounds (get_disk w) a then
+        [ (Fault.Read_error, w, eio Fault.Read_error) ]
+      else [])
+    (Printf.sprintf "disk_read_f(%d)" a)
+    (fun w ->
+      let d = get_disk w in
+      if in_bounds d a then Sched.Prog.Steps [ (w, Block.to_value (get d a)) ]
+      else Sched.Prog.Ub (Printf.sprintf "disk_read_f out of bounds: %d" a))
+
+let write_f ~get_disk ~set_disk a b : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.disk a ]))
+    ~faults:(fun w ->
+      if in_bounds (get_disk w) a then
+        [ (Fault.Write_error, w, eio Fault.Write_error) ]
+      else [])
+    (Printf.sprintf "disk_write_f(%d)" a)
+    (fun w ->
+      let d = get_disk w in
+      if in_bounds d a then Sched.Prog.Steps [ (set_disk w (set d a b), V.unit) ]
+      else Sched.Prog.Ub (Printf.sprintf "disk_write_f out of bounds: %d" a))
+
+(* A multi-block write is atomic on success, but a [Torn_write k] fault
+   persists only the first [k] entries (in list order).  Crashing after a
+   torn write is therefore indistinguishable from the old model's crash
+   between the [k]-th and [k+1]-th of a sequence of single-block writes —
+   tearing adds no new crash states, only new *surviving* states where the
+   caller observes the error and keeps running. *)
+let write_multi_f ~get_disk ~set_disk entries : ('w, V.t) Sched.Prog.t =
+  let n = List.length entries in
+  let label =
+    Printf.sprintf "disk_write_multi(%s)"
+      (String.concat "," (List.map (fun (a, _) -> string_of_int a) entries))
+  in
+  let prefix k = List.filteri (fun i _ -> i < k) entries in
+  let persist w k =
+    set_disk w (List.fold_left (fun d (a, b) -> set d a b) (get_disk w) (prefix k))
+  in
+  let ok w = List.for_all (fun (a, _) -> in_bounds (get_disk w) a) entries in
+  Sched.Prog.atomic
+    ~fp:
+      (Sched.Footprint.const
+         (Sched.Footprint.writes
+            (List.map (fun (a, _) -> Sched.Footprint.disk a) entries)))
+    ~faults:(fun w ->
+      if not (ok w) then []
+      else
+        (Fault.Write_error, w, eio Fault.Write_error)
+        :: List.init (max 0 (n - 1)) (fun i ->
+               let k = i + 1 in
+               (Fault.Torn_write k, persist w k, eio (Fault.Torn_write k))))
+    label
+    (fun w ->
+      if ok w then Sched.Prog.Steps [ (persist w n, V.unit) ]
+      else Sched.Prog.Ub (label ^ ": out of bounds"))

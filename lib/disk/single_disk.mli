@@ -31,3 +31,34 @@ val read : get_disk:('w -> t) -> int -> ('w, Tslang.Value.t) Sched.Prog.t
 
 val write :
   get_disk:('w -> t) -> set_disk:('w -> t -> 'w) -> int -> Block.t -> ('w, unit) Sched.Prog.t
+
+(** {1 Fallible operations}
+
+    Same semantics as {!read}/{!write} plus declared fault points
+    ({!Sched.Fault}); the infallible ops remain as-is, so systems that
+    ignore faults keep their exact state spaces.  Success returns the raw
+    value ([Str] block or [Unit]); a transient fault returns
+    {!Sched.Fault.eio} — callers test with {!Sched.Fault.is_eio}.  A failed
+    write persists nothing; a {!Sched.Fault.Torn_write}[ k] on
+    {!write_multi_f} persists exactly the first [k] entries. *)
+
+val read_f : get_disk:('w -> t) -> int -> ('w, Tslang.Value.t) Sched.Prog.t
+(** Fault points: [Read_error] (state unchanged). *)
+
+val write_f :
+  get_disk:('w -> t) ->
+  set_disk:('w -> t -> 'w) ->
+  int ->
+  Block.t ->
+  ('w, Tslang.Value.t) Sched.Prog.t
+(** Fault points: [Write_error] (nothing persisted). *)
+
+val write_multi_f :
+  get_disk:('w -> t) ->
+  set_disk:('w -> t -> 'w) ->
+  (int * Block.t) list ->
+  ('w, Tslang.Value.t) Sched.Prog.t
+(** One atomic step writing all entries.  Fault points: [Write_error]
+    (nothing persisted) and [Torn_write k] for every proper prefix length
+    [1 <= k < n] (first [k] entries persisted).  Crash-equivalent to the
+    same blocks written as a sequence of single writes. *)

@@ -17,10 +17,17 @@ type t = {
   d1 : Single_disk.t option;  (** [None] = failed *)
   d2 : Single_disk.t option;
   may_fail : bool;
+  offline : id option;
+      (** a disk transiently detached by a [Disk_offline] fault; its
+          contents survive, but the fallible ops report errors until a
+          [Disk_online] fault (or a power cycle) re-attaches it.  Only the
+          [_f] ops consult this — the plain ops model the fault-free
+          layer. *)
 }
 
 let init ?(may_fail = false) size =
-  { d1 = Some (Single_disk.init size); d2 = Some (Single_disk.init size); may_fail }
+  { d1 = Some (Single_disk.init size); d2 = Some (Single_disk.init size);
+    may_fail; offline = None }
 
 let size t =
   match t.d1, t.d2 with
@@ -35,29 +42,48 @@ let with_disk t id d =
 let one_failed t = t.d1 = None || t.d2 = None
 
 let fail t id =
-  if one_failed t then t (* at most one failure *) else with_disk t id None
+  if one_failed t then t (* at most one failure *)
+  else
+    let t = with_disk t id None in
+    if t.offline = Some id then { t with offline = None } else t
+
+let is_offline t id = t.offline = Some id
+let set_offline t id = { t with offline = Some id }
+let set_online t = { t with offline = None }
+
+let compare_id a b =
+  match (a, b) with D1, D1 | D2, D2 -> 0 | D1, D2 -> -1 | D2, D1 -> 1
 
 let equal a b =
   Option.equal Single_disk.equal a.d1 b.d1
   && Option.equal Single_disk.equal a.d2 b.d2
   && Bool.equal a.may_fail b.may_fail
+  && Option.equal (fun x y -> compare_id x y = 0) a.offline b.offline
 
 let compare a b =
   let c = Option.compare Single_disk.compare a.d1 b.d1 in
   if c <> 0 then c
   else
     let c = Option.compare Single_disk.compare a.d2 b.d2 in
-    if c <> 0 then c else Bool.compare a.may_fail b.may_fail
+    if c <> 0 then c
+    else
+      let c = Bool.compare a.may_fail b.may_fail in
+      if c <> 0 then c else Option.compare compare_id a.offline b.offline
 
 let pp ppf t =
   let pd ppf = function
     | Some d -> Single_disk.pp ppf d
     | None -> Fmt.string ppf "FAILED"
   in
-  Fmt.pf ppf "@[<h>{d1 = %a; d2 = %a}@]" pd t.d1 pd t.d2
+  Fmt.pf ppf "@[<h>{d1 = %a; d2 = %a%a}@]" pd t.d1 pd t.d2
+    (fun ppf -> function
+      | None -> ()
+      | Some id -> Fmt.pf ppf "; offline = %a" pp_id id)
+    t.offline
 
-(** Disks (and their failure status) survive crashes. *)
-let crash t = t
+(** Disk contents (and permanent-failure status) survive crashes; a power
+    cycle re-attaches a transiently offline disk. *)
+let crash t = { t with offline = None }
 
 (* --- program-level operations --- *)
 
@@ -127,3 +153,113 @@ let write ~get ~set id a b : ('w, unit) Sched.Prog.t =
            in
            Sched.Prog.Steps (normal :: failure_branch)))
     (fun _ -> Sched.Prog.return ())
+
+(* --- fallible operations ---
+
+   Like read/write, with declared fault points and an offline dimension.
+   Return-value convention (all encoded as {!Tslang.Value}):
+   - [Some v] / [Unit]-wrapped success;
+   - [None]: the disk failed *permanently* (the tolerated Table 3 failure);
+   - [Fault.eio]: a *transient* error — retrying may succeed.
+   Fault points while alive and attached: [Read_error]/[Write_error]
+   (state unchanged, nothing persisted) and [Disk_offline] (detaches the
+   disk; at most one disk is offline at a time).  While detached, the only
+   fault point is [Disk_online], which re-attaches and performs the
+   operation; the normal outcome is a transient error.  A permanently
+   failed disk has no fault points left. *)
+
+module Fault = Sched.Fault
+
+let eio k = Fault.eio (Fault.Eio k)
+let offline_loc = Fp.Volatile ("td-offline", 0)
+
+(* The _f ops also read — and their fault branches may write — the offline
+   status.  Folding [offline_loc] into both sides is conservative: steps
+   with live fault branches are globally dependent anyway, and once the
+   budget is spent the offline status can no longer change. *)
+let op_fp_f ~get id a ~durable_write w =
+  let t = get w in
+  let addr = Fp.Durable (region id, a) in
+  let fail_write = if t.may_fail && not (one_failed t) then [ status_loc ] else [] in
+  Fp.rw
+    ~reads:[ addr; status_loc; offline_loc ]
+    ~writes:((if durable_write then [ addr ] else []) @ fail_write @ [ offline_loc ])
+    ()
+
+let read_f ~get ~set id a : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    ~fp:(op_fp_f ~get id a ~durable_write:false)
+    ~faults:(fun w ->
+      let t = get w in
+      if a < 0 || a >= size t then []
+      else
+        match disk t id with
+        | None -> []
+        | Some d ->
+          if is_offline t id then
+            [ (Fault.Disk_online, set w (set_online t),
+               V.some (Block.to_value (Single_disk.get d a))) ]
+          else
+            (Fault.Read_error, w, eio Fault.Read_error)
+            :: (if t.offline = None then
+                  [ (Fault.Disk_offline, set w (set_offline t id),
+                     eio Fault.Disk_offline) ]
+                else []))
+    (Fmt.str "disk_read_f(%a,%d)" pp_id id a)
+    (fun w ->
+      let t = get w in
+      if a < 0 || a >= size t then
+        Sched.Prog.Ub (Printf.sprintf "disk_read_f out of bounds: %d" a)
+      else
+        let normal =
+          match disk t id with
+          | None -> (w, V.none)
+          | Some d ->
+            if is_offline t id then (w, eio Fault.Disk_offline)
+            else (w, V.some (Block.to_value (Single_disk.get d a)))
+        in
+        let failure_branch =
+          if t.may_fail && not (one_failed t) then [ (set w (fail t id), V.none) ]
+          else []
+        in
+        Sched.Prog.Steps (normal :: failure_branch))
+
+let write_f ~get ~set id a b : ('w, V.t) Sched.Prog.t =
+  Sched.Prog.atomic
+    ~fp:(op_fp_f ~get id a ~durable_write:true)
+    ~faults:(fun w ->
+      let t = get w in
+      if a < 0 || a >= size t then []
+      else
+        match disk t id with
+        | None -> []
+        | Some d ->
+          if is_offline t id then
+            [ (Fault.Disk_online,
+               set w (with_disk (set_online t) id (Some (Single_disk.set d a b))),
+               V.some V.unit) ]
+          else
+            (Fault.Write_error, w, eio Fault.Write_error)
+            :: (if t.offline = None then
+                  [ (Fault.Disk_offline, set w (set_offline t id),
+                     eio Fault.Disk_offline) ]
+                else []))
+    (Fmt.str "disk_write_f(%a,%d)" pp_id id a)
+    (fun w ->
+      let t = get w in
+      if a < 0 || a >= size t then
+        Sched.Prog.Ub (Printf.sprintf "disk_write_f out of bounds: %d" a)
+      else
+        let normal =
+          match disk t id with
+          | None -> (w, V.none)
+          | Some d ->
+            if is_offline t id then (w, eio Fault.Disk_offline)
+            else
+              (set w (with_disk t id (Some (Single_disk.set d a b))), V.some V.unit)
+        in
+        let failure_branch =
+          if t.may_fail && not (one_failed t) then [ (set w (fail t id), V.none) ]
+          else []
+        in
+        Sched.Prog.Steps (normal :: failure_branch))

@@ -15,6 +15,9 @@ type t = {
   d1 : Single_disk.t option;  (** [None] = failed *)
   d2 : Single_disk.t option;
   may_fail : bool;
+  offline : id option;
+      (** a disk transiently detached by a {!Sched.Fault.Disk_offline}
+          fault; contents survive, and only the [_f] ops consult it *)
 }
 
 val init : ?may_fail:bool -> int -> t
@@ -23,15 +26,21 @@ val disk : t -> id -> Single_disk.t option
 val one_failed : t -> bool
 
 val fail : t -> id -> t
-(** Fail a disk; a no-op if the other disk already failed (the model
-    tolerates exactly one failure). *)
+(** Fail a disk permanently; a no-op if the other disk already failed (the
+    model tolerates exactly one permanent failure).  Clears the offline
+    mark of the failed disk. *)
+
+val is_offline : t -> id -> bool
+val set_offline : t -> id -> t
+val set_online : t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : t Fmt.t
 
 val crash : t -> t
-(** Disks, including their failure status, survive crashes. *)
+(** Disk contents and permanent-failure status survive crashes; a power
+    cycle re-attaches a transiently offline disk. *)
 
 (** {1 Program-level operations} *)
 
@@ -41,3 +50,25 @@ val read :
 
 val write :
   get:('w -> t) -> set:('w -> t -> 'w) -> id -> int -> Block.t -> ('w, unit) Sched.Prog.t
+
+(** {1 Fallible operations}
+
+    Return-value convention: [Opt (Some v)] success, [Opt None] permanent
+    disk failure (the tolerated Table 3 failure), {!Sched.Fault.eio} a
+    transient error worth retrying.  Fault points while alive and attached:
+    [Read_error]/[Write_error] (nothing persisted) and [Disk_offline]
+    (detaches the disk — at most one at a time); while detached, the only
+    fault point is [Disk_online], which re-attaches and performs the
+    operation, and the normal outcome is a transient error.  The plain ops
+    above ignore the offline dimension entirely. *)
+
+val read_f :
+  get:('w -> t) -> set:('w -> t -> 'w) -> id -> int -> ('w, Tslang.Value.t) Sched.Prog.t
+
+val write_f :
+  get:('w -> t) ->
+  set:('w -> t -> 'w) ->
+  id ->
+  int ->
+  Block.t ->
+  ('w, Tslang.Value.t) Sched.Prog.t

@@ -117,6 +117,30 @@ let spec p : state Spec.t =
         | "kv_flush", [] ->
           let* () = T.modify (settle []) in
           T.ret V.unit
+        (* Graceful-degradation arms: the op either takes effect atomically
+           or returns {!Sched.Fault.err_value} with state untouched. *)
+        | "kv_get_ft", [ k ] ->
+          let k = V.get_int k in
+          let* () = T.check (in_bounds k) in
+          let* st = T.reads in
+          let* r = T.choose [ Block.to_value (view_key st k); Sched.Fault.err_value ] in
+          T.ret r
+        | "kv_put_ft", [ k; v ] ->
+          let k = V.get_int k in
+          let* () = T.check (in_bounds k) in
+          let* ok = T.choose [ true; false ] in
+          if ok then
+            let* () = T.modify (settle [ (k, Block.of_value v) ]) in
+            T.ret V.unit
+          else T.ret Sched.Fault.err_value
+        | "kv_txn_ft", [ v ] ->
+          let entries = entries_of_value v in
+          let* () = T.check (List.for_all (fun (k, _) -> in_bounds k) entries) in
+          let* ok = T.choose [ true; false ] in
+          if ok then
+            let* () = T.modify (settle entries) in
+            T.ret V.unit
+          else T.ret Sched.Fault.err_value
         | _ -> invalid_arg "kvs spec: unknown op");
     (* The loss window: a crash drops everything not yet flushed. *)
     crash = T.modify (fun st -> { st with pending = [] });
@@ -254,6 +278,67 @@ let flush_prog p : (world, V.t) P.t =
   let* () = unlock_all p in
   P.return V.unit
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Commit the buffer plus [extra] through the fault-tolerant journal
+    protocol ({!Txn_log.commit_ft_prog}).  On a clean abort the buffer is
+    left alone — the acknowledged puts stay pending, so observable state
+    is untouched, as the [_ft] spec arms demand. *)
+let commit_pending_ft_prog ?retries p (extra : txn list) : (world, V.t) P.t =
+  let* mv = P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ extra))) in
+  match entries_of_value mv with
+  | [] -> P.return V.unit
+  | entries ->
+    let* r = Txn_log.commit_ft_prog ~get_disk ~set_disk ?retries (layout p) entries in
+    if Sched.Fault.is_eio r then P.return r
+    else
+      let* () = P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] }) in
+      P.return V.unit
+
+(** Like {!get_prog}, through the fallible disk read with bounded retry;
+    degrades to {!Sched.Fault.err_value} when the retries are exhausted.
+    Buffered values never touch the disk, so that path cannot fail. *)
+let get_ft_prog ?(retries = 1) p k : (world, V.t) P.t =
+  ignore p;
+  let* () = lock k in
+  let* buf =
+    P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_find" (fun w ->
+        match buffered_value k w.buffer with
+        | Some b -> V.some (Block.to_value b)
+        | None -> V.none)
+  in
+  let* v =
+    match V.get_opt buf with
+    | Some v -> P.return v
+    | None ->
+      let rec attempt n =
+        let* r = Disk.Single_disk.read_f ~get_disk k in
+        if Sched.Fault.is_eio r then
+          if n > 0 then
+            let* () = P.read ~fp:(Sched.Footprint.const Sched.Footprint.pure) "retry(get)" (fun _ -> ()) in
+            attempt (n - 1)
+          else P.return Sched.Fault.err_value
+        else P.return r
+      in
+      attempt retries
+  in
+  let* () = unlock k in
+  P.return v
+
+let put_ft_prog ?retries p k v : (world, V.t) P.t =
+  let* () = lock_all p in
+  let* r = commit_pending_ft_prog ?retries p [ [ (k, Block.of_value v) ] ] in
+  let* () = unlock_all p in
+  P.return r
+
+let txn_ft_prog ?retries p (entries : txn) : (world, V.t) P.t =
+  let* () = lock_all p in
+  let* r = commit_pending_ft_prog ?retries p [ entries ] in
+  let* () = unlock_all p in
+  P.return r
+
 (** Recovery is the journal's: replay a committed-but-unapplied transaction
     (helping), clear the record.  The buffer died with the crash. *)
 let recover p : (world, V.t) P.t = Txn_log.recover_prog ~get_disk ~set_disk (layout p)
@@ -269,13 +354,19 @@ let txn_call p entries = (Spec.call "kv_txn" [ value_of_entries entries ], txn_p
 let put_async_call p k v = (Spec.call "kv_put_async" [ V.int k; v ], put_async_prog p k v)
 let flush_call p = (Spec.call "kv_flush" [], flush_prog p)
 
+let get_ft_call ?retries p k = (Spec.call "kv_get_ft" [ V.int k ], get_ft_prog ?retries p k)
+let put_ft_call ?retries p k v = (Spec.call "kv_put_ft" [ V.int k; v ], put_ft_prog ?retries p k v)
+
+let txn_ft_call ?retries p entries =
+  (Spec.call "kv_txn_ft" [ value_of_entries entries ], txn_ft_prog ?retries p entries)
+
 (** Post-crash probes: read back every key. *)
 let probe p = List.init p.n_keys (fun k -> get_call p k)
 
-let checker_config p ?spec:(sp = spec p) ?(max_crashes = 1) threads :
+let checker_config p ?spec:(sp = spec p) ?(max_crashes = 1) ?(fault_budget = 0) threads :
     (world, state) Perennial_core.Refinement.config =
   Perennial_core.Refinement.config ~spec:sp ~init_world:(init_world p) ~crash_world
-    ~pp_world ~threads ~recovery:(recover p) ~post:(probe p) ~max_crashes ()
+    ~pp_world ~threads ~recovery:(recover p) ~post:(probe p) ~max_crashes ~fault_budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Seeded bugs                                                          *)
@@ -321,4 +412,26 @@ module Buggy = struct
 
   (** Recovery that ignores the commit record. *)
   let recover_nop : (world, V.t) P.t = P.return V.unit
+
+  (** Fault-handling bug #3 at the store level — error swallowed after a
+      partial apply ({!Txn_log.Buggy.commit_ft_swallow_apply}): the put
+      reports success while the key's data block was never written and the
+      commit record is already cleared.  The next get of the key reads the
+      stale block — fault budget 1, no crash needed. *)
+  let put_ft_swallow_apply p k v : (world, V.t) P.t =
+    let* () = lock_all p in
+    let* mv = P.read ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.cell "buffer" ])) "buffer_merge" (fun w -> value_of_entries (merge (w.buffer @ [ [ (k, Block.of_value v) ] ]))) in
+    let* r =
+      match entries_of_value mv with
+      | [] -> P.return V.unit
+      | entries ->
+        let* r = Txn_log.Buggy.commit_ft_swallow_apply ~get_disk ~set_disk (layout p) entries in
+        let* () = P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] }) in
+        P.return r
+    in
+    let* () = unlock_all p in
+    P.return r
+
+  let put_ft_call_swallow_apply p k v =
+    (Spec.call "kv_put_ft" [ V.int k; v ], put_ft_swallow_apply p k v)
 end

@@ -1,0 +1,112 @@
+(* The command interpreter behind [bin/kvs_server]: a line-oriented front
+   end over the journaled transactional KVS.  It lives in the library so the
+   test suite can drive it directly — the REPL loop in the binary is just
+   [input_line] + [exec_line].
+
+   Robustness contract: [exec_line] never raises on any input.  Malformed
+   or oversized input yields an ["ERR ..."] response; an unexpected
+   exception from the store is caught and reported as ["ERR internal: ..."]
+   rather than killing the session. *)
+
+module K = Kvs
+module V = Tslang.Value
+module Block = Disk.Block
+
+type t = { params : K.params; mutable world : K.world }
+
+let create ?(n_keys = 8) () =
+  let params = K.params ~n_keys () in
+  { params; world = K.init_world params }
+
+let params t = t.params
+
+let max_line = 4096
+
+let help = "GET/PUT/TXN/ASYNC/FLUSH/CRASH/RECOVER/DUMP/QUIT"
+
+exception Quit
+
+let run t prog =
+  let w, v = Sched.Runner.run1 t.world prog in
+  t.world <- w;
+  v
+
+let dump t =
+  let p = t.params in
+  List.init p.K.n_keys (fun k ->
+      let v = run t (K.get_prog p k) in
+      Printf.sprintf "  %d -> %s" k (Block.to_string (Block.of_value v)))
+
+let exec_unsafe t line : string list =
+  let p = t.params in
+  let words = String.split_on_char ' ' (String.trim line) in
+  let words = List.filter (fun w -> w <> "") words in
+  let in_bounds k = k >= 0 && k < p.K.n_keys in
+  let key s = match int_of_string_opt s with Some k when in_bounds k -> Some k | _ -> None in
+  match words with
+  | [] -> []
+  | cmd :: args -> (
+    match String.uppercase_ascii cmd, args with
+    | "GET", [ k ] -> (
+      match key k with
+      | Some k -> [ Block.to_string (Block.of_value (run t (K.get_prog p k))) ]
+      | None -> [ "ERR bad key" ])
+    | "GET", _ -> [ "ERR usage: GET <k>" ]
+    | "PUT", [ k; v ] -> (
+      match key k with
+      | Some k ->
+        ignore (run t (K.put_prog p k (V.str v)));
+        [ "OK durable" ]
+      | None -> [ "ERR bad key" ])
+    | "PUT", _ -> [ "ERR usage: PUT <k> <v>" ]
+    | "ASYNC", [ k; v ] -> (
+      match key k with
+      | Some k ->
+        ignore (run t (K.put_async_prog p k (V.str v)));
+        [ "OK buffered" ]
+      | None -> [ "ERR bad key" ])
+    | "ASYNC", _ -> [ "ERR usage: ASYNC <k> <v>" ]
+    | "TXN", (_ :: _ as pairs) -> (
+      let parse pair =
+        match String.index_opt pair '=' with
+        | Some i ->
+          let k = String.sub pair 0 i in
+          let v = String.sub pair (i + 1) (String.length pair - i - 1) in
+          Option.map (fun k -> (k, Block.of_string v)) (key k)
+        | None -> None
+      in
+      let entries = List.map parse pairs in
+      if List.exists Option.is_none entries then [ "ERR usage: TXN k=v [k=v ...]" ]
+      else
+        let entries = List.filter_map Fun.id entries in
+        let keys = List.map fst entries in
+        if List.length (List.sort_uniq compare keys) < List.length keys then
+          [ "ERR duplicate key in transaction" ]
+        else if List.length entries > p.K.max_slots then [ "ERR transaction too large" ]
+        else begin
+          ignore (run t (K.txn_prog p entries));
+          [ Printf.sprintf "OK committed %d keys" (List.length entries) ]
+        end)
+    | "TXN", [] -> [ "ERR usage: TXN k=v [k=v ...]" ]
+    | "FLUSH", [] ->
+      ignore (run t (K.flush_prog p));
+      [ "OK flushed" ]
+    | "CRASH", [] ->
+      t.world <- K.crash_world t.world;
+      [ "OK crashed (buffer lost)" ]
+    | "RECOVER", [] ->
+      ignore (run t (K.recover p));
+      [ "OK recovered" ]
+    | "DUMP", [] -> dump t
+    | "QUIT", [] -> raise Quit
+    | ("FLUSH" | "CRASH" | "RECOVER" | "DUMP"), _ :: _ ->
+      [ Printf.sprintf "ERR %s takes no arguments" (String.uppercase_ascii cmd) ]
+    | _ -> [ "ERR unknown command (" ^ help ^ ")" ])
+
+let exec_line t line : string list =
+  if String.length line > max_line then
+    [ Printf.sprintf "ERR line too long (%d bytes max)" max_line ]
+  else
+    try exec_unsafe t line with
+    | Quit -> raise Quit
+    | e -> [ "ERR internal: " ^ Printexc.to_string e ]

@@ -1,0 +1,35 @@
+(** The line-oriented command interpreter behind [bin/kvs_server].
+
+    Commands: [GET <k>], [PUT <k> <v>], [TXN k=v [k=v ...]],
+    [ASYNC <k> <v>], [FLUSH], [CRASH], [RECOVER], [DUMP], [QUIT].
+
+    Robustness contract: {!exec_line} never raises on any input except
+    {!Quit} (for the QUIT command).  Malformed input — bad keys, wrong
+    arity, duplicate transaction keys, transactions larger than the log —
+    and oversized input (lines beyond {!max_line} bytes) all produce
+    ["ERR ..."] responses; unexpected exceptions from the store are caught
+    and reported as ["ERR internal: ..."] so no input can kill the
+    session. *)
+
+type t
+(** A session: parameters plus the current world, threaded through
+    {!exec_line}. *)
+
+val create : ?n_keys:int -> unit -> t
+(** A fresh store; [n_keys] defaults to 8. *)
+
+val params : t -> Kvs.params
+
+val max_line : int
+(** Longest accepted input line, in bytes (longer lines get an error
+    response rather than being processed). *)
+
+val help : string
+(** The command list, as shown in the greeting line. *)
+
+exception Quit
+(** Raised by {!exec_line} on QUIT — the only exception it lets escape. *)
+
+val exec_line : t -> string -> string list
+(** Execute one input line, returning the response lines (empty for a blank
+    line, [DUMP] returns one line per key). *)

@@ -95,6 +95,88 @@ let commit_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
     let* () = apply entries in
     dw (rec_addr ly) (int_block 0)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant commit: bounded retry before the commit point,        *)
+(* unbounded retry after it                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Sched.Fault
+module Fp = Sched.Footprint
+
+(* A retry iteration is marked by a pure no-op step whose label starts with
+   "retry" — the convention the checker's [retries_observed] stat counts.
+   It only exists on paths where a transient error already fired. *)
+let retry_step what : ('w, unit) P.t =
+  P.read ~fp:(Fp.const Fp.pure) ("retry(" ^ what ^ ")") (fun _ -> ())
+
+(** Like {!commit_prog}, over the fallible disk ops.  Returns [V.unit] on
+    success or {!Sched.Fault.err_value} on a clean abort.
+
+    The commit-record write is the dividing line.  Before it, a transient
+    error is retried at most [retries] times and then the transaction is
+    ABORTED: the record still reads 0, so whatever made it into the log
+    slots is unobservable and durable state is untouched — the spec's
+    error arm.  After it, the transaction is committed and must not be
+    abandoned: apply and record-clear writes retry WITHOUT bound (each
+    iteration exists only under one more injected fault, so exhaustive
+    exploration under a finite fault budget still terminates).
+
+    The log slots are installed with ONE {!Disk.Single_disk.write_multi_f},
+    so a [Torn_write] fault can tear them; the retry re-writes every slot,
+    which is idempotent pre-commit. *)
+let commit_ft_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t =
+  let dwm es = Disk.Single_disk.write_multi_f ~get_disk ~set_disk es in
+  let dwf a b = Disk.Single_disk.write_f ~get_disk ~set_disk a b in
+  if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
+  else if entries = [] then P.return V.unit
+  else
+    let slot_blocks =
+      List.concat
+        (List.mapi
+           (fun i (a, b) -> [ (slot_addr ly i, int_block a); (slot_val ly i, b) ])
+           entries)
+    in
+    let bounded what n write =
+      let rec attempt n =
+        let* r = write () in
+        if Fault.is_eio r then
+          if n > 0 then
+            let* () = retry_step what in
+            attempt (n - 1)
+          else P.return false
+        else P.return true
+      in
+      attempt n
+    in
+    let unbounded what write =
+      let rec attempt () =
+        let* r = write () in
+        if Fault.is_eio r then
+          let* () = retry_step what in
+          attempt ()
+        else P.return ()
+      in
+      attempt ()
+    in
+    let rec apply = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = unbounded "apply" (fun () -> dwf a b) in
+        apply rest
+    in
+    let* logged = bounded "log" retries (fun () -> dwm slot_blocks) in
+    if not logged then P.return Fault.err_value
+    else
+      let* committed =
+        bounded "record" retries (fun () ->
+            dwf (rec_addr ly) (int_block (List.length entries)))
+      in
+      if not committed then P.return Fault.err_value
+      else
+        let* () = apply entries in
+        let* () = unbounded "clear" (fun () -> dwf (rec_addr ly) (int_block 0)) in
+        P.return V.unit
+
 (** Replay a committed-but-unapplied transaction, if any, then clear the
     commit record.  Idempotent: safe to crash anywhere inside and re-run. *)
 let recover_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
@@ -151,6 +233,28 @@ let spec ly : state Spec.t =
           let* () = T.check (in_bounds a) in
           let* st = T.reads in
           T.ret (Block.to_value (List.nth st a))
+        (* Graceful-degradation arms: the op either takes effect atomically
+           or returns {!Sched.Fault.err_value} with state untouched. *)
+        | "j_commit_ft", [ v ] ->
+          let entries = entries_of_value v in
+          let* () =
+            T.check
+              (List.length entries <= ly.max_slots
+              && List.for_all (fun (a, _) -> in_bounds a) entries)
+          in
+          let* ok = T.choose [ true; false ] in
+          if ok then
+            let* () =
+              T.modify (fun st -> List.fold_left (fun st (a, b) -> set_nth st a b) st entries)
+            in
+            T.ret V.unit
+          else T.ret Fault.err_value
+        | "j_read_ft", [ a ] ->
+          let a = V.get_int a in
+          let* () = T.check (in_bounds a) in
+          let* st = T.reads in
+          let* r = T.choose [ Block.to_value (List.nth st a); Fault.err_value ] in
+          T.ret r
         | _ -> invalid_arg "txn-journal spec: unknown op");
     (* Committed transactions are durable; in-flight ones simply vanish. *)
     crash = T.ret ();
@@ -192,6 +296,30 @@ let read_prog ly a : (world, V.t) P.t =
 
 let recover ly : (world, V.t) P.t = recover_prog ~get_disk ~set_disk ly
 
+let commit_txn_ft_prog ?retries ly entries : (world, V.t) P.t =
+  let* () = lock () in
+  let* r = commit_ft_prog ~get_disk ~set_disk ?retries ly entries in
+  let* () = unlock () in
+  P.return r
+
+(** Read through the fallible op with bounded retry; degrades to
+    {!Sched.Fault.err_value} when the retries are exhausted. *)
+let read_ft_prog ?(retries = 1) ly a : (world, V.t) P.t =
+  ignore ly;
+  let* () = lock () in
+  let rec attempt n =
+    let* r = Disk.Single_disk.read_f ~get_disk a in
+    if Fault.is_eio r then
+      if n > 0 then
+        let* () = retry_step "read" in
+        attempt (n - 1)
+      else P.return Fault.err_value
+    else P.return r
+  in
+  let* v = attempt retries in
+  let* () = unlock () in
+  P.return v
+
 (* ------------------------------------------------------------------ *)
 (* Checker configuration                                                *)
 (* ------------------------------------------------------------------ *)
@@ -199,13 +327,19 @@ let recover ly : (world, V.t) P.t = recover_prog ~get_disk ~set_disk ly
 let commit_call ly entries = (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_prog ly entries)
 let read_call ly a = (Spec.call "j_read" [ V.int a ], read_prog ly a)
 
+let commit_ft_call ?retries ly entries =
+  (Spec.call "j_commit_ft" [ value_of_entries entries ], commit_txn_ft_prog ?retries ly entries)
+
+let read_ft_call ?retries ly a = (Spec.call "j_read_ft" [ V.int a ], read_ft_prog ?retries ly a)
+
 (** Post-crash probes: read back every data address. *)
 let probe ly = List.init ly.n_data (fun a -> read_call ly a)
 
-let checker_config ly ?(max_crashes = 1) threads :
+let checker_config ly ?(max_crashes = 1) ?(fault_budget = 0) threads :
     (world, state) Perennial_core.Refinement.config =
   Perennial_core.Refinement.config ~spec:(spec ly) ~init_world:(init_world ly)
-    ~crash_world ~pp_world ~threads ~recovery:(recover ly) ~post:(probe ly) ~max_crashes ()
+    ~crash_world ~pp_world ~threads ~recovery:(recover ly) ~post:(probe ly) ~max_crashes
+    ~fault_budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Seeded bugs                                                          *)
@@ -290,4 +424,85 @@ module Buggy = struct
 
   (** Recovery that ignores the log entirely. *)
   let recover_nop : (world, V.t) P.t = P.return V.unit
+
+  (** Fault-handling bug #2 — a torn log write treated as committed: the
+      error from the slot multi-write is swallowed and the commit record is
+      written anyway, so the record can point at half-written slots.  A
+      crash between the record write and the apply phase makes recovery
+      replay the torn garbage — e.g. [Torn_write 3] on a two-entry
+      transaction persists the second slot's address block but not its
+      value block, and replay then zeroes that address.  Caught with fault
+      budget 1 and one crash. *)
+  let commit_ft_ignore_torn ~get_disk ~set_disk ly entries : ('w, V.t) P.t =
+    let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+    let dwm es = Disk.Single_disk.write_multi_f ~get_disk ~set_disk es in
+    if entries = [] then P.return V.unit
+    else
+      let slot_blocks =
+        List.concat
+          (List.mapi
+             (fun i (a, b) -> [ (slot_addr ly i, int_block a); (slot_val ly i, b) ])
+             entries)
+      in
+      let rec apply = function
+        | [] -> P.return ()
+        | (a, b) :: rest ->
+          let* () = dw a b in
+          apply rest
+      in
+      let* _r = dwm slot_blocks in
+      (* BUG: _r may be a torn-write error — committed regardless *)
+      let* () = dw (rec_addr ly) (int_block (List.length entries)) in
+      let* () = apply entries in
+      let* () = dw (rec_addr ly) (int_block 0) in
+      P.return V.unit
+
+  (** Fault-handling bug #3 — error swallowed after partial apply: the
+      post-commit apply loop drops a failed write on the floor and still
+      clears the commit record and reports success, leaving a committed
+      transaction half-applied with recovery disarmed.  Caught with fault
+      budget 1 and no crash: the very next read of the skipped address
+      sees the stale block. *)
+  let commit_ft_swallow_apply ~get_disk ~set_disk ly entries : ('w, V.t) P.t =
+    let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+    let dwf a b = Disk.Single_disk.write_f ~get_disk ~set_disk a b in
+    if entries = [] then P.return V.unit
+    else
+      let rec log i = function
+        | [] -> P.return ()
+        | (a, b) :: rest ->
+          let* () = dw (slot_addr ly i) (int_block a) in
+          let* () = dw (slot_val ly i) b in
+          log (i + 1) rest
+      in
+      let rec apply = function
+        | [] -> P.return ()
+        | (a, b) :: rest ->
+          let* _r = dwf a b in
+          (* BUG: _r may be a transient write error — entry skipped *)
+          apply rest
+      in
+      let* () = log 0 entries in
+      let* () = dw (rec_addr ly) (int_block (List.length entries)) in
+      let* () = apply entries in
+      let* () = dw (rec_addr ly) (int_block 0) in
+      P.return V.unit
+
+  let commit_txn_ft_ignore_torn ly entries : (world, V.t) P.t =
+    let* () = lock () in
+    let* r = commit_ft_ignore_torn ~get_disk ~set_disk ly entries in
+    let* () = unlock () in
+    P.return r
+
+  let commit_txn_ft_swallow_apply ly entries : (world, V.t) P.t =
+    let* () = lock () in
+    let* r = commit_ft_swallow_apply ~get_disk ~set_disk ly entries in
+    let* () = unlock () in
+    P.return r
+
+  let commit_ft_call_ignore_torn ly entries =
+    (Spec.call "j_commit_ft" [ value_of_entries entries ], commit_txn_ft_ignore_torn ly entries)
+
+  let commit_ft_call_swallow_apply ly entries =
+    (Spec.call "j_commit_ft" [ value_of_entries entries ], commit_txn_ft_swallow_apply ly entries)
 end

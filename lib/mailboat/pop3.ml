@@ -34,7 +34,11 @@ let parse_user name =
     int_of_string_opt (String.sub name 4 (String.length name - 4))
   else None
 
+let max_line = 255 (* RFC 2449's recommended command-line limit *)
+
 let input (s : session) (line : string) : string list =
+  if String.length line > max_line then [ "-ERR line too long" ]
+  else
   let line_t = String.trim line in
   match s.state with
   | Closed -> [ "-ERR closed" ]

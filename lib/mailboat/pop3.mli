@@ -12,7 +12,12 @@ val create : Server.t -> session
 
 val banner : string
 
+val max_line : int
+(** Longest accepted command line (RFC 2449's recommendation); longer lines
+    get a [-ERR] response. *)
+
 val input : session -> string -> string list
-(** Feed one command line; returns the response line(s). *)
+(** Feed one command line; returns the response line(s).  Never raises:
+    malformed or oversized input produces a [-ERR ...] response. *)
 
 val run_script : Server.t -> string list -> string list

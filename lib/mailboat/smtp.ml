@@ -14,9 +14,12 @@ type state =
   | In_data of int list * Buffer.t  (** reading message lines until "." *)
   | Closed
 
-type session = { server : Server.t; mutable state : state }
+type session = { server : Server.t; mutable state : state; max_data : int }
 
-let create server = { server; state = Greeting }
+let default_max_data = 65536
+let max_line = 998 (* RFC 5321 text-line limit, minus CRLF *)
+
+let create ?(max_data = default_max_data) server = { server; state = Greeting; max_data }
 
 let banner = "220 mailboat ESMTP ready"
 
@@ -56,6 +59,12 @@ let input (s : session) (line : string) : string list =
       s.state <- Ready;
       [ "250 OK: queued" ]
     end
+    else if Buffer.length buf + String.length line + 1 > s.max_data then begin
+      (* oversized message: drop it and resynchronize at the command level
+         rather than buffering without bound *)
+      s.state <- Ready;
+      [ Printf.sprintf "552 message too large (limit %d bytes)" s.max_data ]
+    end
     else begin
       (* dot-stuffing: a leading ".." encodes a literal "." *)
       let line =
@@ -67,6 +76,8 @@ let input (s : session) (line : string) : string list =
       Buffer.add_char buf '\n';
       []
     end
+  | Greeting | Ready | Has_sender | Has_rcpt _ when String.length line > max_line ->
+    [ "500 line too long" ]
   | (Greeting | Ready | Has_sender | Has_rcpt _) as st ->
     let line_t = String.trim line in
     if upper_prefix line_t "QUIT" then begin

@@ -9,7 +9,17 @@
 
 type session
 
-val create : Server.t -> session
+val create : ?max_data:int -> Server.t -> session
+(** [max_data] caps the DATA body size in bytes (default {!default_max_data});
+    a message exceeding it is dropped with a 552 response and the session
+    resynchronizes at the command level, instead of buffering without
+    bound. *)
+
+val default_max_data : int
+
+val max_line : int
+(** Longest accepted command line (RFC 5321's 1000-octet text line, minus
+    CRLF); longer command lines get a 500 response. *)
 
 val banner : string
 (** The 220 greeting a server sends on connect. *)

@@ -1,0 +1,59 @@
+(** Fault kinds, injections, and fault schedules.
+
+    A fault is a *partial* failure — strictly smaller than a whole-system
+    crash: one I/O step misbehaves while every thread keeps running.  Steps
+    declare which faults they can absorb (see {!Prog.atomic}'s [?faults]);
+    an oracle — the runner's [?fault_schedule] or the refinement checker's
+    exhaustive enumeration ([?faults] on [Refinement.check]) — decides which
+    declared fault actually fires. *)
+
+type kind =
+  | Read_error  (** transient: the read fails, disk state unchanged *)
+  | Write_error  (** transient: nothing is persisted *)
+  | Torn_write of int
+      (** a multi-block write persists only its first [k] blocks *)
+  | Disk_offline  (** a disk detaches mid-operation (two-disk only) *)
+  | Disk_online  (** a detached disk re-attaches (two-disk only) *)
+
+val kind_name : kind -> string
+val pp_kind : kind Fmt.t
+val compare_kind : kind -> kind -> int
+val equal_kind : kind -> kind -> bool
+
+type io_error = Eio of kind  (** carries the kind that caused it *)
+
+val io_error_name : io_error -> string
+val pp_io_error : io_error Fmt.t
+
+val eio : io_error -> Tslang.Value.t
+(** Distinguished error payload: fallible operations return either their
+    normal value or [eio e], and {!is_eio} tells them apart.  Rendered as
+    [Pair (Str "EIO", Str kind)] so counterexample traces show the cause. *)
+
+val is_eio : Tslang.Value.t -> bool
+
+val err_value : Tslang.Value.t
+(** Client-visible degraded result: what a retry/degradation path returns
+    once it gives up, and the error arm of graceful-degradation specs
+    ("the operation completes atomically OR returns this distinguished
+    error with durable state untouched").  Satisfies {!is_eio}; can never
+    collide with a block ([Str]) or unit result. *)
+
+val result_value : (Tslang.Value.t, io_error) result -> Tslang.Value.t
+
+type injection = { at : int; kind : kind }
+(** Fire fault [kind] at the [at]-th fault-eligible step of the execution
+    (0-based, counting only steps that declare at least one fault). *)
+
+type schedule = injection list
+
+val pp_injection : injection Fmt.t
+val pp_schedule : schedule Fmt.t
+val compare_injection : injection -> injection -> int
+val compare_schedule : schedule -> schedule -> int
+
+val enumerate : budget:int -> (int * kind list) list -> schedule list
+(** [enumerate ~budget sites] lists every schedule drawing at most [budget]
+    injections from [sites], a list of [(site_index, kinds_available)]
+    pairs.  Deterministic in the input and duplicate-free; the empty
+    schedule comes first. *)

@@ -10,6 +10,7 @@ type ('w, 'a) t =
       label : string;
       fp : 'w -> Footprint.t;
       action : 'w -> ('w, 'b) step_result;
+      faults : 'w -> (Fault.kind * 'w * 'b) list;
       k : 'b -> ('w, 'a) t;
     }
       -> ('w, 'a) t
@@ -20,15 +21,16 @@ let rec bind : type a b. ('w, a) t -> (a -> ('w, b) t) -> ('w, b) t =
  fun m f ->
   match m with
   | Done a -> f a
-  | Atomic { label; fp; action; k } ->
-    Atomic { label; fp; action; k = (fun v -> bind (k v) f) }
+  | Atomic { label; fp; action; faults; k } ->
+    Atomic { label; fp; action; faults; k = (fun v -> bind (k v) f) }
 
 let map f m = bind m (fun a -> Done (f a))
 
 let unknown_fp _w = Footprint.Unknown
+let no_faults _w = []
 
-let atomic ?(fp = unknown_fp) label action =
-  Atomic { label; fp; action; k = (fun v -> Done v) }
+let atomic ?(fp = unknown_fp) ?(faults = no_faults) label action =
+  Atomic { label; fp; action; faults; k = (fun v -> Done v) }
 
 let det ?fp label f = atomic ?fp label (fun w -> Steps [ f w ])
 let read ?fp label f = det ?fp label (fun w -> (w, f w))
@@ -45,6 +47,7 @@ let ub reason =
       label = "UB";
       fp = unknown_fp;
       action = (fun _ -> (Ub reason : ('w, unit) step_result));
+      faults = no_faults;
       k = (fun () -> assert false);
     }
 
@@ -62,3 +65,7 @@ let label_of = function Done _ -> None | Atomic { label; _ } -> Some label
 let footprint_of w = function
   | Done _ -> None
   | Atomic { fp; _ } -> Some (fp w)
+
+let fault_kinds_of w = function
+  | Done _ -> []
+  | Atomic { faults; _ } -> List.map (fun (kd, _, _) -> kd) (faults w)

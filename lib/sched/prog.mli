@@ -34,6 +34,14 @@ type ('w, 'a) t =
               partial-order reduction; defaults to {!Footprint.Unknown},
               which is always sound *)
       action : 'w -> ('w, 'b) step_result;
+      faults : 'w -> (Fault.kind * 'w * 'b) list;
+          (** fault points: the partial failures this step can absorb in the
+              given world, each with the faulted post-world and return value
+              (e.g. a transient read error leaving the world unchanged and
+              returning {!Fault.eio}).  Defaults to none.  An oracle — the
+              runner's [?fault_schedule] or the checker's fault-budget
+              enumeration — decides whether a declared fault fires instead
+              of a normal [action] outcome; left alone, faults never fire. *)
       k : 'b -> ('w, 'a) t;
     }
       -> ('w, 'a) t
@@ -42,7 +50,12 @@ val return : 'a -> ('w, 'a) t
 val bind : ('w, 'a) t -> ('a -> ('w, 'b) t) -> ('w, 'b) t
 val map : ('a -> 'b) -> ('w, 'a) t -> ('w, 'b) t
 
-val atomic : ?fp:('w -> Footprint.t) -> string -> ('w -> ('w, 'b) step_result) -> ('w, 'b) t
+val atomic :
+  ?fp:('w -> Footprint.t) ->
+  ?faults:('w -> (Fault.kind * 'w * 'b) list) ->
+  string ->
+  ('w -> ('w, 'b) step_result) ->
+  ('w, 'b) t
 (** One atomic step. *)
 
 val det : ?fp:('w -> Footprint.t) -> string -> ('w -> 'w * 'b) -> ('w, 'b) t
@@ -74,3 +87,7 @@ val label_of : ('w, 'a) t -> string option
 val footprint_of : 'w -> ('w, 'a) t -> Footprint.t option
 (** Footprint of the next step in world [w], if the program is not
     finished. *)
+
+val fault_kinds_of : 'w -> ('w, 'a) t -> Fault.kind list
+(** Fault kinds the next step declares in world [w]; [[]] if finished or
+    fault-free.  A step with a non-empty list is a fault *site*. *)

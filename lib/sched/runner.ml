@@ -13,6 +13,7 @@ type 'w outcome = {
   steps : int;
   per_thread_steps : int array;
   context_switches : int;
+  injected : (int * Fault.kind) list;
 }
 
 (* Observability: scheduler-level counters on the default registry. *)
@@ -22,6 +23,7 @@ module Mx = struct
   let runs = counter "perennial_sched_runs_total"
   let steps = counter "perennial_sched_steps_total"
   let switches = counter "perennial_sched_context_switches_total"
+  let injected = counter "perennial_sched_faults_injected_total"
 end
 
 exception Undefined_behaviour of string
@@ -31,7 +33,8 @@ type 'w thread_state =
   | Running of ('w, V.t) Prog.t
   | Finished of V.t
 
-let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
+let run ?(policy = Round_robin) ?(max_steps = 1_000_000) ?(fault_schedule = [])
+    world threads =
   let n = List.length threads in
   let states = Array.of_list (List.map (fun p -> Running p) threads) in
   let world = ref world in
@@ -41,6 +44,11 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
   let per_thread = Array.make n 0 in
   let switches = ref 0 in
   let last_ran = ref (-1) in
+  (* Fault-injection oracle: [site] counts committed fault-eligible steps;
+     an injection [{at; kind}] in [fault_schedule] fires at the [at]-th such
+     step if the step declares [kind]. *)
+  let site = ref 0 in
+  let injected = ref [] in
   Obs.Metrics.inc Mx.runs;
   let rng = match policy with Random seed -> Some (Random.State.make [| seed |]) | Round_robin | Fixed _ -> None
   in
@@ -56,19 +64,34 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
     | Running (Prog.Done v) ->
       states.(i) <- Finished v;
       None
-    | Running (Prog.Atomic { label; fp; action; k }) ->
+    | Running (Prog.Atomic { label; fp; action; faults; k }) ->
       (match action !world with
       | Prog.Ub reason ->
         raise (Undefined_behaviour (Printf.sprintf "thread %d at %s: %s" i label reason))
       | Prog.Steps [] -> None (* blocked *)
       | Prog.Steps outs ->
         let fp = fp !world in
+        let flts = faults !world in
+        (* [commit idx] applies normal outcome [idx]; [commit_fault kind]
+           applies the declared fault of that kind instead, returning false
+           if the step does not declare it (the injection is then skipped
+           and the normal outcome commits). *)
         let commit idx =
           let w', v = List.nth outs idx in
           world := w';
           states.(i) <- Running (k v)
         in
-        Some (label, fp, List.length outs, commit))
+        let commit_fault kind =
+          match
+            List.find_opt (fun (kd, _, _) -> Fault.equal_kind kd kind) flts
+          with
+          | None -> false
+          | Some (_, w', v) ->
+            world := w';
+            states.(i) <- Running (k v);
+            true
+        in
+        Some (label, fp, List.length outs, flts <> [], commit, commit_fault))
   in
   let unfinished () =
     let acc = ref [] in
@@ -114,11 +137,28 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
         let i = pick runnable in
         (match step_of i with
         | None -> ()
-        | Some (label, fp, n_outs, commit) ->
-          let idx =
-            match rng with Some st -> Random.State.int st n_outs | None -> 0
+        | Some (label, fp, n_outs, fault_eligible, commit, commit_fault) ->
+          let fault_fired =
+            if not fault_eligible then false
+            else begin
+              let here = !site in
+              incr site;
+              match
+                List.find_opt (fun (inj : Fault.injection) -> inj.at = here)
+                  fault_schedule
+              with
+              | Some inj when commit_fault inj.kind ->
+                injected := (here, inj.kind) :: !injected;
+                true
+              | Some _ | None -> false
+            end
           in
-          commit idx;
+          if not fault_fired then begin
+            let idx =
+              match rng with Some st -> Random.State.int st n_outs | None -> 0
+            in
+            commit idx
+          end;
           fps := fp :: !fps;
           trace := (i, label) :: !trace;
           incr steps;
@@ -132,12 +172,14 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) world threads =
   loop ();
   Obs.Metrics.inc ~by:!steps Mx.steps;
   Obs.Metrics.inc ~by:!switches Mx.switches;
+  Obs.Metrics.inc ~by:(List.length !injected) Mx.injected;
   let results =
     Array.map (function Finished v -> v | Running _ -> assert false) states
   in
   { world = !world; results; trace = List.rev !trace;
     footprints = List.rev !fps; steps = !steps;
-    per_thread_steps = per_thread; context_switches = !switches }
+    per_thread_steps = per_thread; context_switches = !switches;
+    injected = List.rev !injected }
 
 let run1 world prog =
   let out = run world [ prog ] in

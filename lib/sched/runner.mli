@@ -25,6 +25,8 @@ type 'w outcome = {
   per_thread_steps : int array;  (** steps committed by each thread *)
   context_switches : int;
       (** times the scheduler ran a different thread than the previous step *)
+  injected : (int * Fault.kind) list;
+      (** faults actually fired, as (site index, kind) in execution order *)
 }
 
 exception Undefined_behaviour of string
@@ -33,11 +35,16 @@ exception Deadlock of string
 val run :
   ?policy:policy ->
   ?max_steps:int ->
+  ?fault_schedule:Fault.schedule ->
   'w ->
   ('w, Tslang.Value.t) Prog.t list ->
   'w outcome
 (** Run threads to completion.  Nondeterministic actions take their first
     outcome under [Round_robin]/[Fixed] and a seeded choice under [Random].
+    [fault_schedule] is the injection oracle: committed steps that declare
+    fault points are numbered 0, 1, … in execution order, and an injection
+    [{at; kind}] makes the [at]-th such step take its declared fault of
+    that [kind] (injections naming an undeclared kind are skipped).
     Raises {!Undefined_behaviour} if any thread steps into UB, {!Deadlock}
     if unfinished threads are all blocked, and [Failure] past [max_steps]
     (default 1_000_000). *)

@@ -53,6 +53,27 @@ let spec size : state Spec.t =
             let* () = T.modify (IMap.add a (Block.of_value v)) in
             T.ret V.unit
           | None -> T.undefined)
+        (* Graceful-degradation arms for the fault-tolerant ops: the
+           operation either takes effect atomically, or returns the
+           distinguished {!Sched.Fault.err_value} with the logical disk
+           untouched.  Nothing in between is allowed. *)
+        | "rd_read_ft", [ V.Int a ] ->
+          let* mv = T.gets (IMap.find_opt a) in
+          (match mv with
+          | Some v ->
+            let* r = T.choose [ Block.to_value v; Sched.Fault.err_value ] in
+            T.ret r
+          | None -> T.undefined)
+        | "rd_write_ft", [ V.Int a; v ] ->
+          let* mv = T.gets (IMap.find_opt a) in
+          (match mv with
+          | Some _ ->
+            let* ok = T.choose [ true; false ] in
+            if ok then
+              let* () = T.modify (IMap.add a (Block.of_value v)) in
+              T.ret V.unit
+            else T.ret Sched.Fault.err_value
+          | None -> T.undefined)
         | _ -> invalid_arg "replicated-disk spec: unknown op");
     crash = T.ret () (* no data is lost on crash *);
   }
@@ -132,23 +153,134 @@ let recover_prog size : (world, V.t) P.t =
   loop 0
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerant operations: bounded retry, fail-over, degradation    *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = Sched.Fault
+module Fp = Sched.Footprint
+
+let disk_read_f id a = Disk.Two_disk.read_f ~get:get_disks ~set:set_disks id a
+let disk_write_f id a b = Disk.Two_disk.write_f ~get:get_disks ~set:set_disks id a b
+
+(* A retry iteration is marked by a pure no-op step whose label starts with
+   "retry" — the convention the checker's [retries_observed] stat counts.
+   The step only exists on paths where a transient error already fired, so
+   it costs nothing in the fault-free state space. *)
+let retry_step what : (world, unit) P.t =
+  P.read ~fp:(Fp.const Fp.pure) ("retry(" ^ what ^ ")") (fun _ -> ())
+
+(* Permanently decommission [id] IF the other disk is still alive (degraded
+   mode: the survivor carries the logical disk from here on); returns
+   whether it did.  Reads and writes the same durable status location the
+   two-disk ops do. *)
+let status_loc = Fp.Durable ("td-status", 0)
+
+let try_degrade id other : (world, bool) P.t =
+  P.det
+    ~fp:(Fp.const (Fp.rw ~reads:[ status_loc ] ~writes:[ status_loc ] ()))
+    (Fmt.str "degrade(%a)" Disk.Two_disk.pp_id id)
+    (fun w ->
+      let t = get_disks w in
+      match Disk.Two_disk.disk t other with
+      | Some _ -> (set_disks w (Disk.Two_disk.fail t id), true)
+      | None -> (w, false))
+
+(* func rd_read_ft(a): like rd_read, but over the fallible disk ops: a
+   transient error on a disk is retried up to [retries] times, then the
+   other disk is tried; when both sides are exhausted the distinguished
+   EIO value is returned (reads never change durable state, so degradation
+   is trivially clean). *)
+let read_ft_prog ?(retries = 1) a : (world, V.t) P.t =
+  let* () = lock a in
+  let finish v =
+    let* () = unlock a in
+    P.return v
+  in
+  let rec attempt id alt n =
+    let* r = disk_read_f id a in
+    if Fault.is_eio r then
+      if n > 0 then
+        let* () = retry_step (Fmt.str "read %a" Disk.Two_disk.pp_id id) in
+        attempt id alt (n - 1)
+      else next alt
+    else
+      match V.get_opt r with
+      | Some v -> finish v
+      | None -> next alt (* permanent failure: fail over *)
+  and next = function
+    | Some id2 -> attempt id2 None retries
+    | None -> finish Fault.err_value
+  in
+  attempt d1 (Some d2) retries
+
+(* func rd_write_ft(a, v): write d1 then d2 through the fallible ops, each
+   with bounded retry.  A disk that keeps erroring transiently while the
+   other is alive is permanently decommissioned (degraded mode) and the
+   write completes on the survivor; if the other disk is already dead the
+   operation gives up with EIO — in that case nothing was persisted (a
+   dead disk's write is a no-op and a transiently failed write persists
+   nothing), so durable state is untouched, as the spec's error arm
+   demands. *)
+let write_ft_prog ?(retries = 1) a v : (world, V.t) P.t =
+  let b = Block.of_value v in
+  let* () = lock a in
+  let finish r =
+    let* () = unlock a in
+    P.return r
+  in
+  let write_one id =
+    let rec attempt n =
+      let* r = disk_write_f id a b in
+      if Fault.is_eio r then
+        if n > 0 then
+          let* () = retry_step (Fmt.str "write %a" Disk.Two_disk.pp_id id) in
+          attempt (n - 1)
+        else P.return `Gave_up
+      else
+        match V.get_opt r with
+        | Some _ -> P.return `Persisted
+        | None -> P.return `Dead
+    in
+    attempt retries
+  in
+  let* r1 = write_one d1 in
+  let* proceed =
+    match r1 with
+    | `Persisted | `Dead -> P.return true
+    | `Gave_up -> try_degrade d1 d2
+  in
+  if not proceed then finish Fault.err_value
+  else
+    let* r2 = write_one d2 in
+    match r2 with
+    | `Persisted | `Dead -> finish V.unit
+    | `Gave_up ->
+      let* kicked = try_degrade d2 d1 in
+      if kicked then finish V.unit else finish Fault.err_value
+
+(* ------------------------------------------------------------------ *)
 (* Calls and checker configuration                                     *)
 (* ------------------------------------------------------------------ *)
 
 let read_call a = (Spec.call "rd_read" [ V.int a ], read_prog a)
 let write_call a v = (Spec.call "rd_write" [ V.int a; v ], write_prog a v)
 
+let read_ft_call ?retries a = (Spec.call "rd_read_ft" [ V.int a ], read_ft_prog ?retries a)
+
+let write_ft_call ?retries a v =
+  (Spec.call "rd_write_ft" [ V.int a; v ], write_ft_prog ?retries a v)
+
 (** Probe: read an address twice, so that a disk-1 failure between the two
     reads exposes any divergence between the disks. *)
 let probe size =
   List.concat_map (fun a -> [ read_call a; read_call a ]) (List.init size Fun.id)
 
-let checker_config ?(may_fail = true) ?(max_crashes = 1) ~size threads :
+let checker_config ?(may_fail = true) ?(max_crashes = 1) ?(fault_budget = 0) ~size threads :
     (world, state) Perennial_core.Refinement.config =
   Perennial_core.Refinement.config ~spec:(spec size)
     ~init_world:(init_world ~may_fail size)
     ~crash_world ~pp_world ~threads ~recovery:(recover_prog size)
-    ~post:(probe size) ~max_crashes ()
+    ~post:(probe size) ~max_crashes ~fault_budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Seeded bugs (experiment E7, §9.5)                                   *)
@@ -203,4 +335,31 @@ module Buggy = struct
 
   let write_call_early_unlock a v =
     (Spec.call "rd_write" [ V.int a; v ], write_prog_early_unlock a v)
+
+  (** Fault-handling bug #1 — "retry without re-read": on a transient read
+      error the code returns its (zero-filled) I/O buffer instead of
+      re-issuing the read, fabricating a zero block.  The spec's error arm
+      only permits the distinguished EIO value, so one injected
+      [Read_error] against an address holding non-zero data produces a
+      counterexample (fault budget 1, no crash needed). *)
+  let read_ft_no_retry a : (world, V.t) P.t =
+    let* () = lock a in
+    let* r = disk_read_f d1 a in
+    let* v =
+      if Fault.is_eio r then P.return (Block.to_value Block.zero)
+      else
+        match V.get_opt r with
+        | Some v -> P.return v
+        | None ->
+          let* r2 = disk_read_f d2 a in
+          if Fault.is_eio r2 then P.return Fault.err_value
+          else (
+            match V.get_opt r2 with
+            | Some v -> P.return v
+            | None -> P.return Fault.err_value)
+    in
+    let* () = unlock a in
+    P.return v
+
+  let read_ft_call_no_retry a = (Spec.call "rd_read_ft" [ V.int a ], read_ft_no_retry a)
 end

@@ -37,10 +37,25 @@ val write_prog : int -> V.t -> (world, V.t) P.t
 val recover_prog : int -> (world, V.t) P.t
 (** [recover_prog size] copies every in-bounds block from disk 1 to disk 2. *)
 
+(** {1 Fault-tolerant operations}
+
+    Built on the fallible disk ops ({!Disk.Two_disk.read_f}): a transient
+    error is retried up to [retries] times (default 1) before failing over
+    to the other disk; a disk that keeps erroring while its peer is alive
+    is permanently decommissioned (degraded mode).  When every avenue is
+    exhausted the op returns {!Sched.Fault.err_value} with durable state
+    observably untouched — the graceful-degradation contract checked by the
+    [rd_read_ft]/[rd_write_ft] spec arms. *)
+
+val read_ft_prog : ?retries:int -> int -> (world, V.t) P.t
+val write_ft_prog : ?retries:int -> int -> V.t -> (world, V.t) P.t
+
 (** {1 Checker plumbing} *)
 
 val read_call : int -> Spec.call * (world, V.t) P.t
 val write_call : int -> V.t -> Spec.call * (world, V.t) P.t
+val read_ft_call : ?retries:int -> int -> Spec.call * (world, V.t) P.t
+val write_ft_call : ?retries:int -> int -> V.t -> Spec.call * (world, V.t) P.t
 
 val probe : int -> (Spec.call * (world, V.t) P.t) list
 (** Read every address twice, so a disk-1 failure between the reads exposes
@@ -49,6 +64,7 @@ val probe : int -> (Spec.call * (world, V.t) P.t) list
 val checker_config :
   ?may_fail:bool ->
   ?max_crashes:int ->
+  ?fault_budget:int ->
   size:int ->
   (Spec.call * (world, V.t) P.t) list list ->
   (world, state) Perennial_core.Refinement.config
@@ -65,4 +81,12 @@ module Buggy : sig
   val write_call_unlocked : int -> V.t -> Spec.call * (world, V.t) P.t
   val write_prog_early_unlock : int -> V.t -> (world, V.t) P.t
   val write_call_early_unlock : int -> V.t -> Spec.call * (world, V.t) P.t
+
+  val read_ft_no_retry : int -> (world, V.t) P.t
+  (** Fault-handling bug #1 — "retry without re-read": a transient read
+      error is answered from the zero-filled I/O buffer instead of
+      re-issuing the read.  One injected [Read_error] against non-zero data
+      refutes it. *)
+
+  val read_ft_call_no_retry : int -> Spec.call * (world, V.t) P.t
 end

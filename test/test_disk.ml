@@ -187,7 +187,7 @@ let test_fixed_policy () =
 
 let test_step_budget () =
   let rec forever : (int, V.t) P.t =
-    P.Atomic { label = "spin"; fp = (fun _ -> Sched.Footprint.Unknown); action = (fun w -> P.Steps [ (w, ()) ]); k = (fun () -> forever) }
+    P.Atomic { label = "spin"; fp = (fun _ -> Sched.Footprint.Unknown); action = (fun w -> P.Steps [ (w, ()) ]); faults = (fun _ -> []); k = (fun () -> forever) }
   in
   match Sched.Runner.run ~max_steps:100 0 [ forever ] with
   | exception Failure msg ->

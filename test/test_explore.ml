@@ -257,7 +257,8 @@ let prop_same_address_write_dependent =
 (* Dummy step_infos over a unit world, to exercise Explore.dependent
    itself (not just Footprint.conflicts). *)
 let info ?(visible = false) tid fp =
-  { E.si_tid = tid; si_label = "step"; si_fp = fp; si_visible = visible; si_branches = [] }
+  { E.si_tid = tid; si_label = "step"; si_fp = fp; si_visible = visible; si_branches = [];
+    si_faults = []; si_fault_site = false }
 
 let prop_visible_always_dependent =
   QCheck.Test.make ~name:"visible steps are dependent on everything" ~count:200 arb_case

@@ -211,6 +211,70 @@ let test_pop3_lock_session_excludes_delete () =
   Alcotest.(check bool) "lock free after QUIT" true (Mutex.try_lock s.S.user_mutexes.(0));
   Mutex.unlock s.S.user_mutexes.(0)
 
+(* --- REPL/front-end hardening: malformed and oversized input must get an
+   error response, never an exception --- *)
+
+let test_kvs_repl_malformed () =
+  let module Repl = Journal.Kvs_repl in
+  let t = Repl.create () in
+  let err l =
+    match Repl.exec_line t l with
+    | [ r ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> ERR (got %S)" l r)
+        true
+        (String.length r >= 3 && String.sub r 0 3 = "ERR")
+    | rs -> Alcotest.failf "%S: expected one response, got %d" l (List.length rs)
+  in
+  List.iter err
+    [ "GET"; "GET abc"; "GET 99"; "GET -1"; "GET 999999999999999999999"; "PUT 0";
+      "PUT 0 x y"; "ASYNC 1"; "TXN"; "TXN nope"; "TXN 9=x"; "TXN 0=a 0=b"; "FLUSH now";
+      "CRASH please"; "RECOVER x"; "DUMP all"; "BOGUS" ];
+  Alcotest.(check (list string)) "blank line" [] (Repl.exec_line t "   ");
+  (* the session survives all of that *)
+  Alcotest.(check (list string)) "still works" [ "OK durable" ] (Repl.exec_line t "PUT 0 v");
+  Alcotest.(check (list string)) "value intact" [ "v" ] (Repl.exec_line t "GET 0")
+
+let test_kvs_repl_oversized () =
+  let module Repl = Journal.Kvs_repl in
+  let t = Repl.create () in
+  let long = "PUT 0 " ^ String.make Repl.max_line 'v' in
+  (match Repl.exec_line t long with
+  | [ r ] ->
+    Alcotest.(check bool) "line too long" true (Astring_contains.contains r "ERR line too long")
+  | _ -> Alcotest.fail "expected one response");
+  (* rejected before parsing: the store is untouched *)
+  Alcotest.(check (list string)) "key untouched" [ "0" ] (Repl.exec_line t "GET 0")
+
+let test_smtp_oversized_message () =
+  let s = new_server () in
+  let smtp = Mailboat.Smtp.create ~max_data:64 s in
+  List.iter
+    (fun l -> ignore (Mailboat.Smtp.input smtp l))
+    [ "HELO x"; "MAIL FROM:<a@b>"; "RCPT TO:<user1@c>"; "DATA" ];
+  (match Mailboat.Smtp.input smtp (String.make 100 'a') with
+  | [ r ] -> Alcotest.(check bool) "552" true (Astring_contains.contains r "552")
+  | _ -> Alcotest.fail "expected 552");
+  Alcotest.(check int) "nothing delivered" 0 (List.length (S.peek_mailbox s ~user:1));
+  (* the session resynchronized at the command level *)
+  match Mailboat.Smtp.input smtp "MAIL FROM:<a@b>" with
+  | [ r ] -> Alcotest.(check bool) "command level again" true (Astring_contains.contains r "250")
+  | _ -> Alcotest.fail "expected 250"
+
+let test_smtp_long_command_line () =
+  let s = new_server () in
+  let smtp = Mailboat.Smtp.create s in
+  match Mailboat.Smtp.input smtp (String.make (Mailboat.Smtp.max_line + 1) 'H') with
+  | [ r ] -> Alcotest.(check bool) "500" true (Astring_contains.contains r "500")
+  | _ -> Alcotest.fail "expected 500"
+
+let test_pop3_long_command_line () =
+  let s = new_server () in
+  let p = Mailboat.Pop3.create s in
+  match Mailboat.Pop3.input p ("USER " ^ String.make Mailboat.Pop3.max_line 'u') with
+  | [ r ] -> Alcotest.(check bool) "-ERR" true (Astring_contains.contains r "-ERR")
+  | _ -> Alcotest.fail "expected -ERR"
+
 (* --- workload --- *)
 
 let test_workload_reproducible () =
@@ -271,6 +335,11 @@ let suite =
     Alcotest.test_case "pop3: RSET" `Quick test_pop3_rset;
     Alcotest.test_case "pop3: bad auth" `Quick test_pop3_bad_auth;
     Alcotest.test_case "pop3: session holds the user lock" `Quick test_pop3_lock_session_excludes_delete;
+    Alcotest.test_case "kvs repl: malformed input" `Quick test_kvs_repl_malformed;
+    Alcotest.test_case "kvs repl: oversized input" `Quick test_kvs_repl_oversized;
+    Alcotest.test_case "smtp: oversized message (552)" `Quick test_smtp_oversized_message;
+    Alcotest.test_case "smtp: long command line (500)" `Quick test_smtp_long_command_line;
+    Alcotest.test_case "pop3: long command line" `Quick test_pop3_long_command_line;
     Alcotest.test_case "workload: reproducible" `Quick test_workload_reproducible;
     Alcotest.test_case "workload: 50/50 mix" `Quick test_workload_mix;
     Alcotest.test_case "workload: execution" `Quick test_workload_execution;
