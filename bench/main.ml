@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table2  -- one experiment
      (sections: table1 table2 table3 table4 fig11 patterns bugs scaling
-      durability kvs strategies faults micro)
+      durability kvs strategies faults fs micro)
 
    Flags:
      --quick        skip the slow sections (fig11, micro)
@@ -896,6 +896,128 @@ let faults () =
   Shape.check "faults" (growth_ok && List.for_all Fun.id held && List.for_all Fun.id caught)
 
 (* ------------------------------------------------------------------ *)
+(* Extension: inode file system on the journal + spool re-host          *)
+(* ------------------------------------------------------------------ *)
+
+let fs () =
+  section "Extension: inode file system on the journal (FSCQ/DaisyNFS rung)";
+  let module L = Perennial_fs.Layout in
+  let module Fs = Perennial_fs.Fs in
+  let module Sp = Perennial_fs.Spool in
+  Fmt.pr "  Bitmap allocator, inode table and directories over Txn_log@.";
+  Fmt.pr "  transactions, checked against the atomic Gfs.Fs spec; Mailboat's@.";
+  Fmt.pr "  spool re-hosted on it with rename as the atomic publish.  Lines@.";
+  Fmt.pr "  of code:@.@.";
+  List.iter
+    (fun (name, files) -> Fmt.pr "    %-40s %6d@." name (Loc.count_files files))
+    [
+      ("file system + spool (lib/fs)",
+       [ "lib/fs/layout.ml"; "lib/fs/bitmap.ml"; "lib/fs/inode.ml"; "lib/fs/dirent.ml";
+         "lib/fs/fs.ml"; "lib/fs/spool.ml" ]);
+      ("tests (test/test_fs.ml)", [ "test/test_fs.ml" ]);
+    ];
+  let p = Fs.params (L.v ~n_inodes:4 ~n_blocks:5 ()) in
+  let ft_cfg budget =
+    Fs.checker_config p ~dirs:[ "a" ]
+      ~files:[ ("a", "f", "x") ]
+      ~post:(Fs.probe p ~dirs:[ "a" ] ~files:[ ("a", "f"); ("a", "g") ])
+      ~max_crashes:1 ~fault_budget:budget
+      [ [ Fs.create_ft_call p "a" "g"; Fs.append_ft_call p "a" "f" "y" ] ]
+  in
+  Fmt.pr "@.  State-space growth with the fault budget (create_ft; append_ft,@.";
+  Fmt.pr "  1 crash):@.";
+  Fmt.pr "    %-8s %12s %8s %10s %8s@." "budget" "executions" "faults" "schedules" "retries";
+  let growth =
+    List.map
+      (fun budget ->
+        match R.check (ft_cfg budget) with
+        | R.Refinement_holds st ->
+          Fmt.pr "    %-8d %12d %8d %10d %8d@." budget st.R.executions st.R.faults_injected
+            st.R.fault_schedules st.R.retries_observed;
+          Some st
+        | R.Refinement_violated _ | R.Budget_exhausted _ ->
+          Fmt.pr "    %-8d UNEXPECTED verdict@." budget;
+          None)
+      [ 0; 1; 2 ]
+  in
+  let growth_ok =
+    match growth with
+    | [ Some s0; Some s1; Some s2 ] ->
+      s0.R.faults_injected = 0 && s1.R.faults_injected > 0
+      && s0.R.executions < s1.R.executions
+      && s1.R.executions < s2.R.executions
+      && s2.R.retries_observed > 0
+    | _ -> false
+  in
+  let p2 = Fs.params (L.v ~n_inodes:5 ~n_blocks:6 ()) in
+  let sp = Sp.params ~users:1 () in
+  Fmt.pr "@.  Exhaustive verification (interleavings x crash points):@.";
+  let held =
+    [
+      run_refinement "fs: create || append, 1 crash"
+        (Fs.checker_config p ~dirs:[ "a" ]
+           ~files:[ ("a", "f", "xy") ]
+           ~max_crashes:1
+           [ [ Fs.create_call p "a" "g" ]; [ Fs.append_call p "a" "f" "z" ] ]);
+      run_refinement "fs: rename || read, 1 crash"
+        (Fs.checker_config p2 ~dirs:[ "a"; "b" ]
+           ~files:[ ("a", "s", "xy"); ("b", "t", "uv") ]
+           ~max_crashes:1
+           [ [ Fs.rename_call p2 ~src:("a", "s") ~dst:("b", "t") ];
+             [ Fs.read_call p2 "b" "t" ] ]);
+      run_refinement "fs: append, 2 crashes (during recovery)"
+        (Fs.checker_config p ~dirs:[ "a" ]
+           ~files:[ ("a", "f", "x") ]
+           ~max_crashes:2
+           [ [ Fs.append_call p "a" "f" "y" ] ]);
+      run_refinement "spool-on-fs: deliver, 1 crash"
+        (Sp.checker_config sp ~users:1 ~max_crashes:1 [ [ Sp.deliver_call sp 0 "ab" ] ]);
+    ]
+  in
+  Fmt.pr "@.  Seeded crash-safety bugs (must be rejected):@.";
+  let expect_violation name cfg =
+    match R.check cfg with
+    | R.Refinement_violated (f, _) ->
+      Fmt.pr "    %-44s CAUGHT: %s@." name
+        (String.sub f.R.reason 0 (min 60 (String.length f.R.reason)));
+      true
+    | R.Refinement_holds _ ->
+      Fmt.pr "    %-44s MISSED@." name;
+      false
+    | R.Budget_exhausted _ ->
+      Fmt.pr "    %-44s BUDGET@." name;
+      false
+  in
+  let pb = Fs.params (L.v ~n_inodes:4 ~n_blocks:4 ()) in
+  let spd = Sp.params ~durability:`Deferred ~users:1 () in
+  let caught =
+    [
+      expect_violation "fs: allocator double-free across crash"
+        (Fs.checker_config pb ~dirs:[ "a" ]
+           ~files:[ ("a", "f", "xy") ]
+           ~post:
+             [ Fs.readdir_call pb "a"; Fs.create_call pb "a" "g";
+               Fs.append_call pb "a" "g" "zz"; Fs.read_call pb "a" "f";
+               Fs.read_call pb "a" "g" ]
+           ~max_crashes:1
+           [ [ Fs.Buggy.unlink_call_free_first pb "a" "f" ] ]);
+      expect_violation "fs: rename as two transactions"
+        (Fs.checker_config p2 ~dirs:[ "a"; "b" ]
+           ~files:[ ("a", "s", "xy"); ("b", "t", "uv") ]
+           ~max_crashes:1
+           [ [ Fs.Buggy.rename_call_two_txns p2 ~src:("a", "s") ~dst:("b", "t") ] ]);
+      expect_violation "spool: missing fsync before dir commit"
+        (Sp.checker_config spd ~users:1 ~max_crashes:1
+           [ [ Sp.deliver_nofsync_call spd 0 "ab" ] ]);
+    ]
+  in
+  Fmt.pr "@.  shape checks:@.";
+  Fmt.pr "    fault branches grow the state space monotonically: %b@." growth_ok;
+  Fmt.pr "    fs + spool refinement verified: %b@." (List.for_all Fun.id held);
+  Fmt.pr "    all seeded fs bugs caught: %b@." (List.for_all Fun.id caught);
+  Shape.check "fs" (growth_ok && List.for_all Fun.id held && List.for_all Fun.id caught)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -991,7 +1113,7 @@ let all =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("table4", table4);
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
     ("durability", durability); ("kvs", kvs); ("strategies", strategies);
-    ("faults", faults); ("micro", micro) ]
+    ("faults", faults); ("fs", fs); ("micro", micro) ]
 
 let slow_sections = [ "fig11"; "micro" ]
 

@@ -2,7 +2,7 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|kvs|faults|strategies|all]
+   Usage: perennial_check [outlines|refinement|kvs|fs|faults|strategies|all]
                           [--strategy naive|dpor|dpor+sleep]
                           [--faults N] [--max-seconds S]
                           [--trace FILE] [--metrics]
@@ -141,6 +141,93 @@ let run_kvs ~strategy () =
        (rcheck ~strategy
           (K.checker_config p ~max_crashes:1
              [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ])))
+
+(* The inode file system on the journal stack, checked against the atomic
+   Gfs.Fs spec, plus Mailboat's spool re-hosted on it — and the seeded
+   crash-safety bugs, each of which must produce a counterexample. *)
+let run_fs ~strategy ~faults () =
+  Printf.printf "Inode file system on the journal [strategy=%s faults=%d]:\n"
+    (E.strategy_name strategy) faults;
+  let module L = Perennial_fs.Layout in
+  let module Fs = Perennial_fs.Fs in
+  let module Sp = Perennial_fs.Spool in
+  let bug_result name = function
+    | R.Refinement_violated (f, stats) ->
+      Ok (Fmt.str "caught: %s (%a)" f.R.reason R.pp_stats stats)
+    | R.Refinement_holds stats ->
+      Error (Fmt.str "seeded bug %s NOT caught (%a)" name R.pp_stats stats)
+    | R.Budget_exhausted stats -> Error (Fmt.str "budget exhausted (%a)" R.pp_stats stats)
+  in
+  let p = Fs.params (L.v ~n_inodes:4 ~n_blocks:5 ()) in
+  report "fs: create || append + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (Fs.checker_config p ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "xy") ]
+             ~max_crashes:1
+             [ [ Fs.create_call p "a" "g" ]; [ Fs.append_call p "a" "f" "z" ] ])));
+  let p2 = Fs.params (L.v ~n_inodes:5 ~n_blocks:6 ()) in
+  report "fs: rename (replacing) || read + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (Fs.checker_config p2 ~dirs:[ "a"; "b" ]
+             ~files:[ ("a", "s", "xy"); ("b", "t", "uv") ]
+             ~max_crashes:1
+             [ [ Fs.rename_call p2 ~src:("a", "s") ~dst:("b", "t") ];
+               [ Fs.read_call p2 "b" "t" ] ])));
+  let p3 = Fs.params (L.v ~n_inodes:3 ~n_blocks:4 ()) in
+  report "fs: append + crash during recovery"
+    (refinement_result
+       (rcheck ~strategy
+          (Fs.checker_config p3 ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "x") ]
+             ~max_crashes:2
+             [ [ Fs.append_call p3 "a" "f" "y" ] ])));
+  let pd = Fs.params ~durability:`Deferred (L.v ~n_inodes:3 ~n_blocks:4 ()) in
+  report "fs: deferred append/fsync + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (Fs.checker_config pd ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "") ]
+             ~max_crashes:1
+             [ [ Fs.append_call pd "a" "f" "zz"; Fs.fsync_call pd "a" "f" ] ])));
+  report "fs: ft create/append + crash + faults"
+    (refinement_result
+       (rcheck ~strategy ~faults
+          (Fs.checker_config p ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "x") ]
+             ~post:(Fs.probe p ~dirs:[ "a" ] ~files:[ ("a", "f"); ("a", "g") ])
+             ~max_crashes:1
+             [ [ Fs.create_ft_call p "a" "g"; Fs.append_ft_call p "a" "f" "y" ] ])));
+  let sp = Sp.params ~users:1 () in
+  report "spool-on-fs: deliver + crash + recovery"
+    (refinement_result
+       (rcheck ~strategy (Sp.checker_config sp ~users:1 ~max_crashes:1 [ [ Sp.deliver_call sp 0 "ab" ] ])));
+  let pb = Fs.params (L.v ~n_inodes:4 ~n_blocks:4 ()) in
+  let write_probes =
+    [ Fs.readdir_call pb "a"; Fs.create_call pb "a" "g"; Fs.append_call pb "a" "g" "zz";
+      Fs.read_call pb "a" "f"; Fs.read_call pb "a" "g" ]
+  in
+  report "seeded: fs allocator double-free across crash"
+    (bug_result "fs allocator double-free"
+       (rcheck ~strategy
+          (Fs.checker_config pb ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "xy") ]
+             ~post:write_probes ~max_crashes:1
+             [ [ Fs.Buggy.unlink_call_free_first pb "a" "f" ] ])));
+  report "seeded: fs rename as two transactions"
+    (bug_result "fs two-txn rename"
+       (rcheck ~strategy
+          (Fs.checker_config p2 ~dirs:[ "a"; "b" ]
+             ~files:[ ("a", "s", "xy"); ("b", "t", "uv") ]
+             ~max_crashes:1
+             [ [ Fs.Buggy.rename_call_two_txns p2 ~src:("a", "s") ~dst:("b", "t") ] ])));
+  let spd = Sp.params ~durability:`Deferred ~users:1 () in
+  report "seeded: spool missing fsync before directory commit"
+    (bug_result "spool missing fsync"
+       (rcheck ~strategy
+          (Sp.checker_config spd ~users:1 ~max_crashes:1
+             [ [ Sp.deliver_nofsync_call spd 0 "ab" ] ])))
 
 (* The fault-injection selection: the retry/degradation paths must HOLD
    under an exhaustive fault x crash x interleaving check, and the three
@@ -333,10 +420,10 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let what = !what in
   (match what with
-  | "outlines" | "refinement" | "kvs" | "faults" | "strategies" | "all" -> ()
+  | "outlines" | "refinement" | "kvs" | "fs" | "faults" | "strategies" | "all" -> ()
   | w ->
     Printf.eprintf
-      "perennial_check: unknown selection %s (want outlines|refinement|kvs|faults|strategies|all)\n"
+      "perennial_check: unknown selection %s (want outlines|refinement|kvs|fs|faults|strategies|all)\n"
       w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
@@ -344,6 +431,7 @@ let () =
   if what = "outlines" || what = "all" then run_outlines ();
   if what = "refinement" || what = "all" then run_refinement ~strategy ();
   if what = "kvs" || what = "all" then run_kvs ~strategy ();
+  if what = "fs" || what = "all" then run_fs ~strategy ~faults:!faults ();
   if what = "faults" || what = "all" then run_faults ~strategy ~faults:!faults ();
   if what = "strategies" || what = "all" then run_strategies ();
   Obs.Trace.close ();

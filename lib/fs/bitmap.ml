@@ -1,0 +1,52 @@
+(* A '0'/'1' character per data block; the whole map fits one disk block
+   on the tiny instances the checker explores. *)
+
+type t = string
+
+let create n = String.make n '0'
+let size = String.length
+let in_bounds t i = i >= 0 && i < String.length t
+let mem t i = in_bounds t i && t.[i] = '1'
+
+let put t i c =
+  let b = Bytes.of_string t in
+  Bytes.set b i c;
+  Bytes.to_string b
+
+let set t i = if in_bounds t i then put t i '1' else t
+let clear t i = if in_bounds t i then put t i '0' else t
+let free_count t = String.fold_left (fun n c -> if c = '0' then n + 1 else n) 0 t
+
+let used t =
+  List.filter (mem t) (List.init (String.length t) Fun.id)
+
+let alloc t =
+  let rec find i =
+    if i >= String.length t then None
+    else if t.[i] = '0' then Some (put t i '1', i)
+    else find (i + 1)
+  in
+  find 0
+
+let alloc_n t n =
+  let rec go t acc n =
+    if n = 0 then Some (t, List.rev acc)
+    else
+      match alloc t with
+      | None -> None
+      | Some (t, i) -> go t (i :: acc) (n - 1)
+  in
+  go t [] n
+
+let clear_all t is = List.fold_left clear t is
+let equal = String.equal
+let to_block t = Disk.Block.of_string t
+
+let valid n s =
+  String.length s = n && String.for_all (fun c -> c = '0' || c = '1') s
+
+let of_block ~n b =
+  let s = Disk.Block.to_string b in
+  if valid n s then s else create n
+
+let pp ppf t = Fmt.string ppf t

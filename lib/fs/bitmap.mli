@@ -1,0 +1,40 @@
+(** The data-block allocation bitmap: one ['0'] (free) / ['1'] (used)
+    character per block, marshalled to and from the single disk block at
+    {!Layout.bitmap_addr}.
+
+    Allocation is first-fit and pure, so equal file-system histories
+    produce byte-identical disks — which is what lets the checker's
+    state-dedup collapse equivalent branches. *)
+
+type t
+
+val create : int -> t
+(** All [n] blocks free. *)
+
+val size : t -> int
+val in_bounds : t -> int -> bool
+
+val mem : t -> int -> bool
+(** Is block [i] allocated?  Out of bounds is simply [false]. *)
+
+val set : t -> int -> t
+val clear : t -> int -> t
+val clear_all : t -> int list -> t
+
+val alloc : t -> (t * int) option
+(** First-fit: lowest free index, or [None] when full. *)
+
+val alloc_n : t -> int -> (t * int list) option
+(** [n] fresh blocks, in ascending order; [None] if fewer are free. *)
+
+val used : t -> int list
+val free_count : t -> int
+val equal : t -> t -> bool
+
+val to_block : t -> Disk.Block.t
+
+val of_block : n:int -> Disk.Block.t -> t
+(** Inverse of {!to_block}; any non-bitmap content — in particular the
+    [Block.zero] of a freshly formatted disk — reads as all-free. *)
+
+val pp : t Fmt.t

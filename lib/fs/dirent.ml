@@ -1,0 +1,34 @@
+module Block = Disk.Block
+
+type entry = string * int
+
+let reserved c = c = ':' || c = ';' || c = '|' || c = '/' || c = ','
+
+let valid_name s = s <> "" && String.for_all (fun c -> not (reserved c)) s
+
+let to_block = function
+  | [] -> Block.zero
+  | entries ->
+    Block.of_string
+      (String.concat ";"
+         (List.map (fun (n, i) -> n ^ ":" ^ string_of_int i) entries))
+
+let of_block b =
+  if Block.equal b Block.zero then []
+  else
+    List.filter_map
+      (fun piece ->
+        match String.split_on_char ':' piece with
+        | [ name; ino ] when valid_name name -> (
+          match int_of_string_opt ino with
+          | Some i when i >= 0 -> Some (name, i)
+          | _ -> None)
+        | _ -> None)
+      (String.split_on_char ';' (Block.to_string b))
+
+let sort entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let pp ppf entries =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.semi (fun ppf (n, i) -> Fmt.pf ppf "%s:%d" n i))
+    entries

@@ -1,0 +1,24 @@
+(** Directory entries — (name, inode) pairs — packed into directory-file
+    blocks, at most {!Layout.t.dir_entries} per block.
+
+    Directories are rewritten whole on every change, so their entries stay
+    sorted and densely packed: equal namespaces marshal to byte-identical
+    blocks, and {!of_block} ∘ {!to_block} is the identity on sorted valid
+    groups. *)
+
+type entry = string * int
+
+val valid_name : string -> bool
+(** Nonempty and free of the marshalling metacharacters
+    [':' ';' '|' '/' ',']; the file system (and its spec) reject other
+    names uniformly. *)
+
+val to_block : entry list -> Disk.Block.t
+(** ["a:3;b:7"]; the empty group marshals to [Block.zero]. *)
+
+val of_block : Disk.Block.t -> entry list
+(** Total: unparseable pieces are dropped (the file system only ever reads
+    blocks it wrote). *)
+
+val sort : entry list -> entry list
+val pp : entry list Fmt.t

@@ -1,0 +1,42 @@
+module Block = Disk.Block
+
+type kind = File | Dir
+
+type t = { kind : kind; len : int; ptrs : int list }
+
+let file = { kind = File; len = 0; ptrs = [] }
+let dir = { kind = Dir; len = 0; ptrs = [] }
+let v ~kind ~len ~ptrs = { kind; len; ptrs }
+
+let equal a b = a.kind = b.kind && a.len = b.len && a.ptrs = b.ptrs
+
+let kind_char = function File -> 'F' | Dir -> 'D'
+
+let to_block { kind; len; ptrs } =
+  Block.of_string
+    (Printf.sprintf "%c|%d|%s" (kind_char kind) len
+       (String.concat "," (List.map string_of_int ptrs)))
+
+let free = Block.zero
+let is_free b = Block.equal b Block.zero
+
+let of_block b =
+  match String.split_on_char '|' (Block.to_string b) with
+  | [ k; len; ptrs ] ->
+    let kind = match k with "F" -> Some File | "D" -> Some Dir | _ -> None in
+    let len = int_of_string_opt len in
+    let ptrs =
+      if ptrs = "" then Some []
+      else
+        let ps = List.map int_of_string_opt (String.split_on_char ',' ptrs) in
+        if List.for_all Option.is_some ps then Some (List.filter_map Fun.id ps)
+        else None
+    in
+    (match kind, len, ptrs with
+    | Some kind, Some len, Some ptrs when len >= 0 -> Some { kind; len; ptrs }
+    | _ -> None)
+  | _ -> None
+
+let pp ppf i =
+  Fmt.pf ppf "%c(len=%d,ptrs=[%a])" (kind_char i.kind) i.len
+    (Fmt.list ~sep:Fmt.comma Fmt.int) i.ptrs

@@ -1,0 +1,33 @@
+(** Fixed-size inodes, one per block of the inode table: a kind, a byte
+    length, and direct block pointers — the dafny-jrnl shape, with the
+    marshalled form kept printable for readable counterexample traces.
+
+    For a [File], [len] counts durable bytes and [ptrs] lists the data
+    blocks carrying them in order.  For a [Dir], [len] counts directory
+    entries and [ptrs] lists the blocks of packed {!Dirent} groups.  A
+    free inode-table slot holds [Block.zero]. *)
+
+type kind = File | Dir
+
+type t = { kind : kind; len : int; ptrs : int list }
+
+val file : t
+(** A fresh empty file: [len = 0], no blocks. *)
+
+val dir : t
+(** A fresh empty directory. *)
+
+val v : kind:kind -> len:int -> ptrs:int list -> t
+val equal : t -> t -> bool
+
+val to_block : t -> Disk.Block.t
+(** ["F|3|5,6"]: kind, length, comma-separated pointers. *)
+
+val of_block : Disk.Block.t -> t option
+(** [None] on a free slot or unparseable content. *)
+
+val free : Disk.Block.t
+(** The free-slot marker ([Block.zero]). *)
+
+val is_free : Disk.Block.t -> bool
+val pp : t Fmt.t

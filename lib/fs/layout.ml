@@ -1,0 +1,29 @@
+(* See layout.mli for the disk geometry this module fixes. *)
+
+type t = {
+  n_inodes : int;
+  n_blocks : int;
+  block_bytes : int;
+  dir_entries : int;
+  inode_ptrs : int;
+}
+
+let v ?(block_bytes = 2) ?(dir_entries = 2) ?(inode_ptrs = 3) ~n_inodes ~n_blocks () =
+  if n_inodes < 1 || n_blocks < 1 || block_bytes < 1 || dir_entries < 1 || inode_ptrs < 1
+  then invalid_arg "Layout.v";
+  { n_inodes; n_blocks; block_bytes; dir_entries; inode_ptrs }
+
+let root_ino = 0
+let bitmap_addr _t = 0
+let inode_addr _t i = 1 + i
+let data_addr t b = 1 + t.n_inodes + b
+let n_data t = 1 + t.n_inodes + t.n_blocks
+
+(* Transactions are deduplicated per address before commit, so a single
+   operation can never journal more than one entry per data-region block. *)
+let max_slots t = n_data t
+
+let journal t = Journal.Txn_log.layout ~n_data:(n_data t) ~max_slots:(max_slots t)
+let disk_size t = Journal.Txn_log.disk_size (journal t)
+let max_file_bytes t = t.inode_ptrs * t.block_bytes
+let max_dir_entries t = t.inode_ptrs * t.dir_entries

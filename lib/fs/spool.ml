@@ -1,0 +1,150 @@
+(** Mailboat's spool re-hosted on the inode file system — see spool.mli. *)
+
+module V = Tslang.Value
+module Spec = Tslang.Spec
+module P = Sched.Prog
+module Fp = Sched.Footprint
+module Core = Mailboat.Core
+
+let user_lock u = 1 + u
+
+let params ?(durability = `Sync) ?(users = 1) ?(msg_blocks = 2) () =
+  let n_inodes = 2 + users + 2 in
+  let n_blocks = 4 + users + (2 * msg_blocks) in
+  Fs.params ~durability (Layout.v ~n_inodes ~n_blocks ())
+
+let init_world p ~users = Fs.init_world p ~dirs:(Core.dirs ~users) ~files:[]
+
+open P.Syntax
+
+(** Model of [machine.RandomUint64], as in {!Mailboat.Core}: a
+    nondeterministic draw without replacement per round. *)
+let random_id candidates : ('w, V.t) P.t =
+  P.atomic
+    ~fp:(fun _ -> Fp.pure)
+    "random_id"
+    (fun w -> P.Steps (List.map (fun id -> (w, V.str id)) candidates))
+
+let chunk_size = Core.chunk_size
+
+let rec write_chunks p name msg : (Fs.world, unit) P.t =
+  if String.length msg = 0 then P.return ()
+  else
+    let n = min chunk_size (String.length msg) in
+    let* r = Fs.append_prog p Core.spool name (String.sub msg 0 n) in
+    if not (V.get_bool r) then P.ub "spool: append to missing temporary"
+    else write_chunks p name (String.sub msg n (String.length msg - n))
+
+(** Deliver: create [spool/tmp-id], write the message in chunks, optionally
+    fsync it, then move it into the mailbox with the no-replace rename —
+    one atomic commit point that also unspools (no separate delete, unlike
+    the {!Gfs}-backed original whose link/unlink are two steps).  Both
+    random-ID draws retry in rounds over the finite universe, exactly like
+    {!Mailboat.Core.deliver_prog}. *)
+let deliver_gen ~fsync p u msg : (Fs.world, V.t) P.t =
+  let rec create_round candidates rounds_left =
+    match candidates with
+    | [] ->
+      if rounds_left > 0 then create_round Core.id_universe (rounds_left - 1)
+      else P.ub "spool: message-ID space exhausted"
+    | _ ->
+      let* id = random_id candidates in
+      let id = V.get_str id in
+      let* ok = Fs.create_prog p Core.spool ("tmp-" ^ id) in
+      if V.get_bool ok then P.return id
+      else create_round (List.filter (fun c -> c <> id) candidates) rounds_left
+  in
+  let* tmp_id = create_round Core.id_universe 2 in
+  let tmp = "tmp-" ^ tmp_id in
+  let* () = write_chunks p tmp msg in
+  let* () =
+    if not fsync then P.return ()
+    else
+      let* r = Fs.fsync_prog p Core.spool tmp in
+      if V.get_bool r then P.return () else P.ub "spool: fsync of missing temporary"
+  in
+  let rec link_round candidates rounds_left =
+    match candidates with
+    | [] ->
+      if rounds_left > 0 then link_round Core.id_universe (rounds_left - 1)
+      else P.ub "spool: mailbox ID space exhausted"
+    | _ ->
+      let* id = random_id candidates in
+      let id = V.get_str id in
+      let* ok = Fs.rename_nr_prog p ~src:(Core.spool, tmp) ~dst:(Core.user_dir u, id) in
+      if V.get_bool ok then P.return ()
+      else link_round (List.filter (fun c -> c <> id) candidates) rounds_left
+  in
+  let* () = link_round Core.id_universe 2 in
+  P.return V.unit
+
+let deliver_prog p u msg = deliver_gen ~fsync:true p u msg
+
+(** The seeded "missing fsync before the directory commit" bug: under
+    [`Deferred] durability the message bytes are still volatile when the
+    rename publishes the mailbox name, so a crash right after the commit
+    leaves a truncated (typically empty) message that the Mailboat spec —
+    whose delivered mail survives crashes — cannot explain.  Harmless
+    under [`Sync], exactly like {!Mailboat.Core.deliver_prog} vs
+    {!Mailboat.Core.deliver_fsync_prog}. *)
+let deliver_nofsync_prog p u msg = deliver_gen ~fsync:false p u msg
+
+(** Pickup: under the user lock, list the mailbox and read every message. *)
+let pickup_prog p u : (Fs.world, V.t) P.t =
+  let* () = Disk.Locks.acquire ~get:Fs.get_locks ~set:Fs.set_locks (user_lock u) in
+  let* r = Fs.readdir_prog p (Core.user_dir u) in
+  let names, ok = V.get_pair r in
+  if not (V.get_bool ok) then P.ub "spool: mailbox directory missing"
+  else
+    let rec read_each acc = function
+      | [] -> P.return (V.list (List.rev acc))
+      | name :: rest ->
+        let name = V.get_str name in
+        let* r = Fs.read_prog p (Core.user_dir u) name in
+        let contents, ok = V.get_pair r in
+        if not (V.get_bool ok) then P.ub ("spool: mailbox entry vanished: " ^ name)
+        else read_each (V.pair (V.str name) contents :: acc) rest
+    in
+    read_each [] (V.get_list names)
+
+(** Delete: requires the user lock (taken by pickup). *)
+let delete_prog p u id : (Fs.world, V.t) P.t =
+  let* ok = Fs.unlink_prog p (Core.user_dir u) id in
+  if V.get_bool ok then P.return V.unit
+  else P.ub ("spool: delete of unknown message " ^ id)
+
+let unlock_prog u : (Fs.world, V.t) P.t =
+  let* () = Disk.Locks.release ~get:Fs.get_locks ~set:Fs.set_locks (user_lock u) in
+  P.return V.unit
+
+(** Recover: replay the journal (completing any committed file-system
+    transaction), then unspool leftover temporaries. *)
+let recover_prog p : (Fs.world, V.t) P.t =
+  let* _ = Fs.recover p in
+  let* r = Fs.readdir_prog p Core.spool in
+  let names, _ok = V.get_pair r in
+  let rec del = function
+    | [] -> P.return V.unit
+    | name :: rest ->
+      let* _ = Fs.unlink_prog p Core.spool (V.get_str name) in
+      del rest
+  in
+  del (V.get_list names)
+
+let deliver_call p u msg = (Spec.call "deliver" [ V.int u; V.str msg ], deliver_prog p u msg)
+
+let deliver_nofsync_call p u msg =
+  (Spec.call "deliver" [ V.int u; V.str msg ], deliver_nofsync_prog p u msg)
+
+let pickup_call p u = (Spec.call "pickup" [ V.int u ], pickup_prog p u)
+let delete_call p u id = (Spec.call "delete" [ V.int u; V.str id ], delete_prog p u id)
+let unlock_call u = (Spec.call "unlock" [ V.int u ], unlock_prog u)
+let session_calls p u = [ pickup_call p u; unlock_call u ]
+
+let checker_config p ?(users = 1) ?(max_crashes = 1) ?(fault_budget = 0)
+    ?(step_budget = 20_000_000) threads :
+    (Fs.world, Core.state) Perennial_core.Refinement.config =
+  Perennial_core.Refinement.config ~spec:(Core.spec ~users) ~init_world:(init_world p ~users)
+    ~crash_world:Fs.crash_world ~pp_world:Fs.pp_world ~threads ~recovery:(recover_prog p)
+    ~post:(List.concat_map (session_calls p) (List.init users Fun.id))
+    ~max_crashes ~fault_budget ~step_budget ()

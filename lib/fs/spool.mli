@@ -1,0 +1,90 @@
+(** Mailboat's mail spool re-hosted on the inode file system {!Fs} — the
+    paper's flagship application running on a {e real} (small) file
+    system instead of the abstract {!Gfs.Fs} world.
+
+    The protocol is the Maildir idiom, unchanged from {!Mailboat.Core}:
+    deliver writes [spool/tmp-<id>] in chunks and publishes it into
+    [user<u>/] — but where the Gfs-backed original needs a link then a
+    separate spool unlink (two steps, recovery cleans the overlap), here
+    the publish is {!Fs.rename_nr_prog}: ONE journal transaction that
+    atomically installs the mailbox name and removes the spool entry.
+    Pickup and delete run under a per-user lock ({!user_lock}, ids [1+u]
+    so they never collide with {!Fs.fs_lock}).  Recovery replays the
+    journal, then unspools leftover temporaries.
+
+    Checked against the unchanged {!Mailboat.Core.spec} — the abstract
+    mailbox map with crash-durable delivered mail — so the whole stack
+    spool → fs → journal → disk refines one atomic spec. *)
+
+val user_lock : int -> int
+
+val params : ?durability:Gfs.Fs.durability -> ?users:int -> ?msg_blocks:int -> unit -> Fs.params
+(** A layout sized so the checker never hits resource exhaustion:
+    [users] mailboxes (default 1) and headroom for [msg_blocks] (default
+    2) data blocks per in-flight message. *)
+
+val init_world : Fs.params -> users:int -> Fs.world
+(** Fresh file system with the spool and per-user mailbox directories. *)
+
+val chunk_size : int
+(** Bytes per append while spooling — {!Mailboat.Core.chunk_size}. *)
+
+(** {1 Programs} *)
+
+val deliver_prog : Fs.params -> int -> string -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+(** Create [spool/tmp-id], write the message in chunks, [fsync] it, then
+    rename (no-replace) into the mailbox.  Random-ID draws retry in
+    rounds over the finite universe, exactly like
+    {!Mailboat.Core.deliver_prog}. *)
+
+val deliver_nofsync_prog : Fs.params -> int -> string -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+(** The seeded "missing fsync before the directory commit" bug: under
+    [`Deferred] durability the message bytes are still volatile when the
+    rename publishes the mailbox name, so a crash right after the commit
+    leaves a truncated (typically empty) message that the Mailboat spec —
+    whose delivered mail survives crashes — cannot explain.  Harmless
+    under [`Sync]. *)
+
+val pickup_prog : Fs.params -> int -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+(** Under the user lock (NOT released — delete may follow): list the
+    mailbox and read every message; returns a list of (id, contents)
+    pairs. *)
+
+val delete_prog : Fs.params -> int -> string -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+(** Unlink one picked-up message; caller holds the user lock. *)
+
+val unlock_prog : int -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val recover_prog : Fs.params -> (Fs.world, Tslang.Value.t) Sched.Prog.t
+(** Replay the journal (completing any committed file-system
+    transaction), then unspool leftover temporaries. *)
+
+(** {1 Calls and checker configuration} *)
+
+val deliver_call :
+  Fs.params -> int -> string -> Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val deliver_nofsync_call :
+  Fs.params -> int -> string -> Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val pickup_call : Fs.params -> int -> Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val delete_call :
+  Fs.params -> int -> string -> Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val unlock_call : int -> Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t
+
+val session_calls :
+  Fs.params -> int -> (Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t) list
+(** Pickup then unlock — the post-crash probe for one user. *)
+
+val checker_config :
+  Fs.params ->
+  ?users:int ->
+  ?max_crashes:int ->
+  ?fault_budget:int ->
+  ?step_budget:int ->
+  (Tslang.Spec.call * (Fs.world, Tslang.Value.t) Sched.Prog.t) list list ->
+  (Fs.world, Mailboat.Core.state) Perennial_core.Refinement.config
+(** Refinement of the fs-backed spool against the unchanged
+    {!Mailboat.Core.spec}. *)

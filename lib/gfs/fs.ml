@@ -61,6 +61,16 @@ let init ?(durability = `Sync) dirs =
 
 let has_dir fs dir = SMap.mem dir fs.dirs
 
+(** Directory names, sorted — the observable content of the root. *)
+let dir_names fs = List.map fst (SMap.bindings fs.dirs)
+
+(** [mkdir fs dir]: add an empty directory; [None] if it exists.  An
+    extension over the paper's fixed layout, needed once the file system is
+    an implementation target ({!Perennial_fs}) rather than an axiom. *)
+let mkdir fs dir =
+  if SMap.mem dir fs.dirs then None
+  else Some { fs with dirs = SMap.add dir SMap.empty fs.dirs }
+
 (** Crash: directories persist and descriptors are lost; file contents
     survive up to their synced prefix — everything in [`Sync] mode, only
     what [fsync] reached in [`Deferred] mode. *)
@@ -247,6 +257,56 @@ let delete fs dir name =
           nlink = IMap.remove ino fs.nlink;
         }
     else Some { fs with nlink = IMap.add ino (links - 1) fs.nlink }
+
+(** [rename fs ~src ~dst]: atomically move the entry at [src] to [dst],
+    replacing (and freeing, on last link) any displaced target — POSIX
+    rename.  [None] if [src] does not exist; a same-path rename succeeds
+    without effect. *)
+let rename fs ~src:(sdir, sname) ~dst:(ddir, dname) =
+  if not (has_dir fs ddir) then invalid_arg ("Fs.rename: no directory " ^ ddir)
+  else
+    match lookup fs sdir sname with
+    | None -> None
+    | Some ino ->
+      if sdir = ddir && sname = dname then Some fs
+      else
+        let fs =
+          match delete fs ddir dname with Some fs' -> fs' | None -> fs
+        in
+        let fs =
+          { fs with
+            dirs = SMap.add sdir (SMap.remove sname (SMap.find sdir fs.dirs)) fs.dirs }
+        in
+        Some
+          { fs with
+            dirs = SMap.add ddir (SMap.add dname ino (SMap.find ddir fs.dirs)) fs.dirs }
+
+(** [append_path fs dir name data]: descriptor-less append, for specs that
+    keep no volatile descriptor table.  Same durability semantics as
+    {!append}.  [None] if the file does not exist. *)
+let append_path fs dir name data =
+  match lookup fs dir name with
+  | None -> None
+  | Some ino ->
+    let contents =
+      (match IMap.find_opt ino fs.inodes with Some c -> c | None -> "") ^ data
+    in
+    let synced =
+      match fs.durability with
+      | `Sync -> IMap.add ino (String.length contents) fs.synced
+      | `Deferred -> fs.synced
+    in
+    Some { fs with inodes = IMap.add ino contents fs.inodes; synced }
+
+(** [fsync_path fs dir name]: descriptor-less {!fsync}. *)
+let fsync_path fs dir name =
+  match lookup fs dir name with
+  | None -> None
+  | Some ino ->
+    let len =
+      String.length (match IMap.find_opt ino fs.inodes with Some c -> c | None -> "")
+    in
+    Some { fs with synced = IMap.add ino len fs.synced }
 
 (** [list_dir fs dir]: the file names in a directory, sorted. *)
 let list_dir fs dir =

@@ -26,6 +26,13 @@ val init : ?durability:durability -> string list -> t
 
 val has_dir : t -> string -> bool
 
+val dir_names : t -> string list
+(** Directory names, sorted — the observable content of the root. *)
+
+val mkdir : t -> string -> t option
+(** Add an empty directory; [None] if it exists.  An extension over the
+    paper's fixed layout, for use as a specification of {!Perennial_fs}. *)
+
 val crash : t -> t
 (** Directories persist and descriptors are lost; file contents survive up
     to their synced prefix — everything in [`Sync] mode, only what
@@ -73,6 +80,17 @@ val link : t -> src:string * string -> dst:string * string -> t option
 
 val delete : t -> string -> string -> t option
 (** Unlink; contents are freed with the last link.  [None] if absent. *)
+
+val rename : t -> src:string * string -> dst:string * string -> t option
+(** Atomically move [src] to [dst], replacing (and freeing, on last link)
+    any displaced target — POSIX rename.  [None] if [src] is absent. *)
+
+val append_path : t -> string -> string -> string -> t option
+(** Descriptor-less append (same durability semantics as {!append});
+    [None] if the file does not exist. *)
+
+val fsync_path : t -> string -> string -> t option
+(** Descriptor-less {!fsync}. *)
 
 val list_dir : t -> string -> string list
 (** Sorted file names; raises [Invalid_argument] on an unknown directory. *)

@@ -22,6 +22,7 @@ let const fp _w = fp
 let disk ?(region = "disk") a = Durable (region, a)
 let lock id = Volatile ("lock", id)
 let cell name = Volatile (name, 0)
+let cell_at name i = Volatile (name, i)
 
 let loc_equal (a : loc) (b : loc) = a = b
 let mem l ls = List.exists (loc_equal l) ls

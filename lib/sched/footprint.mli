@@ -53,6 +53,10 @@ val lock : int -> loc
 val cell : string -> loc
 (** A named volatile cell (an in-memory buffer, a cache). *)
 
+val cell_at : string -> int -> loc
+(** Slot [i] of a named volatile region (e.g. one inode's page-cache
+    entry): [cell_at name 0 = cell name]. *)
+
 val union : t -> t -> t
 (** Combined footprint; [Unknown] absorbs. The kind degrades to [Plain]. *)
 
