@@ -31,19 +31,32 @@ let section title =
 module Bench_out = struct
   let records : Obs.Json.t list ref = ref []
 
-  let add name ~iters ~ns_per_op ~metrics =
-    records :=
-      Obs.Json.Obj
-        [ ("name", Obs.Json.Str name);
-          ("iters", Obs.Json.Int iters);
-          ("ns_per_op", Obs.Json.Float ns_per_op);
-          ("metrics", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) metrics)) ]
-      :: !records
+  (* [latency] is (p50, p95, p99) in microseconds; sections driven by the
+     mcsim simulator carry it, pure-CPU sections omit it. *)
+  let add ?latency name ~iters ~ns_per_op ~metrics =
+    let base =
+      [ ("name", Obs.Json.Str name);
+        ("iters", Obs.Json.Int iters);
+        ("ns_per_op", Obs.Json.Float ns_per_op);
+        ("metrics", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) metrics)) ]
+    in
+    let base =
+      match latency with
+      | None -> base
+      | Some (p50, p95, p99) ->
+        base
+        @ [ ( "latency_us",
+              Obs.Json.Obj
+                [ ("p50", Obs.Json.Float p50);
+                  ("p95", Obs.Json.Float p95);
+                  ("p99", Obs.Json.Float p99) ] ) ]
+    in
+    records := Obs.Json.Obj base :: !records
 
   let write path =
     let doc =
       Obs.Json.Obj
-        [ ("schema", Obs.Json.Str "perennial-bench/v1");
+        [ ("schema", Obs.Json.Str "perennial-bench/v2");
           ("sections", Obs.Json.Arr (List.rev !records)) ]
     in
     let oc = open_out path in
@@ -300,6 +313,25 @@ let fig11 () =
         (fun (p : Mcsim.Mail_model.point) -> Fmt.pr "%7.0fk" (p.throughput_rps /. 1000.))
         s.Mcsim.Mail_model.points;
       Fmt.pr "@.")
+    series;
+  Fmt.pr "@.  Request latency at 12 cores (us, nearest-rank percentiles):@.";
+  Fmt.pr "    %-9s%10s%10s%10s@." "" "p50" "p95" "p99";
+  List.iter
+    (fun s ->
+      let pt =
+        List.find
+          (fun (p : Mcsim.Mail_model.point) -> p.cores = 12)
+          s.Mcsim.Mail_model.points
+      in
+      Fmt.pr "    %-9s%10.1f%10.1f%10.1f@."
+        (Mailboat.Server.kind_name s.Mcsim.Mail_model.kind)
+        pt.lat_p50_us pt.lat_p95_us pt.lat_p99_us;
+      Bench_out.add
+        ("fig11: latency@12c ["
+        ^ Mailboat.Server.kind_name s.Mcsim.Mail_model.kind
+        ^ "]")
+        ~iters:30_000 ~ns_per_op:(pt.lat_p50_us *. 1e3) ~metrics:[]
+        ~latency:(pt.lat_p50_us, pt.lat_p95_us, pt.lat_p99_us))
     series;
   let find k = List.find (fun (s : Mcsim.Mail_model.series) -> s.kind = k) series in
   let mb = find Mailboat.Server.Mailboat_server
@@ -651,6 +683,21 @@ let kvs () =
         s.points;
       Fmt.pr "@.")
     series;
+  Fmt.pr "@.  Request latency at 12 cores (us, nearest-rank percentiles):@.";
+  Fmt.pr "    %-18s%10s%10s%10s@." "" "p50" "p95" "p99";
+  List.iter
+    (fun (s : Mcsim.Kvs_model.series) ->
+      let pt =
+        List.find (fun (p : Mcsim.Kvs_model.point) -> p.cores = 12) s.points
+      in
+      Fmt.pr "    %-18s%10.1f%10.1f%10.1f@."
+        (Mcsim.Kvs_model.variant_name s.variant)
+        pt.lat_p50_us pt.lat_p95_us pt.lat_p99_us;
+      Bench_out.add
+        ("kvs: latency@12c [" ^ Mcsim.Kvs_model.variant_name s.variant ^ "]")
+        ~iters:20_000 ~ns_per_op:(pt.lat_p50_us *. 1e3) ~metrics:[]
+        ~latency:(pt.lat_p50_us, pt.lat_p95_us, pt.lat_p99_us))
+    series;
   let find v = List.find (fun (s : Mcsim.Kvs_model.series) -> s.variant = v) series in
   let at s c = Mcsim.Kvs_model.throughput_at s c in
   let gl = find Mcsim.Kvs_model.Global_lock
@@ -759,9 +806,11 @@ let strategies () =
             (Printf.sprintf "strategies: %s [%s]" name (E.strategy_name s))
             ~iters:1 ~ns_per_op:(ms *. 1e6)
             ~metrics:
-              [ ("executions", st.R.executions); ("steps", st.R.steps);
-                ("commutations_pruned", st.R.commutations_pruned);
-                ("crash_skips", st.R.crash_skips); ("sleep_skips", st.R.sleep_skips) ];
+              [ ("perennial_refinement_executions_total", st.R.executions);
+                ("perennial_refinement_steps_total", st.R.steps);
+                ("perennial_explore_commutations_pruned_total", st.R.commutations_pruned);
+                ("perennial_explore_crash_skips_total", st.R.crash_skips);
+                ("perennial_explore_sleep_skips_total", st.R.sleep_skips) ];
           if verdict r <> naive_v then begin
             Fmt.pr "    VERDICT MISMATCH: %s says %s, naive says %s@."
               (E.strategy_name s) (verdict r) naive_v;

@@ -6,6 +6,8 @@
                           [--strategy naive|dpor|dpor+sleep]
                           [--faults N] [--max-seconds S]
                           [--trace FILE] [--metrics]
+                          [--coverage] [--coverage-out FILE]
+                          [--explain] [--progress]
 
    --trace FILE  write a Chrome trace_event JSON of the run (load it in
                  chrome://tracing or ui.perfetto.dev): span events for the
@@ -13,6 +15,16 @@
                  injected crash or fault.
    --metrics     print the metrics registry (counters, gauges, histograms
                  accumulated by the checkers) after the report.
+   --coverage    enable the site registry: every crash point, fault point,
+                 and spec arm the checks could exercise is registered, hits
+                 are counted, and a coverage report (with the vacuity list
+                 of never-exercised sites) is printed after the run.
+   --coverage-out FILE  also write the perennial-coverage/v1 JSON report.
+   --explain     record pruning provenance and print the ranked report of
+                 which (rule, site) pairs the reduction skipped and why —
+                 meaningful with --strategy dpor or dpor+sleep.
+   --progress    print a live one-line progress status (execs/sec, frontier
+                 depth, fault-schedule index, budget ETA) to stderr.
    --strategy    exploration strategy for the exhaustive checks (default
                  naive); the strategies selection cross-checks all of them
                  against each other and fails on any verdict mismatch or
@@ -366,6 +378,10 @@ let run_strategies () =
 let () =
   let trace_file = ref None in
   let metrics = ref false in
+  let coverage = ref false in
+  let coverage_out = ref None in
+  let explain = ref false in
+  let progress = ref false in
   let strategy = ref E.Naive in
   let faults = ref 2 in
   let what = ref "all" in
@@ -379,6 +395,22 @@ let () =
       exit 2
     | "--metrics" :: rest ->
       metrics := true;
+      parse rest
+    | "--coverage" :: rest ->
+      coverage := true;
+      parse rest
+    | "--coverage-out" :: file :: rest ->
+      coverage := true;
+      coverage_out := Some file;
+      parse rest
+    | "--coverage-out" :: [] ->
+      prerr_endline "perennial_check: --coverage-out needs a file argument";
+      exit 2
+    | "--explain" :: rest ->
+      explain := true;
+      parse rest
+    | "--progress" :: rest ->
+      progress := true;
       parse rest
     | "--faults" :: n :: rest ->
       (match int_of_string_opt n with
@@ -427,6 +459,15 @@ let () =
       w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
+  if !coverage then begin
+    Obs.Coverage.set_enabled true;
+    Obs.Coverage.reset ()
+  end;
+  if !explain then begin
+    E.Prov.set_enabled true;
+    E.Prov.reset ()
+  end;
+  if !progress then Obs.Progress.enable ();
   let strategy = !strategy in
   if what = "outlines" || what = "all" then run_outlines ();
   if what = "refinement" || what = "all" then run_refinement ~strategy ();
@@ -434,7 +475,20 @@ let () =
   if what = "fs" || what = "all" then run_fs ~strategy ~faults:!faults ();
   if what = "faults" || what = "all" then run_faults ~strategy ~faults:!faults ();
   if what = "strategies" || what = "all" then run_strategies ();
+  if !progress then Obs.Progress.finish ();
   Obs.Trace.close ();
+  if !coverage then begin
+    Fmt.pr "@.@[<v>%a@]@." Obs.Coverage.pp_report ();
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        output_string oc (Obs.Json.to_string (Obs.Coverage.report_json ()));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.pr "Wrote coverage report to %s@." file)
+      !coverage_out
+  end;
+  if !explain then Fmt.pr "@.@[<v>%a@]@." E.Prov.pp_report ();
   if !metrics then Fmt.pr "@.Metrics:@.%a" (Obs.Metrics.pp ?registry:None) ();
   Printf.printf "\n%d checks passed, %d failed\n" !ok !failed;
   if !failed > 0 then exit 1

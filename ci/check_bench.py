@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate a perennial-bench/v2 results file (CI gate).
+
+Checks:
+  - schema is exactly "perennial-bench/v2" with a non-empty sections list;
+  - every record carries name/iters/ns_per_op/metrics with the right types;
+  - every metric name is perennial_*-prefixed (bare names like "executions"
+    regressed once; never again);
+  - at least one record carries a latency_us object, and every latency_us
+    has numeric p50 <= p95 <= p99.
+
+Usage: check_bench.py BENCH_results.json
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "perennial-bench/v2":
+        fail(f"schema is {doc.get('schema')!r}, want 'perennial-bench/v2'")
+    sections = doc.get("sections")
+    if not isinstance(sections, list) or not sections:
+        fail("sections missing or empty")
+
+    n_latency = 0
+    for rec in sections:
+        name = rec.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"record without a name: {rec}")
+        if not isinstance(rec.get("iters"), int):
+            fail(f"{name}: iters missing or not an int")
+        if not isinstance(rec.get("ns_per_op"), (int, float)):
+            fail(f"{name}: ns_per_op missing or not a number")
+        metrics = rec.get("metrics")
+        if not isinstance(metrics, dict):
+            fail(f"{name}: metrics missing or not an object")
+        for k in metrics:
+            if not k.split("{")[0].startswith("perennial_"):
+                fail(f"{name}: bare metric name {k!r} (want perennial_* prefix)")
+        lat = rec.get("latency_us")
+        if lat is not None:
+            n_latency += 1
+            for q in ("p50", "p95", "p99"):
+                if not isinstance(lat.get(q), (int, float)):
+                    fail(f"{name}: latency_us.{q} missing or not a number")
+            if not (lat["p50"] <= lat["p95"] <= lat["p99"]):
+                fail(f"{name}: latency percentiles not monotone: {lat}")
+
+    if n_latency == 0:
+        fail("no record carries latency_us percentiles")
+
+    print(
+        f"check_bench: OK: {len(sections)} records, "
+        f"{n_latency} with latency percentiles"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        fail("usage: check_bench.py BENCH_results.json")
+    main(sys.argv[1])

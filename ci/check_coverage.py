@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Coverage-regression gate: compare a perennial-coverage/v1 report against
+the committed baseline.
+
+A change fails the gate when it *uncovers* previously-exercised evidence:
+  - any site that was covered in the baseline is registered but unhit now;
+  - the per-kind coverage ratio drops below the baseline's.
+
+New sites (covered or not) and removed sites are reported but allowed —
+growing the system legitimately adds sites, and the vacuity list in the
+human report is where new never-exercised sites get triaged.  To accept an
+intentional change, regenerate the baseline:
+
+    dune exec bin/perennial_check.exe -- fs --coverage --coverage-out ci/coverage_baseline.json
+
+Usage: check_coverage.py current.json baseline.json
+"""
+import json
+import sys
+
+KINDS = ("crash", "fault", "arm")
+
+
+def fail(msg):
+    print(f"check_coverage: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "perennial-coverage/v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'perennial-coverage/v1'")
+    return doc
+
+
+def sites_of(doc, kind):
+    return {s["id"]: s["hits"] for s in doc[kind]["sites"]}
+
+
+def ratio(doc, kind):
+    total = doc[kind]["total"]
+    return doc[kind]["covered"] / total if total else 1.0
+
+
+def main(current_path, baseline_path):
+    cur = load(current_path)
+    base = load(baseline_path)
+    problems = []
+
+    for kind in KINDS:
+        cur_sites = sites_of(cur, kind)
+        base_sites = sites_of(base, kind)
+
+        for site, hits in base_sites.items():
+            if hits > 0 and cur_sites.get(site, None) == 0:
+                problems.append(
+                    f"[{kind}] {site}: covered in baseline, registered but "
+                    f"never exercised now"
+                )
+
+        r_cur, r_base = ratio(cur, kind), ratio(base, kind)
+        if r_cur < r_base - 1e-9:
+            problems.append(
+                f"[{kind}] coverage ratio dropped: "
+                f"{r_cur:.1%} ({cur[kind]['covered']}/{cur[kind]['total']}) "
+                f"< baseline {r_base:.1%} "
+                f"({base[kind]['covered']}/{base[kind]['total']})"
+            )
+
+        new = sorted(set(cur_sites) - set(base_sites))
+        gone = sorted(set(base_sites) - set(cur_sites))
+        if new:
+            print(f"check_coverage: note: {len(new)} new {kind} site(s): {', '.join(new[:10])}")
+        if gone:
+            print(f"check_coverage: note: {len(gone)} removed {kind} site(s): {', '.join(gone[:10])}")
+
+    if problems:
+        for p in problems:
+            print(f"check_coverage: {p}", file=sys.stderr)
+        fail(f"{len(problems)} coverage regression(s) vs {baseline_path}")
+
+    print(
+        "check_coverage: OK: "
+        + ", ".join(
+            f"{kind} {cur[kind]['covered']}/{cur[kind]['total']}" for kind in KINDS
+        )
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        fail("usage: check_coverage.py current.json baseline.json")
+    main(sys.argv[1], sys.argv[2])

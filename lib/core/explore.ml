@@ -98,6 +98,61 @@ let next_candidate n =
     n.n_enabled
 
 (* ------------------------------------------------------------------ *)
+(* Pruning provenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Prov = struct
+  type rule = Commutation | Sleep | Clean_crash
+
+  let rule_name = function
+    | Commutation -> "commutation"
+    | Sleep -> "sleep-set"
+    | Clean_crash -> "clean-crash"
+
+  let on = ref false
+  let enabled () = !on
+  let set_enabled b = on := b
+
+  (* (rule, pruned site, witness site) -> times the rule fired.  The
+     witness is the step the pruned one was judged against: the explored
+     representative for a commutation, the step whose sleep set swallowed
+     the skip, or [None] for a clean-crash node. *)
+  let table : (rule * string * string option, int ref) Hashtbl.t = Hashtbl.create 128
+
+  let reset () = Hashtbl.reset table
+
+  let record rule ~site ?witness () =
+    if !on then begin
+      let key = (rule, site, witness) in
+      match Hashtbl.find_opt table key with
+      | Some r -> incr r
+      | None -> Hashtbl.add table key (ref 1)
+    end
+
+  let entries () =
+    Hashtbl.fold (fun (rule, site, w) r acc -> (rule, site, w, !r) :: acc) table []
+    |> List.sort (fun (_, s1, _, n1) (_, s2, _, n2) ->
+           match compare n2 n1 with 0 -> compare s1 s2 | c -> c)
+
+  let total () = Hashtbl.fold (fun _ r acc -> acc + !r) table 0
+
+  let pp_report ppf () =
+    let es = entries () in
+    Format.fprintf ppf "pruning provenance: %d skips across %d distinct (rule, site) pairs@,"
+      (total ()) (List.length es);
+    List.iteri
+      (fun i (rule, site, witness, n) ->
+        if i < 40 then
+          match witness with
+          | Some w ->
+            Format.fprintf ppf "  %6dx %-11s %s  (vs %s)@," n (rule_name rule) site w
+          | None -> Format.fprintf ppf "  %6dx %-11s %s@," n (rule_name rule) site)
+      es;
+    if List.length es > 40 then
+      Format.fprintf ppf "  ... %d more@," (List.length es - 40)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Observability                                                        *)
 (* ------------------------------------------------------------------ *)
 

@@ -92,6 +92,35 @@ val detect_races : 'w frame list -> 'w node -> unit
 val next_candidate : 'w node -> 'w step_info option
 (** Next backtrack candidate not yet done, in enabled order. *)
 
+(** Pruning provenance: {e why} was the state space this small?  When
+    enabled, every skip the reduction performs records the rule that
+    justified it, the site (step label or crash-site id) it pruned, and
+    the witness site it was judged against; {!Prov.pp_report} ranks the
+    (rule, site) pairs by skip count — the [perennial_check --explain]
+    output.  Disabled by default (a single branch on the hot path). *)
+module Prov : sig
+  type rule =
+    | Commutation  (** enabled step never explored: no race required it *)
+    | Sleep  (** step skipped by its sleep set *)
+    | Clean_crash  (** crash branch skipped at a clean (non-dirty) node *)
+
+  val rule_name : rule -> string
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+  val reset : unit -> unit
+
+  val record : rule -> site:string -> ?witness:string -> unit -> unit
+  (** Count one skip of [site] under [rule]; [witness] is the explored
+      step it commuted with (or that put it to sleep). No-op when
+      disabled. *)
+
+  val entries : unit -> (rule * string * string option * int) list
+  (** Ranked by count, descending. *)
+
+  val total : unit -> int
+  val pp_report : Format.formatter -> unit -> unit
+end
+
 (** Obs counters for the reduction itself (on the default registry). *)
 module Mx : sig
   val commutations : Obs.Metrics.counter

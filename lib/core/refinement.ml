@@ -414,7 +414,38 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
     grow !seen;
     !seen
   in
+  (* Spec-arm coverage: each invocation registers the outcome arms the spec
+     offers in the invoking state ([<system>:<op>:ok|err], DESIGN.md S20);
+     each response hits the arm it actually took.  An arm registered but
+     never hit — an error arm under fault budget 0, say — is vacuous. *)
+  let arm_site call cls = spec.Spec.name ^ ":" ^ call.Spec.op ^ ":" ^ cls in
+  let arm_class v = if Sched.Fault.is_eio v then "err" else "ok" in
+  let register_arms call cands =
+    if Obs.Coverage.enabled () then
+      match cands with
+      | [] -> ()
+      | c :: _ ->
+        if not (Spec.op_has_undefined spec c.st call) then
+          List.iter
+            (fun (_, v) ->
+              Obs.Coverage.register Obs.Coverage.Arm (arm_site call (arm_class v)))
+            (Spec.op_outcomes spec c.st call)
+  in
+  let hit_arm tid v cands =
+    if Obs.Coverage.enabled () then
+      let rec find = function
+        | [] -> None
+        | c :: rest ->
+          (match List.find_opt (fun p -> p.ptid = tid) c.pend with
+          | Some p -> Some p.pcall
+          | None -> find rest)
+      in
+      match find cands with
+      | Some call -> Obs.Coverage.hit Obs.Coverage.Arm (arm_site call (arm_class v))
+      | None -> ()
+  in
   let add_pending tid call cands =
+    register_arms call cands;
     List.map
       (fun c ->
         { c with
@@ -425,6 +456,7 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
       cands
   in
   let respond tid v trace cands =
+    hit_arm tid v cands;
     let sat = saturate cands in
     let kept =
       List.filter_map
@@ -482,9 +514,48 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
     t
   in
 
+  (* Coverage sites (DESIGN.md S20).  A crash site is named by the newest
+     trace event at the injection point ([<phase>:<label>], or ["init"]
+     before any event) — a function of the path, never of exploration
+     order.  A fault site is [<step label>:<fault kind>].  Sites register
+     where the checker *could* branch and record a hit where it *does*;
+     a pruned crash branch registers without hitting, so reduced
+     strategies report exactly which crash points they relied on pruning
+     for. *)
+  let phase_name = function Main -> "main" | Recovery -> "recovery" | Post -> "post" in
+  let crash_site = function
+    | [] -> "init"
+    | e :: _ -> phase_name e.ev_phase ^ ":" ^ e.ev_label
+  in
+  let cov_crash_hit trace =
+    if Obs.Coverage.enabled () then Obs.Coverage.hit Obs.Coverage.Crash (crash_site trace)
+  in
+  let cov_crash_skip trace =
+    if Obs.Coverage.enabled () then
+      Obs.Coverage.register Obs.Coverage.Crash (crash_site trace);
+    if Explore.Prov.enabled () then
+      Explore.Prov.record Explore.Prov.Clean_crash ~site:(crash_site trace) ()
+  in
+  let fault_site label kind = label ^ ":" ^ Sched.Fault.kind_name kind in
+  let cov_fault_sites label kinds =
+    if Obs.Coverage.enabled () then
+      List.iter
+        (fun kind -> Obs.Coverage.register Obs.Coverage.Fault (fault_site label kind))
+        kinds
+  in
+  let cov_fault_hit label kind =
+    if Obs.Coverage.enabled () then
+      Obs.Coverage.hit Obs.Coverage.Fault (fault_site label kind)
+  in
+
   (* Process all finished threads' responses eagerly, invoking each thread's
-     next operation as the previous one completes. *)
+     next operation as the previous one completes.  Span marks are stripped
+     here: the checker explores each step along many branches, so per-branch
+     span events would be meaningless — marks only matter to the runner. *)
   let rec settle lives cands trace =
+    let lives =
+      List.map (fun l -> { l with prog = Sched.Prog.strip_marks l.prog }) lives
+    in
     let rec find acc = function
       | [] -> None
       | ({ prog = Sched.Prog.Done v; _ } as l) :: rest -> Some (List.rev_append acc rest, l, v)
@@ -507,6 +578,10 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
   let bump_steps () =
     ctr.c_steps <- ctr.c_steps + 1;
     if ctr.c_steps > cfg.step_budget then raise Budget;
+    if Obs.Progress.enabled () && ctr.c_steps land 4095 = 0 then
+      Obs.Progress.tick ~executions:ctr.c_executions ~steps:ctr.c_steps
+        ~frontier:ctr.c_frontier ~fault_schedule:ctr.c_fault_scheds
+        ?deadline_us:deadline ();
     (* The wall clock is polled once per 1024 steps: cheap enough to leave
        on, coarse enough that a check never overshoots by much. *)
     match deadline with
@@ -576,6 +651,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
       let cands = tk.add_pending tid call cands in
       let rec go w prog trace =
         match prog with
+        | Sched.Prog.Mark (_, p) -> go w p trace
         | Sched.Prog.Done v ->
           let trace = ev_post_return tid call v :: trace in
           vacuous_ok (fun () ->
@@ -613,14 +689,19 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
      §5.5).  [crashes] counts injected crashes on this path. *)
   let rec run_recovery w cands crashes trace =
     let rec go w prog crashes trace =
+      (* marks are instantaneous annotations: consume them before branching
+         so the crash opportunity at this world is explored exactly once *)
+      let prog = Sched.Prog.strip_marks prog in
       (* crash-during-recovery branch *)
       if crashes < cfg.max_crashes then begin
         ctr.c_crashes <- ctr.c_crashes + 1;
         Obs.Trace.instant ~cat:"crash" "crash_injection";
+        cov_crash_hit trace;
         run_recovery (cfg.crash_world w) cands (crashes + 1)
           (ev_crash ~during_recovery:true :: trace)
       end;
       match prog with
+      | Sched.Prog.Mark _ -> assert false (* stripped above *)
       | Sched.Prog.Done _ -> finish_recovery w cands trace
       | Sched.Prog.Atomic { label; action; k; _ } ->
         bump_steps ();
@@ -659,6 +740,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
       if crashes < cfg.max_crashes then begin
         ctr.c_crashes <- ctr.c_crashes + 1;
         Obs.Trace.instant ~cat:"crash" "crash_injection";
+        cov_crash_hit trace;
         vacuous_ok (fun () ->
             let sat = tk.saturate cands in
             timed_recovery (cfg.crash_world w) sat (crashes + 1)
@@ -671,7 +753,8 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
         List.iteri
           (fun i l ->
             match l.prog with
-            | Sched.Prog.Done _ -> assert false (* settled above *)
+            | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
+              assert false (* settled/stripped above *)
             | Sched.Prog.Atomic { label; action; faults; k; _ } ->
               (match action w with
               | Sched.Prog.Ub reason ->
@@ -687,6 +770,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                 bump_steps ();
                 note_label label;
                 let flts = faults w in
+                cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
                 let fsite' = if flts <> [] then fsite + 1 else fsite in
                 let resume j v =
                   List.mapi (fun j' l' -> if j = j' then { l' with prog = k v } else l') lives
@@ -702,6 +786,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                 if fused < fault_budget then
                   List.iter
                     (fun (kind, w', v) ->
+                      cov_fault_hit label kind;
                       in_fault_branch fsite kind (fun () ->
                           explore w' (resume i v) cands crashes
                             (ev_fault l.tid label kind :: trace)
@@ -748,12 +833,16 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
           if dirty then begin
             ctr.c_crashes <- ctr.c_crashes + 1;
             Obs.Trace.instant ~cat:"crash" "crash_injection";
+            cov_crash_hit trace;
             vacuous_ok (fun () ->
                 let sat = tk.saturate cands in
                 timed_recovery (cfg.crash_world w) sat (crashes + 1)
                   (ev_crash ~during_recovery:false :: trace))
           end
-          else ctr.c_crash_skips <- ctr.c_crash_skips + 1
+          else begin
+            ctr.c_crash_skips <- ctr.c_crash_skips + 1;
+            cov_crash_skip trace
+          end
         end;
         if lives = [] then timed_post w cands trace
         else begin
@@ -761,7 +850,8 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
             List.filter_map
               (fun l ->
                 match l.prog with
-                | Sched.Prog.Done _ -> assert false (* settled above *)
+                | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
+                  assert false (* settled/stripped above *)
                 | Sched.Prog.Atomic { label; fp; action; faults; k } ->
                   (match action w with
                   | Sched.Prog.Ub reason ->
@@ -775,6 +865,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                   | Sched.Prog.Steps outs ->
                     let branches = List.map (fun (w', v) -> (w', k v)) outs in
                     let flts = faults w in
+                    cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
                     let fault_branches =
                       if fused < fault_budget then
                         List.map (fun (kind, w', v) -> (kind, (w', k v))) flts
@@ -784,7 +875,9 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                     let responds =
                       List.exists
                         (fun (_, p) ->
-                          match p with Sched.Prog.Done _ -> true | _ -> false)
+                          match Sched.Prog.strip_marks p with
+                          | Sched.Prog.Done _ -> true
+                          | _ -> false)
                         branches
                     in
                     Some
@@ -814,6 +907,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
             let node = E.node ~sleep infos in
             E.detect_races stack node;
             let explored = ref 0 and slept = ref 0 in
+            let first_explored = ref None in
             let z = ref sleep in
             let rec drive () =
               match E.next_candidate node with
@@ -823,10 +917,14 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                 if sleep_sets && List.mem si.E.si_tid !z then begin
                   incr slept;
                   ctr.c_sleep <- ctr.c_sleep + 1;
+                  if E.Prov.enabled () then
+                    E.Prov.record E.Prov.Sleep ~site:si.E.si_label
+                      ?witness:!first_explored ();
                   drive ()
                 end
                 else begin
                   incr explored;
+                  if !first_explored = None then first_explored := Some si.E.si_label;
                   bump_steps ();
                   note_label si.E.si_label;
                   let fsite' = if si.E.si_fault_site then fsite + 1 else fsite in
@@ -862,6 +960,7 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                      always crash-dirty *)
                   List.iter
                     (fun (kind, (w', prog')) ->
+                      cov_fault_hit si.E.si_label kind;
                       in_fault_branch fsite kind (fun () ->
                           go w' (resume prog') cands crashes
                             (ev_fault si.E.si_tid si.E.si_label kind :: trace)
@@ -875,7 +974,16 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
             in
             drive ();
             let pruned = List.length infos - !explored - !slept in
-            if pruned > 0 then ctr.c_commut <- ctr.c_commut + pruned
+            if pruned > 0 then begin
+              ctr.c_commut <- ctr.c_commut + pruned;
+              if E.Prov.enabled () then
+                List.iter
+                  (fun si ->
+                    if not (List.mem si.E.si_tid node.E.n_done) then
+                      E.Prov.record E.Prov.Commutation ~site:si.E.si_label
+                        ?witness:!first_explored ())
+                  infos
+            end
         end
     in
     (* [dirty = true] at the root: the crash before any step is always
@@ -917,15 +1025,22 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
   r
 
 let check_exn ?strategy ?faults ?max_seconds cfg =
+  let t0 = Obs.Trace.now_us () in
   match check ?strategy ?faults ?max_seconds cfg with
   | Refinement_holds stats -> stats
   | Refinement_violated (f, stats) ->
     failwith (Fmt.str "@[<v>Refinement_violated: %a@,stats: %a@]" pp_failure f pp_stats stats)
   | Budget_exhausted stats ->
+    let elapsed_s = (Obs.Trace.now_us () -. t0) /. 1e6 in
+    let max_s =
+      match (match max_seconds with Some _ as s -> s | None -> cfg.max_seconds) with
+      | Some s -> Fmt.str "%g" s
+      | None -> "none"
+    in
     failwith
       (Fmt.str
-         "Budget_exhausted: step or wall-clock budget exceeded before the state space was covered (stats: %a)"
-         pp_stats stats)
+         "Budget_exhausted: step or wall-clock budget exceeded before the state space was covered after %.2fs (max_seconds=%s, step_budget=%d) (stats: %a)"
+         elapsed_s max_s cfg.step_budget pp_stats stats)
 
 (* ------------------------------------------------------------------ *)
 (* The randomized checker                                               *)
@@ -963,6 +1078,7 @@ let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
   let run_solo ~what ~mk_ev w prog trace =
     let rec go w prog trace =
       match prog with
+      | Sched.Prog.Mark (_, p) -> go w p trace
       | Sched.Prog.Done v -> (w, v, trace)
       | Sched.Prog.Atomic { label; action; k; _ } ->
         bump_steps ();
@@ -1008,6 +1124,7 @@ let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
     let sat = tk.saturate cands in
     let rec recover w crashes trace =
       let rec go w prog trace =
+        let prog = Sched.Prog.strip_marks prog in
         if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then begin
           ctr.c_crashes <- ctr.c_crashes + 1;
           Obs.Trace.instant ~cat:"crash" "crash_injection";
@@ -1016,6 +1133,7 @@ let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
         end
         else
           match prog with
+          | Sched.Prog.Mark _ -> assert false (* stripped above *)
           | Sched.Prog.Done _ -> (w, trace)
           | Sched.Prog.Atomic { label; action; k; _ } ->
             bump_steps ();
@@ -1058,6 +1176,9 @@ let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
       if depth > ctr.c_frontier then ctr.c_frontier <- depth;
       (* settle finished threads first *)
       let rec settle lives cands trace =
+        let lives =
+          List.map (fun l -> { l with prog = Sched.Prog.strip_marks l.prog }) lives
+        in
         let rec find acc = function
           | [] -> None
           | ({ prog = Sched.Prog.Done v; _ } as l) :: rest ->
@@ -1091,7 +1212,7 @@ let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
             (List.mapi
                (fun i l ->
                  match l.prog with
-                 | Sched.Prog.Done _ -> []
+                 | Sched.Prog.Done _ | Sched.Prog.Mark _ -> []
                  | Sched.Prog.Atomic { label; action; k; _ } -> (
                    match action w with
                    | Sched.Prog.Ub reason ->

@@ -40,7 +40,9 @@ let crash t = t
 (* Program-level operations, lens-composed into a larger world. *)
 
 let read ~get_disk a : ('w, V.t) Sched.Prog.t =
-  Sched.Prog.atomic
+  Sched.Prog.span ~cat:"disk"
+    (Printf.sprintf "disk_read(%d)" a)
+  @@ Sched.Prog.atomic
     ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.disk a ]))
     (Printf.sprintf "disk_read(%d)" a)
     (fun w ->
@@ -49,7 +51,9 @@ let read ~get_disk a : ('w, V.t) Sched.Prog.t =
       else Sched.Prog.Ub (Printf.sprintf "disk_read out of bounds: %d" a))
 
 let write ~get_disk ~set_disk a b : ('w, unit) Sched.Prog.t =
-  Sched.Prog.bind
+  Sched.Prog.span ~cat:"disk"
+    (Printf.sprintf "disk_write(%d)" a)
+  @@ Sched.Prog.bind
     (Sched.Prog.atomic
        ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.disk a ]))
        (Printf.sprintf "disk_write(%d)" a)
@@ -73,7 +77,9 @@ module Fault = Sched.Fault
 let eio k = Fault.eio (Fault.Eio k)
 
 let read_f ~get_disk a : ('w, V.t) Sched.Prog.t =
-  Sched.Prog.atomic
+  Sched.Prog.span ~cat:"disk"
+    (Printf.sprintf "disk_read_f(%d)" a)
+  @@ Sched.Prog.atomic
     ~fp:(Sched.Footprint.const (Sched.Footprint.reads [ Sched.Footprint.disk a ]))
     ~faults:(fun w ->
       if in_bounds (get_disk w) a then
@@ -86,7 +92,9 @@ let read_f ~get_disk a : ('w, V.t) Sched.Prog.t =
       else Sched.Prog.Ub (Printf.sprintf "disk_read_f out of bounds: %d" a))
 
 let write_f ~get_disk ~set_disk a b : ('w, V.t) Sched.Prog.t =
-  Sched.Prog.atomic
+  Sched.Prog.span ~cat:"disk"
+    (Printf.sprintf "disk_write_f(%d)" a)
+  @@ Sched.Prog.atomic
     ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.disk a ]))
     ~faults:(fun w ->
       if in_bounds (get_disk w) a then
@@ -115,7 +123,8 @@ let write_multi_f ~get_disk ~set_disk entries : ('w, V.t) Sched.Prog.t =
     set_disk w (List.fold_left (fun d (a, b) -> set d a b) (get_disk w) (prefix k))
   in
   let ok w = List.for_all (fun (a, _) -> in_bounds (get_disk w) a) entries in
-  Sched.Prog.atomic
+  Sched.Prog.span ~cat:"disk" label
+  @@ Sched.Prog.atomic
     ~fp:
       (Sched.Footprint.const
          (Sched.Footprint.writes

@@ -387,7 +387,8 @@ let finish p label plan =
     P.return ret
 
 let run_op p label decide : (world, V.t) P.t =
-  let* () = lock () in
+  P.span ~cat:"fs" label
+  @@ let* () = lock () in
   let* plan = P.read ~fp:(decide_fp p) label decide in
   finish p label plan
 
@@ -400,7 +401,8 @@ let retry_step what : ('w, unit) P.t =
     record, unbounded retry after it).  Degrades to
     {!Sched.Fault.err_value} with durable state untouched. *)
 let run_op_ft p ?(retries = 1) label decide : (world, V.t) P.t =
-  let* () = lock () in
+  P.span ~cat:"fs" label
+  @@ let* () = lock () in
   let rec attempt n =
     let* r = Disk.Single_disk.read_f ~get_disk (Layout.bitmap_addr p.lay) in
     if Fault.is_eio r then

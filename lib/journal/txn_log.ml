@@ -76,6 +76,8 @@ let commit_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
   if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
   else if entries = [] then P.return ()
   else
+    P.span ~cat:"txn_log" "txn_commit"
+    @@
     let rec log i = function
       | [] -> P.return ()
       | (a, b) :: rest ->
@@ -130,6 +132,8 @@ let commit_ft_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t
   if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
   else if entries = [] then P.return V.unit
   else
+    P.span ~cat:"txn_log" "txn_commit_ft"
+    @@
     let slot_blocks =
       List.concat
         (List.mapi
@@ -182,7 +186,8 @@ let commit_ft_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t
 let recover_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
   let dr a = Disk.Single_disk.read ~get_disk a in
   let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
-  let* r = dr (rec_addr ly) in
+  P.span ~cat:"txn_log" "txn_recover"
+  @@ let* r = dr (rec_addr ly) in
   let n = block_int (Block.of_value r) in
   if n = 0 then P.return V.unit
   else

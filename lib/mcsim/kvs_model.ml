@@ -107,7 +107,13 @@ let generate ~seed ~n_keys ~n : request list =
 
 (* --- the core-count sweep --- *)
 
-type point = { cores : int; throughput_rps : float }
+type point = {
+  cores : int;
+  throughput_rps : float;
+  lat_p50_us : float;
+  lat_p95_us : float;
+  lat_p99_us : float;
+}
 
 type series = { variant : variant; points : point list }
 
@@ -121,7 +127,11 @@ let sweep ?(n_keys = 16) ?(requests = 20_000) ?(seed = 7) ?(max_cores = 12) () :
         List.map
           (fun cores ->
             let out = Sim.run ~gc_quantum:150. ~gc_slice:14. ~cores compiled in
-            { cores; throughput_rps = Sim.throughput out })
+            { cores;
+              throughput_rps = Sim.throughput out;
+              lat_p50_us = Sim.percentile out.Sim.latencies_us 50.;
+              lat_p95_us = Sim.percentile out.Sim.latencies_us 95.;
+              lat_p99_us = Sim.percentile out.Sim.latencies_us 99. })
           (List.init max_cores (fun i -> i + 1))
       in
       { variant; points })

@@ -26,7 +26,13 @@ val compile :
 (** Expand requests into per-request action lists.  Under {!Group_commit},
     every [batch]-th buffered put pays for the merged flush transaction. *)
 
-type point = { cores : int; throughput_rps : float }
+type point = {
+  cores : int;
+  throughput_rps : float;
+  lat_p50_us : float;  (** median request latency at this core count *)
+  lat_p95_us : float;
+  lat_p99_us : float;
+}
 
 type series = { variant : variant; points : point list }
 

@@ -111,7 +111,13 @@ let compile ~kind (reqs : Mailboat.Workload.request list) : Sim.action list arra
 
 (* --- the Figure 11 sweep --- *)
 
-type point = { cores : int; throughput_rps : float }
+type point = {
+  cores : int;
+  throughput_rps : float;
+  lat_p50_us : float;
+  lat_p95_us : float;
+  lat_p99_us : float;
+}
 
 type series = { kind : Mailboat.Server.kind; points : point list }
 
@@ -128,7 +134,11 @@ let figure11 ?(users = 100) ?(requests = 30_000) ?(seed = 42) ?(max_cores = 12) 
         List.map
           (fun cores ->
             let out = Sim.run ~gc_quantum:150. ~gc_slice:14. ~cores compiled in
-            { cores; throughput_rps = Sim.throughput out })
+            { cores;
+              throughput_rps = Sim.throughput out;
+              lat_p50_us = Sim.percentile out.Sim.latencies_us 50.;
+              lat_p95_us = Sim.percentile out.Sim.latencies_us 95.;
+              lat_p99_us = Sim.percentile out.Sim.latencies_us 99. })
           (List.init max_cores (fun i -> i + 1))
       in
       { kind; points })

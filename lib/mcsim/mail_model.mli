@@ -27,7 +27,13 @@ val compile : kind:Mailboat.Server.kind -> Mailboat.Workload.request list -> Sim
 (** Expand a §9.3 workload into per-request action lists, tracking mailbox
     sizes (a pickup session reads whatever has been delivered so far). *)
 
-type point = { cores : int; throughput_rps : float }
+type point = {
+  cores : int;
+  throughput_rps : float;
+  lat_p50_us : float;  (** median request latency at this core count *)
+  lat_p95_us : float;
+  lat_p99_us : float;
+}
 
 type series = { kind : Mailboat.Server.kind; points : point list }
 

@@ -38,12 +38,14 @@ type core_state = {
   mutable in_flight : bool;
   mutable cpu_since_gc : float;
   mutable completed : int;
+  mutable cur_req : int;  (* index of the request in flight, -1 if none *)
 }
 
 type outcome = {
   makespan_us : float;
   per_core_completed : int array;
   total : int;
+  latencies_us : float array;  (** per-request sojourn time, indexed by request *)
 }
 
 exception Sim_stuck of string
@@ -58,7 +60,21 @@ module Mx = struct
   let gc_slices = counter "perennial_mcsim_gc_slices_total"
   let serial_waits = counter "perennial_mcsim_serial_waits_total"
   let lock_waits = counter "perennial_mcsim_lock_waits_total"
+  let latency = histogram "perennial_mcsim_request_latency_us"
+  let serial_wait_us = histogram ~labels:[ ("resource", "serial") ] "perennial_mcsim_wait_us"
+  let lock_wait_us = histogram ~labels:[ ("resource", "lock") ] "perennial_mcsim_wait_us"
 end
+
+(* Nearest-rank percentile over an unsorted sample; [p] in [0, 100]. *)
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let a = Array.copy xs in
+    Array.sort compare a;
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) rank))
+  end
 
 let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list array) :
     outcome =
@@ -66,8 +82,12 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
   let next_request = ref 0 in
   let states =
     Array.init cores (fun _ ->
-        { pending = []; in_flight = false; cpu_since_gc = 0.; completed = 0 })
+        { pending = []; in_flight = false; cpu_since_gc = 0.; completed = 0; cur_req = -1 })
   in
+  let req_start = Array.make (max n 1) 0. in
+  let latencies = Array.make (max n 1) 0. in
+  (* time a core entered a resource wait queue, for the wait histograms *)
+  let wait_since = Array.make cores 0. in
   let events : int Heap.t = Heap.create () in
   let serials : (string, resource) Hashtbl.t = Hashtbl.create 8 in
   let locks : (int, resource) Hashtbl.t = Hashtbl.create 64 in
@@ -97,10 +117,14 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       if st.in_flight then begin
         st.completed <- st.completed + 1;
         st.in_flight <- false;
+        if st.cur_req >= 0 then latencies.(st.cur_req) <- t -. req_start.(st.cur_req);
+        st.cur_req <- -1;
         observe t
       end;
       if !next_request < n then begin
         st.pending <- List.map (fun a -> A a) requests.(!next_request);
+        req_start.(!next_request) <- t;
+        st.cur_req <- !next_request;
         incr next_request;
         st.in_flight <- true;
         step t c
@@ -120,6 +144,7 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       let r = get serials name in
       if r.busy then begin
         incr n_serial_waits;
+        wait_since.(c) <- t;
         r.queue <- r.queue @ [ c ] (* retried when woken *)
       end
       else begin
@@ -135,12 +160,14 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       | waiter :: others ->
         r.queue <- others;
         r.busy <- false;
+        Obs.Metrics.observe Mx.serial_wait_us (t -. wait_since.(waiter));
         Heap.push events t waiter);
       step t c
     | A (Lock l) :: rest ->
       let r = get locks l in
       if r.busy then begin
         incr n_lock_waits;
+        wait_since.(c) <- t;
         r.queue <- r.queue @ [ c ]
       end
       else begin
@@ -156,6 +183,7 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
       | waiter :: others ->
         r.queue <- others;
         r.busy <- false;
+        Obs.Metrics.observe Mx.lock_wait_us (t -. wait_since.(waiter));
         Heap.push events t waiter);
       step t c
   in
@@ -181,7 +209,9 @@ let run ?(gc_quantum = 150.) ?(gc_slice = 6.) ~cores (requests : action list arr
   let total = Array.fold_left ( + ) 0 per_core_completed in
   if total <> n then
     raise (Sim_stuck (Printf.sprintf "only %d of %d requests completed (deadlock?)" total n));
-  { makespan_us = !makespan; per_core_completed; total }
+  let latencies_us = Array.sub latencies 0 n in
+  Array.iter (fun l -> Obs.Metrics.observe Mx.latency l) latencies_us;
+  { makespan_us = !makespan; per_core_completed; total; latencies_us }
 
 (** Requests per second given an outcome. *)
 let throughput outcome =

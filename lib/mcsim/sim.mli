@@ -19,6 +19,9 @@ type outcome = {
   makespan_us : float;
   per_core_completed : int array;
   total : int;
+  latencies_us : float array;
+      (** per-request sojourn time (assignment to completion), indexed by
+          request — the raw sample behind the tail-latency percentiles *)
 }
 
 exception Sim_stuck of string
@@ -26,7 +29,14 @@ exception Sim_stuck of string
 val run :
   ?gc_quantum:float -> ?gc_slice:float -> cores:int -> action list array -> outcome
 (** Execute all requests (shared queue, closed loop per core).  Raises
-    {!Sim_stuck} on deadlock or a runaway event budget. *)
+    {!Sim_stuck} on deadlock or a runaway event budget.  Request latencies
+    and serial/lock wait times are observed into the
+    [perennial_mcsim_request_latency_us] and [perennial_mcsim_wait_us]
+    histograms. *)
 
 val throughput : outcome -> float
 (** Requests per second. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the nearest-rank [p]-th percentile ([p] in
+    [0..100]) of the sample; [0.] on an empty sample. *)

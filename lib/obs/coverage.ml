@@ -1,0 +1,96 @@
+type kind = Crash | Fault | Arm
+
+let kind_name = function Crash -> "crash" | Fault -> "fault" | Arm -> "arm"
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* (kind, id) -> hit count.  Registration inserts with 0. *)
+let table : (kind * string, int ref) Hashtbl.t = Hashtbl.create 256
+
+let reset () = Hashtbl.reset table
+
+let cell k id =
+  match Hashtbl.find_opt table (k, id) with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add table (k, id) r;
+    r
+
+let register k id = if !on then ignore (cell k id)
+
+let hit k id =
+  if !on then begin
+    let r = cell k id in
+    incr r
+  end
+
+let kind_order = function Crash -> 0 | Fault -> 1 | Arm -> 2
+
+let sites () =
+  Hashtbl.fold (fun (k, id) r acc -> (k, id, !r) :: acc) table []
+  |> List.sort (fun (k1, i1, _) (k2, i2, _) ->
+         match compare (kind_order k1) (kind_order k2) with
+         | 0 -> compare i1 i2
+         | c -> c)
+
+type summary = { total : int; covered : int; vacuous : (kind * string) list }
+
+let summarize ?kind () =
+  let all = sites () in
+  let all = match kind with None -> all | Some k -> List.filter (fun (k', _, _) -> k' = k) all in
+  let covered = List.length (List.filter (fun (_, _, n) -> n > 0) all) in
+  let vacuous = List.filter_map (fun (k, id, n) -> if n = 0 then Some (k, id) else None) all in
+  { total = List.length all; covered; vacuous }
+
+let report_json () =
+  let all = sites () in
+  let per_kind k =
+    let s = summarize ~kind:k () in
+    let sites_j =
+      List.filter_map
+        (fun (k', id, n) ->
+          if k' = k then Some (Json.Obj [ ("id", Json.Str id); ("hits", Json.Int n) ]) else None)
+        all
+    in
+    ( kind_name k,
+      Json.Obj
+        [ ("total", Json.Int s.total);
+          ("covered", Json.Int s.covered);
+          ("sites", Json.Arr sites_j) ] )
+  in
+  let s = summarize () in
+  Json.Obj
+    [ ("schema", Json.Str "perennial-coverage/v1");
+      ("total", Json.Int s.total);
+      ("covered", Json.Int s.covered);
+      per_kind Crash;
+      per_kind Fault;
+      per_kind Arm;
+      ( "vacuous",
+        Json.Arr
+          (List.map
+             (fun (k, id) ->
+               Json.Obj [ ("kind", Json.Str (kind_name k)); ("id", Json.Str id) ])
+             s.vacuous) ) ]
+
+let pp_report ppf () =
+  let pct c t = if t = 0 then 100. else 100. *. float_of_int c /. float_of_int t in
+  Format.fprintf ppf "coverage (perennial-coverage/v1):@,";
+  List.iter
+    (fun k ->
+      let s = summarize ~kind:k () in
+      Format.fprintf ppf "  %-5s sites: %d/%d covered (%.1f%%)@," (kind_name k) s.covered
+        s.total
+        (pct s.covered s.total))
+    [ Crash; Fault; Arm ];
+  let s = summarize () in
+  if s.vacuous = [] then Format.fprintf ppf "  no vacuous sites@,"
+  else begin
+    Format.fprintf ppf "  VACUOUS (registered, never exercised):@,";
+    List.iter
+      (fun (k, id) -> Format.fprintf ppf "    [%s] %s@," (kind_name k) id)
+      s.vacuous
+  end

@@ -1,0 +1,54 @@
+(** Site registry + coverage accounting for the refinement checker.
+
+    Every crash point, fault point, and spec arm the checker {e could}
+    exercise registers a stable site id here; every site it actually
+    {e does} exercise records a hit.  After a check, the report tells
+    you which sites were covered, and the vacuity detector flags sites
+    that were registered but never hit — a check that "passes" without
+    ever injecting a crash at some step, or never taking a spec's error
+    arm, is vacuous evidence for that site.
+
+    Site-id stability rules (see DESIGN.md S20): ids are derived from
+    program-step labels, spec names, and fault-kind names — never from
+    exploration order, timestamps, or memory addresses — so the same
+    check produces the same id set across runs, strategies, and
+    machines.  Coverage is disabled by default (zero cost on the hot
+    loop); {!set_enabled} turns it on for a run. *)
+
+type kind =
+  | Crash  (** a crash-injection point: [<phase>:<step label>] *)
+  | Fault  (** a fault-injection point: [<step label>:<fault kind>] *)
+  | Arm  (** a spec outcome arm: [<spec name>:<op>:<ok|err>] *)
+
+val kind_name : kind -> string
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Forget all registered sites and hits. *)
+
+val register : kind -> string -> unit
+(** Declare that a site exists (0 hits so far is fine). No-op when disabled. *)
+
+val hit : kind -> string -> unit
+(** Register the site if new and increment its hit count. No-op when disabled. *)
+
+val sites : unit -> (kind * string * int) list
+(** All registered sites with hit counts, sorted by (kind, id). *)
+
+type summary = {
+  total : int;
+  covered : int;  (** sites with at least one hit *)
+  vacuous : (kind * string) list;  (** registered but never hit *)
+}
+
+val summarize : ?kind:kind -> unit -> summary
+(** Summary over all sites, or over one [kind]. *)
+
+val report_json : unit -> Json.t
+(** The [perennial-coverage/v1] report: per-kind totals, per-site hit
+    counts, and the vacuity list. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable coverage report ([--coverage] output). *)

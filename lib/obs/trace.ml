@@ -133,6 +133,50 @@ let memory_events () = List.rev !buffer
 let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
   if !on then emit { name; cat; ph = Instant; ts = now_us (); pid = 1; tid; args }
 
+(* ------------------------------------------------------------------ *)
+(* Span context: per-tid stacks of open spans with parent links         *)
+(* ------------------------------------------------------------------ *)
+
+type open_span = { sp_id : int; sp_name : string; sp_cat : string; sp_t0 : float }
+
+let next_span_id = ref 0
+let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8
+
+let stack_of tid = Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+
+let reset_spans () =
+  Hashtbl.reset stacks;
+  next_span_id := 0
+
+let span_depth ?(tid = 0) () = List.length (stack_of tid)
+
+let span_begin ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if !on then begin
+    let id = !next_span_id in
+    incr next_span_id;
+    let parent =
+      match stack_of tid with [] -> [] | p :: _ -> [ ("parent", I p.sp_id) ]
+    in
+    let t0 = now_us () in
+    Hashtbl.replace stacks tid ({ sp_id = id; sp_name = name; sp_cat = cat; sp_t0 = t0 } :: stack_of tid);
+    emit
+      { name; cat; ph = Span_begin; ts = t0; pid = 1; tid;
+        args = (("span", I id) :: parent) @ args }
+  end
+
+let span_end ?(tid = 0) () =
+  if not !on then None
+  else
+    match stack_of tid with
+    | [] -> None
+    | sp :: rest ->
+      Hashtbl.replace stacks tid rest;
+      let t1 = now_us () in
+      emit
+        { name = sp.sp_name; cat = sp.sp_cat; ph = Span_end; ts = t1; pid = 1; tid;
+          args = [ ("span", I sp.sp_id) ] };
+      Some (t1 -. sp.sp_t0)
+
 let with_span ?(cat = "") ?(tid = 0) ?(args = []) name f =
   if not !on then f ()
   else begin

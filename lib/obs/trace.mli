@@ -73,6 +73,29 @@ val with_span : ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string -
     recorded, via [Fun.protect]).  Under the null sink this is just the
     thunk call. *)
 
+(** {2 Span context}
+
+    Explicit begin/end spans that carry a causal parent/child link: each
+    begun span gets a fresh id and records the id of the span currently
+    open on the same [tid] as its ["parent"] arg, so a sink consumer can
+    reconstruct the span {e tree} of an operation as it descends layers
+    (fs → txn_log → disk).  Stacks are per-tid; begin/end must nest. *)
+
+val span_begin : ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string -> unit
+(** Open a span on [tid]'s stack and emit a [Span_begin] event whose args
+    include [("span", I id)] and, when nested, [("parent", I parent_id)]. *)
+
+val span_end : ?tid:int -> unit -> float option
+(** Close the innermost open span on [tid], emit its [Span_end] event,
+    and return its duration in microseconds ([None] if no span is open
+    or tracing is off). *)
+
+val span_depth : ?tid:int -> unit -> int
+(** Number of currently-open spans on [tid]. *)
+
+val reset_spans : unit -> unit
+(** Drop all open span stacks and restart span-id numbering (tests). *)
+
 (** {2 Serialization} *)
 
 val event_json : event -> Json.t

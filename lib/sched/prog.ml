@@ -4,8 +4,11 @@ type ('w, 'b) step_result =
   | Steps of ('w * 'b) list
   | Ub of string
 
+type mark = Enter of { sm_name : string; sm_cat : string } | Exit
+
 type ('w, 'a) t =
   | Done of 'a
+  | Mark of mark * ('w, 'a) t
   | Atomic : {
       label : string;
       fp : 'w -> Footprint.t;
@@ -21,6 +24,7 @@ let rec bind : type a b. ('w, a) t -> (a -> ('w, b) t) -> ('w, b) t =
  fun m f ->
   match m with
   | Done a -> f a
+  | Mark (m, p) -> Mark (m, bind p f)
   | Atomic { label; fp; action; faults; k } ->
     Atomic { label; fp; action; faults; k = (fun v -> bind (k v) f) }
 
@@ -60,12 +64,30 @@ module Syntax = struct
   let ( let+ ) m f = map f m
 end
 
-let label_of = function Done _ -> None | Atomic { label; _ } -> Some label
+let span ?(cat = "") name p =
+  Mark (Enter { sm_name = name; sm_cat = cat }, bind p (fun v -> Mark (Exit, Done v)))
 
-let footprint_of w = function
+let rec strip_marks : type a. ('w, a) t -> ('w, a) t = function
+  | Mark (_, p) -> strip_marks p
+  | p -> p
+
+let rec marks_of : type a. ('w, a) t -> mark list = function
+  | Mark (m, p) -> m :: marks_of p
+  | _ -> []
+
+let rec label_of : type a. ('w, a) t -> string option = function
   | Done _ -> None
+  | Mark (_, p) -> label_of p
+  | Atomic { label; _ } -> Some label
+
+let rec footprint_of : type a. 'w -> ('w, a) t -> Footprint.t option =
+ fun w -> function
+  | Done _ -> None
+  | Mark (_, p) -> footprint_of w p
   | Atomic { fp; _ } -> Some (fp w)
 
-let fault_kinds_of w = function
+let rec fault_kinds_of : type a. 'w -> ('w, a) t -> Fault.kind list =
+ fun w -> function
   | Done _ -> []
+  | Mark (_, p) -> fault_kinds_of w p
   | Atomic { faults; _ } -> List.map (fun (kd, _, _) -> kd) (faults w)

@@ -25,8 +25,16 @@ type ('w, 'b) step_result =
       (** possible outcomes; [[]] means blocked at this instant *)
   | Ub of string  (** undefined behaviour, with a reason for diagnostics *)
 
+type mark = Enter of { sm_name : string; sm_cat : string } | Exit
+(** Span markers: zero-cost causal annotations a program can carry between
+    steps.  Marks are {e not} steps — schedulers consume every pending mark
+    for free before looking at the next [Atomic], so wrapping a program in
+    {!span} never changes the explored state space, only the trace. *)
+
 type ('w, 'a) t =
   | Done of 'a
+  | Mark of mark * ('w, 'a) t
+      (** a span annotation followed by the rest of the program *)
   | Atomic : {
       label : string;  (** for traces, e.g. ["disk_write d1[0]"] *)
       fp : 'w -> Footprint.t;
@@ -80,6 +88,19 @@ module Syntax : sig
   val ( let* ) : ('w, 'a) t -> ('a -> ('w, 'b) t) -> ('w, 'b) t
   val ( let+ ) : ('w, 'a) t -> ('a -> 'b) -> ('w, 'b) t
 end
+
+val span : ?cat:string -> string -> ('w, 'a) t -> ('w, 'a) t
+(** [span ~cat name p] wraps [p] in [Enter]/[Exit] marks so an
+    interpreter that understands marks (the runner) emits a causal span
+    covering [p]'s steps.  Transparent to the checker: contributes no
+    steps, labels, footprints, or faults. *)
+
+val strip_marks : ('w, 'a) t -> ('w, 'a) t
+(** Drop any leading marks, exposing [Done] or [Atomic].  Interpreters
+    that do not consume marks must call this before matching. *)
+
+val marks_of : ('w, 'a) t -> mark list
+(** The leading marks of a program, outermost first. *)
 
 val label_of : ('w, 'a) t -> string option
 (** Label of the next step, if the program is not finished. *)

@@ -58,12 +58,40 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) ?(fault_schedule = [])
   (* Returns the next step of thread [i] as (label, outcome count, commit):
      [commit idx] applies outcome [idx] and resumes the continuation.  The
      closure keeps the step's existential payload type from escaping. *)
+  (* Marks are free: consume every pending span annotation on thread [i]
+     (emitting begin/end events and per-layer latency observations) before
+     looking at its next real step. *)
+  let span_cats = Array.make n [] in
+  let rec consume_marks i =
+    match states.(i) with
+    | Running (Prog.Mark (m, p)) ->
+      (match m with
+      | Prog.Enter { sm_name; sm_cat } ->
+        span_cats.(i) <- sm_cat :: span_cats.(i);
+        if Obs.Trace.enabled () then Obs.Trace.span_begin ~cat:sm_cat ~tid:i sm_name
+      | Prog.Exit ->
+        let cat = match span_cats.(i) with [] -> "" | c :: rest -> span_cats.(i) <- rest; c in
+        if Obs.Trace.enabled () then
+          match Obs.Trace.span_end ~tid:i () with
+          | None -> ()
+          | Some dur ->
+            Obs.Metrics.observe
+              (Obs.Metrics.histogram
+                 ~labels:[ ("layer", (if cat = "" then "unknown" else cat)) ]
+                 "perennial_span_us")
+              dur);
+      states.(i) <- Running p;
+      consume_marks i
+    | Running _ | Finished _ -> ()
+  in
   let step_of i =
+    consume_marks i;
     match states.(i) with
     | Finished _ -> None
     | Running (Prog.Done v) ->
       states.(i) <- Finished v;
       None
+    | Running (Prog.Mark _) -> assert false (* consumed above *)
     | Running (Prog.Atomic { label; fp; action; faults; k }) ->
       (match action !world with
       | Prog.Ub reason ->
@@ -96,6 +124,7 @@ let run ?(policy = Round_robin) ?(max_steps = 1_000_000) ?(fault_schedule = [])
   let unfinished () =
     let acc = ref [] in
     for i = n - 1 downto 0 do
+      consume_marks i;
       (match states.(i) with
       | Running (Prog.Done v) -> states.(i) <- Finished v
       | Running _ | Finished _ -> ());

@@ -92,7 +92,7 @@ let test_two_disk_nondet_failure_branches () =
     match action { td = t } with
     | P.Steps outs -> Alcotest.(check int) "two outcomes" 2 (List.length outs)
     | P.Ub _ -> Alcotest.fail "unexpected UB")
-  | P.Done _ -> Alcotest.fail "expected a step"
+  | P.Done _ | P.Mark _ -> Alcotest.fail "expected a step"
 
 let test_two_disk_crash_preserves_failure () =
   let t = Td.fail (Td.init 1) Td.D2 in
@@ -124,7 +124,7 @@ let test_locks_block_and_release () =
     | P.Steps [] -> ()
     | P.Steps _ -> Alcotest.fail "expected blocked"
     | P.Ub _ -> Alcotest.fail "unexpected UB")
-  | P.Done _ -> Alcotest.fail "expected a step");
+  | P.Done _ | P.Mark _ -> Alcotest.fail "expected a step");
   let w2, _ =
     Sched.Runner.run1 w1
       (let* () = Disk.Locks.release ~get:get_l ~set:set_l 7 in

@@ -595,6 +595,7 @@ let test_goose_shadow_crash_before_flip_invisible () =
     if n = 0 then w
     else
       match prog with
+      | Sched.Prog.Mark (_, p) -> steps w p n
       | Sched.Prog.Done _ -> w
       | Sched.Prog.Atomic { action; k; _ } -> (
         match action w with

@@ -35,6 +35,7 @@ let run_steps w prog n =
     if n = 0 then w
     else
       match prog with
+      | Sched.Prog.Mark (_, p) -> go w p n
       | Sched.Prog.Done _ -> w
       | Sched.Prog.Atomic { action; k; _ } -> (
         match action w with
