@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table2  -- one experiment
      (sections: table1 table2 table3 table4 fig11 patterns bugs scaling
-      durability kvs strategies faults fs micro)
+      durability kvs strategies faults fs parallel micro)
 
    Flags:
      --quick        skip the slow sections (fig11, micro)
@@ -1067,6 +1067,138 @@ let fs () =
   Shape.check "fs" (growth_ok && List.for_all Fun.id held && List.for_all Fun.id caught)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel exploration: domain sweep + fingerprint pruning             *)
+(* ------------------------------------------------------------------ *)
+
+let parallel () =
+  section "Parallel exploration: multicore DFS, fingerprinting, symmetry";
+  let module E = Perennial_core.Explore in
+  let module J = Journal.Txn_log in
+  let module K = Journal.Kvs in
+  let module FL = Perennial_fs.Layout in
+  let module Fs = Perennial_fs.Fs in
+  let module RD = Systems.Replicated_disk in
+  let host_cores = Domain.recommended_domain_count () in
+  Fmt.pr "  host cores (recommended domain count): %d@." host_cores;
+  Fmt.pr "  The work partition is a fixed function of split_depth, never of@.";
+  Fmt.pr "  the domain count: verdicts and execution counts must be identical@.";
+  Fmt.pr "  across the sweep — wall time is the only thing allowed to move.@.@.";
+  let b = Disk.Block.of_string in
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  let p = K.params ~n_keys:2 () in
+  let fsp = Fs.params (FL.v ~n_inodes:4 ~n_blocks:5 ()) in
+  let vx = V.str "x" in
+  let verdict = function
+    | R.Refinement_holds _ -> "holds"
+    | R.Refinement_violated _ -> "violated"
+    | R.Budget_exhausted _ -> "budget"
+  in
+  let stats_of = function
+    | R.Refinement_holds st | R.Refinement_violated (_, st) | R.Budget_exhausted st -> st
+  in
+  let instances : (string * (domains:int -> R.result)) list =
+    [
+      ( "kvs put||get [naive]",
+        fun ~domains ->
+          R.check ~domains
+            (K.checker_config p ~max_crashes:1
+               [ [ K.put_call p 0 vx ]; [ K.get_call p 1 ] ]) );
+      ( "kvs txn + crash in recovery [dpor+sleep]",
+        fun ~domains ->
+          R.check ~strategy:E.Dpor_sleep ~domains
+            (K.checker_config p ~max_crashes:2
+               [ [ K.txn_call p [ (0, b "A"); (1, b "B") ] ] ]) );
+      ( "journal commit||read + 1 fault [dpor+sleep]",
+        fun ~domains ->
+          R.check ~strategy:E.Dpor_sleep ~domains ~faults:1
+            (J.checker_config ly ~max_crashes:1
+               [ [ J.commit_call ly [ (0, b "A"); (1, b "B") ] ];
+                 [ J.read_call ly 0 ] ]) );
+      ( "fs create||append [naive]",
+        fun ~domains ->
+          R.check ~domains
+            (Fs.checker_config fsp ~dirs:[ "a" ]
+               ~files:[ ("a", "f", "xy") ]
+               ~post:(Fs.probe fsp ~dirs:[ "a" ] ~files:[ ("a", "f"); ("a", "g") ])
+               ~max_crashes:1
+               [ [ Fs.create_call fsp "a" "g" ]; [ Fs.append_call fsp "a" "f" "z" ] ])
+      );
+    ]
+  in
+  let sweep = [ 1; 2; 4; 8 ] in
+  Fmt.pr "  %-44s %8s %8s %10s %8s@." "instance" "domains" "execs" "steps" "time";
+  let deterministic = ref true in
+  List.iter
+    (fun (name, run) ->
+      let rows =
+        List.map
+          (fun n ->
+            let t0 = Unix.gettimeofday () in
+            let r = run ~domains:n in
+            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            (n, r, ms))
+          sweep
+      in
+      let _, base, _ = List.hd rows in
+      List.iter
+        (fun (n, r, ms) ->
+          let st = stats_of r in
+          Fmt.pr "  %-44s %8d %8d %10d %6.1fms@."
+            (if n = 1 then name else "")
+            n st.R.executions st.R.steps ms;
+          Bench_out.add
+            (Printf.sprintf "parallel: %s [domains=%d]" name n)
+            ~iters:1 ~ns_per_op:(ms *. 1e6)
+            ~metrics:
+              [ ("perennial_host_cores", host_cores);
+                ("perennial_refinement_domains", n);
+                ("perennial_refinement_executions_total", st.R.executions);
+                ("perennial_refinement_steps_total", st.R.steps) ];
+          if verdict r <> verdict base || stats_of base <> st then begin
+            Fmt.pr "    DETERMINISM VIOLATION: domains=%d diverged from domains=1@." n;
+            deterministic := false
+          end)
+        rows)
+    instances;
+  (* fingerprint pruning: same verdict, strictly fewer executions *)
+  Fmt.pr "@.  fingerprint pruning (naive strategy, kvs put||get):@.";
+  let fp_cfg =
+    K.checker_config p ~max_crashes:1 [ [ K.put_call p 0 vx ]; [ K.get_call p 1 ] ]
+  in
+  let plain = R.check fp_cfg in
+  let fp = R.check ~fingerprint:true fp_cfg in
+  let fp_st = stats_of fp in
+  Fmt.pr "    plain: %d executions; fingerprinted: %d (%d hits, %d misses)@."
+    (stats_of plain).R.executions fp_st.R.executions fp_st.R.fingerprint_hits
+    fp_st.R.fingerprint_misses;
+  Bench_out.add "parallel: kvs put||get [fingerprint]" ~iters:1 ~ns_per_op:0.
+    ~metrics:
+      [ ("perennial_refinement_executions_total", fp_st.R.executions);
+        ("perennial_fingerprint_hits_total", fp_st.R.fingerprint_hits);
+        ("perennial_fingerprint_misses_total", fp_st.R.fingerprint_misses) ];
+  (* symmetry: two interchangeable writers collapse further *)
+  let sym_cfg =
+    RD.checker_config ~may_fail:false ~max_crashes:1 ~size:1
+      [ [ RD.write_call 0 vx ]; [ RD.write_call 0 vx ] ]
+  in
+  let sym_fp = stats_of (R.check ~fingerprint:true sym_cfg) in
+  let sym = stats_of (R.check ~fingerprint:true ~symmetry:true sym_cfg) in
+  Fmt.pr "  symmetry (rd, two identical writers):@.";
+  Fmt.pr "    fingerprint misses %d -> with symmetry %d@." sym_fp.R.fingerprint_misses
+    sym.R.fingerprint_misses;
+  let fp_prunes =
+    fp_st.R.fingerprint_hits > 0
+    && fp_st.R.executions < (stats_of plain).R.executions
+    && verdict fp = verdict plain
+  in
+  let sym_ok = sym.R.fingerprint_misses <= sym_fp.R.fingerprint_misses in
+  Fmt.pr "@.  shape checks:@.";
+  Fmt.pr "    stats identical across the domain sweep: %b@." !deterministic;
+  Fmt.pr "    fingerprinting prunes without changing the verdict: %b@." fp_prunes;
+  Fmt.pr "    symmetry never explores more classes than plain fingerprints: %b@." sym_ok;
+  Shape.check "parallel" (!deterministic && fp_prunes && sym_ok)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1162,7 +1294,7 @@ let all =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("table4", table4);
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
     ("durability", durability); ("kvs", kvs); ("strategies", strategies);
-    ("faults", faults); ("fs", fs); ("micro", micro) ]
+    ("faults", faults); ("fs", fs); ("parallel", parallel); ("micro", micro) ]
 
 let slow_sections = [ "fig11"; "micro" ]
 

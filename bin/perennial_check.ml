@@ -5,6 +5,7 @@
    Usage: perennial_check [outlines|refinement|kvs|fs|faults|strategies|all]
                           [--strategy naive|dpor|dpor+sleep]
                           [--faults N] [--max-seconds S]
+                          [--domains N] [--fingerprint] [--symmetry]
                           [--trace FILE] [--metrics]
                           [--coverage] [--coverage-out FILE]
                           [--explain] [--progress]
@@ -33,7 +34,15 @@
                  (default 2): the checker enumerates every schedule of at
                  most N injected I/O faults alongside crash points.
    --max-seconds S  wall-clock budget per exhaustive check; exceeding it
-                 reports budget exhaustion instead of hanging. *)
+                 reports budget exhaustion instead of hanging.
+   --domains N   run every exhaustive check on N domains (OCaml 5
+                 multicore).  Verdicts, counterexamples and stats are
+                 identical to the sequential run; only wall time changes.
+   --fingerprint hash-consed state fingerprinting: prune subtrees whose
+                 canonical state was already explored (naive strategy
+                 only — the checker rejects it under dpor).
+   --symmetry    additionally canonicalize interchangeable threads before
+                 fingerprinting (implies --fingerprint). *)
 
 module V = Tslang.Value
 module R = Perennial_core.Refinement
@@ -46,7 +55,20 @@ let failed = ref 0
 (* --max-seconds: wall-clock budget applied to every exhaustive check *)
 let max_secs : float option ref = ref None
 
-let rcheck ?faults ~strategy cfg = R.check ~strategy ?faults ?max_seconds:!max_secs cfg
+(* --domains: run every exhaustive check on N domains (same verdicts and
+   stats as sequential; see Refinement.check) *)
+let domains : int option ref = ref None
+
+(* --fingerprint / --symmetry: hash-consed state pruning (naive strategy) *)
+let fingerprint = ref false
+let symmetry = ref false
+
+let rcheck ?faults ~strategy cfg =
+  (* fingerprinting is naive-only; the strategies cross-check iterates all
+     strategies, so apply it just to the naive runs there *)
+  let fp = !fingerprint && strategy = E.Naive in
+  R.check ~strategy ?faults ?max_seconds:!max_secs ?domains:!domains ~fingerprint:fp
+    ~symmetry:(!symmetry && fp) cfg
 
 let report name result =
   match result with
@@ -434,6 +456,24 @@ let () =
     | "--max-seconds" :: [] ->
       prerr_endline "perennial_check: --max-seconds needs an argument";
       exit 2
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        domains := Some n;
+        parse rest
+      | _ ->
+        Printf.eprintf "perennial_check: --domains needs a positive integer, got %s\n" n;
+        exit 2)
+    | "--domains" :: [] ->
+      prerr_endline "perennial_check: --domains needs an argument";
+      exit 2
+    | "--fingerprint" :: rest ->
+      fingerprint := true;
+      parse rest
+    | "--symmetry" :: rest ->
+      fingerprint := true;
+      symmetry := true;
+      parse rest
     | "--strategy" :: s :: rest ->
       (match E.strategy_of_string s with
       | Some st ->
@@ -450,6 +490,12 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !fingerprint && !strategy <> E.Naive then begin
+    prerr_endline
+      "perennial_check: --fingerprint/--symmetry require --strategy naive (state \
+       caching is unsound under DPOR)";
+    exit 2
+  end;
   let what = !what in
   (match what with
   | "outlines" | "refinement" | "kvs" | "fs" | "faults" | "strategies" | "all" -> ()

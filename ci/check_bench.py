@@ -7,7 +7,13 @@ Checks:
   - every metric name is perennial_*-prefixed (bare names like "executions"
     regressed once; never again);
   - at least one record carries a latency_us object, and every latency_us
-    has numeric p50 <= p95 <= p99.
+    has numeric p50 <= p95 <= p99;
+  - the parallel domain sweep is deterministic (identical
+    perennial_refinement_executions_total at every domains=N of the same
+    instance), and — only when the recording host had >= 4 cores — the
+    8-domain fs run is at least 2x faster than the 1-domain run.  On
+    smaller hosts the speedup gate is skipped with a message (the
+    determinism gate still applies: it never depends on the hardware).
 
 Usage: check_bench.py BENCH_results.json
 """
@@ -57,10 +63,56 @@ def main(path):
     if n_latency == 0:
         fail("no record carries latency_us percentiles")
 
+    check_parallel(sections)
+
     print(
         f"check_bench: OK: {len(sections)} records, "
         f"{n_latency} with latency percentiles"
     )
+
+
+def check_parallel(sections):
+    """Domain-sweep gates over the 'parallel: ... [domains=N]' records."""
+    sweeps = {}  # instance -> {n: record}
+    for rec in sections:
+        name = rec.get("name", "")
+        if not name.startswith("parallel: ") or "[domains=" not in name:
+            continue
+        instance, _, rest = name.rpartition(" [domains=")
+        n = int(rest.rstrip("]"))
+        sweeps.setdefault(instance, {})[n] = rec
+
+    if not sweeps:
+        print("check_bench: note: no parallel sweep records (section not run)")
+        return
+
+    host_cores = None
+    for instance, by_n in sweeps.items():
+        execs = {
+            n: r["metrics"].get("perennial_refinement_executions_total")
+            for n, r in by_n.items()
+        }
+        if len(set(execs.values())) != 1:
+            fail(f"{instance}: executions vary across the domain sweep: {execs}")
+        for r in by_n.values():
+            host_cores = r["metrics"].get("perennial_host_cores", host_cores)
+
+    fs = next((s for k, s in sweeps.items() if k.startswith("parallel: fs ")), None)
+    if fs is None or 1 not in fs or 8 not in fs:
+        fail("parallel sweep lacks the fs instance at domains=1 and domains=8")
+    if host_cores is None or host_cores < 4:
+        print(
+            f"check_bench: note: speedup gate skipped "
+            f"(recorded host_cores={host_cores}, need >= 4)"
+        )
+        return
+    speedup = fs[1]["ns_per_op"] / max(fs[8]["ns_per_op"], 1.0)
+    if speedup < 2.0:
+        fail(
+            f"fs 8-domain speedup {speedup:.2f}x < 2x on a "
+            f"{host_cores}-core host"
+        )
+    print(f"check_bench: parallel fs speedup {speedup:.2f}x (host_cores={host_cores})")
 
 
 if __name__ == "__main__":

@@ -119,22 +119,31 @@ module Prov = struct
      the skip, or [None] for a clean-crash node. *)
   let table : (rule * string * string option, int ref) Hashtbl.t = Hashtbl.create 128
 
-  let reset () = Hashtbl.reset table
+  (* Parallel exploration records provenance from several domains at once;
+     the mutex keeps the table and its cells exact. *)
+  let lock = Mutex.create ()
+
+  let with_lock f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let reset () = with_lock (fun () -> Hashtbl.reset table)
 
   let record rule ~site ?witness () =
-    if !on then begin
-      let key = (rule, site, witness) in
-      match Hashtbl.find_opt table key with
-      | Some r -> incr r
-      | None -> Hashtbl.add table key (ref 1)
-    end
+    if !on then
+      with_lock (fun () ->
+          let key = (rule, site, witness) in
+          match Hashtbl.find_opt table key with
+          | Some r -> incr r
+          | None -> Hashtbl.add table key (ref 1))
 
   let entries () =
-    Hashtbl.fold (fun (rule, site, w) r acc -> (rule, site, w, !r) :: acc) table []
+    with_lock (fun () ->
+        Hashtbl.fold (fun (rule, site, w) r acc -> (rule, site, w, !r) :: acc) table [])
     |> List.sort (fun (_, s1, _, n1) (_, s2, _, n2) ->
            match compare n2 n1 with 0 -> compare s1 s2 | c -> c)
 
-  let total () = Hashtbl.fold (fun _ r acc -> acc + !r) table 0
+  let total () = with_lock (fun () -> Hashtbl.fold (fun _ r acc -> acc + !r) table 0)
 
   let pp_report ppf () =
     let es = entries () in

@@ -38,6 +38,8 @@ type stats = {
   faults_injected : int;
   fault_schedules : int;
   retries_observed : int;
+  fingerprint_hits : int;
+  fingerprint_misses : int;
 }
 
 let pp_stats ppf s =
@@ -50,7 +52,9 @@ let pp_stats ppf s =
       s.sleep_skips s.crash_skips;
   if s.faults_injected > 0 || s.fault_schedules > 0 || s.retries_observed > 0 then
     Fmt.pf ppf " faults=%d fault_schedules=%d retries=%d" s.faults_injected
-      s.fault_schedules s.retries_observed
+      s.fault_schedules s.retries_observed;
+  if s.fingerprint_hits > 0 || s.fingerprint_misses > 0 then
+    Fmt.pf ppf " fp_hits=%d fp_misses=%d" s.fingerprint_hits s.fingerprint_misses
 
 (* ------------------------------------------------------------------ *)
 (* Structured counterexample events                                     *)
@@ -224,13 +228,26 @@ module Mx = struct
   let fault_scheds = counter "perennial_refinement_fault_schedules_total"
   let retries = counter "perennial_refinement_retries_observed_total"
 
+  let fp_hits = counter "perennial_refinement_fingerprint_hits_total"
+  let fp_misses = counter "perennial_refinement_fingerprint_misses_total"
+
+  let domains_g = gauge "perennial_refinement_domains"
+  let work_items = counter "perennial_refinement_work_items_total"
+
+  let steals = counter "perennial_refinement_steals_total"
+  (** work items executed by a non-primary domain — timing-dependent, never
+      part of deterministic {!stats} *)
+
   let check_seconds = histogram "perennial_refinement_check_seconds"
   let explore_us = gauge ~labels:[ ("phase", "explore") ] "perennial_refinement_phase_us"
   let recovery_us = gauge ~labels:[ ("phase", "recovery") ] "perennial_refinement_phase_us"
   let post_us = gauge ~labels:[ ("phase", "post") ] "perennial_refinement_phase_us"
 end
 
-(* Internal mutable counters; snapshotted into [stats] at the end. *)
+(* Internal mutable counters; one record per engine instance (the legacy
+   whole-run engine, the phase-1 splitter, or one parallel work item), never
+   shared between domains — merged with [merge_into] and snapshotted into
+   [stats] once per check. *)
 type counters = {
   mutable c_executions : int;
   mutable c_steps : int;
@@ -245,16 +262,40 @@ type counters = {
   mutable c_faults : int;
   mutable c_fault_scheds : int;
   mutable c_retries : int;
+  mutable c_fp_hits : int;
+  mutable c_fp_misses : int;
   mutable c_recovery_us : float;
   mutable c_post_us : float;
 }
 
-let new_counters () =
-  Obs.Metrics.inc Mx.checks;
+let fresh_counters () =
   { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0;
     c_dedup = 0; c_frontier = 0; c_commut = 0; c_sleep = 0; c_crash_skips = 0;
-    c_faults = 0; c_fault_scheds = 0; c_retries = 0;
+    c_faults = 0; c_fault_scheds = 0; c_retries = 0; c_fp_hits = 0; c_fp_misses = 0;
     c_recovery_us = 0.; c_post_us = 0. }
+
+(* Counts add; high-water marks take the max.  [c_fault_scheds] increments
+   only on globally-fresh schedule keys (the shared seen-table below), so
+   the sum over instances is the cardinality of the union — independent of
+   how the work was partitioned. *)
+let merge_into dst src =
+  dst.c_executions <- dst.c_executions + src.c_executions;
+  dst.c_steps <- dst.c_steps + src.c_steps;
+  dst.c_crashes <- dst.c_crashes + src.c_crashes;
+  dst.c_vacuous <- dst.c_vacuous + src.c_vacuous;
+  dst.c_max_candidates <- max dst.c_max_candidates src.c_max_candidates;
+  dst.c_dedup <- dst.c_dedup + src.c_dedup;
+  dst.c_frontier <- max dst.c_frontier src.c_frontier;
+  dst.c_commut <- dst.c_commut + src.c_commut;
+  dst.c_sleep <- dst.c_sleep + src.c_sleep;
+  dst.c_crash_skips <- dst.c_crash_skips + src.c_crash_skips;
+  dst.c_faults <- dst.c_faults + src.c_faults;
+  dst.c_fault_scheds <- dst.c_fault_scheds + src.c_fault_scheds;
+  dst.c_retries <- dst.c_retries + src.c_retries;
+  dst.c_fp_hits <- dst.c_fp_hits + src.c_fp_hits;
+  dst.c_fp_misses <- dst.c_fp_misses + src.c_fp_misses;
+  dst.c_recovery_us <- dst.c_recovery_us +. src.c_recovery_us;
+  dst.c_post_us <- dst.c_post_us +. src.c_post_us
 
 let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_executions Mx.executions;
@@ -270,6 +311,8 @@ let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_faults Mx.faults;
   Obs.Metrics.inc ~by:ctr.c_fault_scheds Mx.fault_scheds;
   Obs.Metrics.inc ~by:ctr.c_retries Mx.retries;
+  Obs.Metrics.inc ~by:ctr.c_fp_hits Mx.fp_hits;
+  Obs.Metrics.inc ~by:ctr.c_fp_misses Mx.fp_misses;
   Obs.Metrics.add Mx.recovery_us ctr.c_recovery_us;
   Obs.Metrics.add Mx.post_us ctr.c_post_us;
   {
@@ -286,6 +329,8 @@ let snapshot ctr =
     faults_injected = ctr.c_faults;
     fault_schedules = ctr.c_fault_scheds;
     retries_observed = ctr.c_retries;
+    fingerprint_hits = ctr.c_fp_hits;
+    fingerprint_misses = ctr.c_fp_misses;
   }
 
 (* Time one top-level phase run, accumulating wall time into [cell] and
@@ -298,7 +343,7 @@ let timed_phase name cell f =
   else Fun.protect ~finally f
 
 (* Run a whole check under a span, timing it into the metrics. *)
-let timed_check name ctr f =
+let timed_check name f =
   let t0 = Obs.Trace.now_us () in
   let finish r =
     let dt = Obs.Trace.now_us () -. t0 in
@@ -307,7 +352,6 @@ let timed_check name ctr f =
     (match r with
     | Refinement_violated _ -> Obs.Metrics.inc Mx.violations
     | Refinement_holds _ | Budget_exhausted _ -> ());
-    ignore ctr;
     r
   in
   if Obs.Trace.enabled () then
@@ -353,7 +397,11 @@ type 's tracker = {
           raises [Violation] if unsatisfiable *)
 }
 
-let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
+(* [live] gates the stat/coverage side effects: during work-item replay the
+   tracker must recompute candidate sets without re-counting what the
+   splitting phase already counted. *)
+let make_tracker (type s) (spec : s Spec.t) (ctr : counters) ~(live : bool ref) :
+    s tracker =
   let compare_pending a b =
     let c = Int.compare a.ptid b.ptid in
     if c <> 0 then c
@@ -371,10 +419,12 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
   let dedup cands =
     let n0 = List.length cands in
     let sorted = List.sort_uniq compare_cand cands in
-    let n = List.length sorted in
-    ctr.c_dedup <- ctr.c_dedup + (n0 - n);
-    Obs.Metrics.observe Mx.cand_sizes (float_of_int n);
-    if n > ctr.c_max_candidates then ctr.c_max_candidates <- n;
+    if !live then begin
+      let n = List.length sorted in
+      ctr.c_dedup <- ctr.c_dedup + (n0 - n);
+      Obs.Metrics.observe Mx.cand_sizes (float_of_int n);
+      if n > ctr.c_max_candidates then ctr.c_max_candidates <- n
+    end;
     sorted
   in
   let saturate cands =
@@ -421,7 +471,7 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
   let arm_site call cls = spec.Spec.name ^ ":" ^ call.Spec.op ^ ":" ^ cls in
   let arm_class v = if Sched.Fault.is_eio v then "err" else "ok" in
   let register_arms call cands =
-    if Obs.Coverage.enabled () then
+    if !live && Obs.Coverage.enabled () then
       match cands with
       | [] -> ()
       | c :: _ ->
@@ -432,7 +482,7 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
             (Spec.op_outcomes spec c.st call)
   in
   let hit_arm tid v cands =
-    if Obs.Coverage.enabled () then
+    if !live && Obs.Coverage.enabled () then
       let rec find = function
         | [] -> None
         | c :: rest ->
@@ -491,22 +541,50 @@ let make_tracker (type s) (spec : s Spec.t) (ctr : counters) : s tracker =
   { saturate; add_pending; respond; crash_cands }
 
 (* ------------------------------------------------------------------ *)
-(* The exhaustive checker                                               *)
+(* One exploration engine instance                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
-    (cfg : (w, s) config) : result =
+(* Outcome of a single engine instance; Violation/Budget never escape an
+   instance, so parallel work items can report independently and the driver
+   picks the deterministic winner. *)
+type inst_outcome = I_ok | I_viol of failure | I_budget
+
+(* Replay selection stops branch enumeration at the chosen index, so
+   branches past it (whose [action w] phase 1 never evaluated before the
+   point this work item was emitted) are not re-executed. *)
+exception Break
+
+(* Run one DFS engine over the schedule tree.  Three modes share the code:
+
+   - whole run ([cutoff = max_int], no [emit], empty [replay]): the legacy
+     sequential checker, bit-for-bit;
+   - splitting phase ([emit = Some f]): explores (and fully accounts) the
+     region above [cutoff]; on reaching a node at depth >= [cutoff] it
+     emits the path of branch indices leading there as a work item and
+     backs off — the node itself is untouched;
+   - work item ([replay = path]): replays the recorded branch choices from
+     the root without counting anything (phase 1 owns those stats), then
+     explores the subtree below the cutoff node live.
+
+   Branch indices number, per node, the deterministic enumeration the live
+   code performs: for each runnable thread in order, each normal outcome
+   then each fault branch.  Crash branches are never indexed — they hang
+   off a node and are wholly explored by whichever instance visits that
+   node live.  The decomposition [phase-1 work + each item at its emission
+   point] is exactly the sequential DFS, so merged stats and the first
+   counterexample are independent of the domain count. *)
+let run_instance (type w s) (cfg : (w, s) config) ~strategy ~fault_budget ~deadline
+    ~step_base ~cutoff ~emit ~replay_path
+    ~(fp : (bool * string option) option) ~sched_seen ~sched_lock ~(ctr : counters) :
+    inst_outcome =
   let spec = cfg.spec in
-  let ctr = new_counters () in
-  let tk = make_tracker spec ctr in
-  let fault_budget =
-    match faults with Some n -> max 0 n | None -> cfg.fault_budget
-  in
-  let deadline =
-    match (match max_seconds with Some _ as s -> s | None -> cfg.max_seconds) with
-    | None -> None
-    | Some s -> Some (Obs.Trace.now_us () +. (s *. 1e6))
-  in
+  let replay = ref replay_path in
+  let counting = ref (replay_path = []) in
+  let tk = make_tracker spec ctr ~live:counting in
+  let emitting = emit <> None in
+  let fp_on = fp <> None in
+  let fp_seen : (int, unit) Hashtbl.t = Hashtbl.create (if fp_on then 4096 else 1) in
+  let vstr v = Fmt.str "%a" V.pp v in
   let next_tid = ref 0 in
   let fresh_tid () =
     let t = !next_tid in
@@ -575,11 +653,15 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
         settle (live' :: others) (tk.add_pending tid call' cands) trace)
   in
 
+  (* The step budget is shared between the splitting phase and each work
+     item ([step_base] carries phase 1's spend into the items), so a
+     parallel run's per-item budget matches what the item's subtree would
+     have had left sequentially at its emission point. *)
   let bump_steps () =
     ctr.c_steps <- ctr.c_steps + 1;
-    if ctr.c_steps > cfg.step_budget then raise Budget;
+    if step_base + ctr.c_steps > cfg.step_budget then raise Budget;
     if Obs.Progress.enabled () && ctr.c_steps land 4095 = 0 then
-      Obs.Progress.tick ~executions:ctr.c_executions ~steps:ctr.c_steps
+      Obs.Progress.tick ~executions:ctr.c_executions ~steps:(step_base + ctr.c_steps)
         ~frontier:ctr.c_frontier ~fault_schedule:ctr.c_fault_scheds
         ?deadline_us:deadline ();
     (* The wall clock is polled once per 1024 steps: cheap enough to leave
@@ -594,12 +676,15 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
      path, newest injection first, as (site, kind): fault-eligible steps
      are numbered 0, 1, … per path in commit order, mirroring the runner's
      oracle.  Distinct non-empty schedules across completed executions
-     feed the [fault_schedules] stat. *)
+     feed the [fault_schedules] stat; the seen-table is shared across the
+     check's instances (mutex-guarded), so the count is the cardinality of
+     the union however the tree was partitioned. *)
   let fpath = ref [] in
-  let fault_scheds_seen = Hashtbl.create 16 in
-  let in_fault_branch site kind f =
-    ctr.c_faults <- ctr.c_faults + 1;
-    Obs.Trace.instant ~cat:"fault" "fault_injection";
+  let in_fault_branch ~live site kind f =
+    if live then begin
+      ctr.c_faults <- ctr.c_faults + 1;
+      Obs.Trace.instant ~cat:"fault" "fault_injection"
+    end;
     fpath := (site, kind) :: !fpath;
     Fun.protect ~finally:(fun () -> fpath := List.tl !fpath) f
   in
@@ -615,10 +700,12 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
                Printf.sprintf "%d:%s" site (Sched.Fault.kind_name kind))
              path)
       in
-      if not (Hashtbl.mem fault_scheds_seen key) then begin
-        Hashtbl.add fault_scheds_seen key ();
+      Mutex.lock sched_lock;
+      if not (Hashtbl.mem sched_seen key) then begin
+        Hashtbl.add sched_seen key ();
         ctr.c_fault_scheds <- ctr.c_fault_scheds + 1
-      end
+      end;
+      Mutex.unlock sched_lock
   in
   (* Retry loops announce themselves by labelling their steps "retry…";
      counting committed retry steps gives the [retries_observed] stat. *)
@@ -724,83 +811,201 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
       (fun () -> run_recovery w cands crashes trace)
   in
 
+  (* A thread's continuation identity: MD5 over the structural serialization
+     of (current call, program position, remaining ops), with [Closures] so
+     the program's continuation closures — code pointer plus captured
+     environment — serialize too.  Equal keys mean structurally identical
+     continuations, hence identical future behaviour; distinct keys for
+     behaviourally equal threads only cost pruning, never soundness.  Code
+     pointers are stable within a process (and across its domains), which is
+     exactly the lifetime of the intern table's relevance. *)
+  let thread_key l =
+    Digest.to_hex (Digest.string (Marshal.to_string (l.call, l.prog, l.rest) [ Marshal.Closures ]))
+  in
+
+  (* Global fingerprint pruning (DESIGN.md S21): at a settled node, digest
+     everything the subtree is a function of; if this instance has explored
+     an equal digest before, the whole subtree (crash branch included) is
+     redundant.  Naive strategy only — under DPOR the backtrack sets of the
+     pruned path's nodes would be lost. *)
+  let fp_prune w lives cands crashes fused fsite =
+    match fp with
+    | None -> false
+    | Some (symmetry, key_prefix) ->
+      let st =
+        {
+          Fingerprint.f_world = Fmt.str "%a" cfg.pp_world w;
+          f_cands =
+            List.map
+              (fun c ->
+                {
+                  Fingerprint.f_state = Fmt.str "%a" spec.Spec.pp_state c.st;
+                  f_pend =
+                    List.map
+                      (fun p ->
+                        {
+                          Fingerprint.f_ptid = p.ptid;
+                          f_op = p.pcall.Spec.op;
+                          f_args = List.map vstr p.pcall.Spec.args;
+                          f_result = Option.map vstr p.result;
+                        })
+                      c.pend;
+                })
+              cands;
+          f_phase = "main";
+          f_crashes = crashes;
+          f_fused = fused;
+          f_fsite = fsite;
+          f_threads =
+            List.map
+              (fun l -> { Fingerprint.f_tid = l.tid; f_class = thread_key l; f_hist = [] })
+              (List.sort (fun a b -> Int.compare a.tid b.tid) lives);
+        }
+      in
+      let t, _fresh = Fingerprint.digest ~symmetry ?key_prefix st in
+      let id = Fingerprint.id t in
+      if Hashtbl.mem fp_seen id then begin
+        ctr.c_fp_hits <- ctr.c_fp_hits + 1;
+        true
+      end
+      else begin
+        Hashtbl.add fp_seen id ();
+        ctr.c_fp_misses <- ctr.c_fp_misses + 1;
+        false
+      end
+  in
+
+  (* Pop the next replayed branch index, if any.  [None] means this node is
+     explored live. *)
+  let pop_replay () =
+    match !replay with
+    | [] -> None
+    | i :: rest ->
+      replay := rest;
+      Some i
+  in
+
   (* Main exploration: interleave threads; crash at any point; while the
      fault budget [fused < fault_budget] lasts, every fault point also
      branches.  [depth] is the schedule depth of this path, tracked as a
      high-water mark; [fsite] numbers the fault-eligible steps committed on
-     this path. *)
-  let rec explore w lives cands crashes trace depth fused fsite =
+     this path; [rpath] is the reversed branch-index path (maintained only
+     when emitting work items). *)
+  let rec explore w lives cands crashes trace depth fused fsite rpath =
     scoped_tids @@ fun () ->
-    if depth > ctr.c_frontier then ctr.c_frontier <- depth;
-    match settle lives cands trace with
-    | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
-    | lives, cands, trace ->
-      (* crash branch: a crash may strike at any point, including after all
-         operations completed (durability of acknowledged writes). *)
-      if crashes < cfg.max_crashes then begin
-        ctr.c_crashes <- ctr.c_crashes + 1;
-        Obs.Trace.instant ~cat:"crash" "crash_injection";
-        cov_crash_hit trace;
-        vacuous_ok (fun () ->
-            let sat = tk.saturate cands in
-            timed_recovery (cfg.crash_world w) sat (crashes + 1)
-              (ev_crash ~during_recovery:false :: trace))
-      end;
-      if lives = [] then timed_post w cands trace
-      else begin
-        (* schedule branches *)
-        let ran = ref false in
-        List.iteri
-          (fun i l ->
-            match l.prog with
-            | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
-              assert false (* settled/stripped above *)
-            | Sched.Prog.Atomic { label; action; faults; k; _ } ->
-              (match action w with
-              | Sched.Prog.Ub reason ->
-                raise
-                  (Violation
-                     (mk_failure
-                        (Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
-                           label reason)
-                        trace))
-              | Sched.Prog.Steps [] -> () (* blocked *)
-              | Sched.Prog.Steps outs ->
-                ran := true;
-                bump_steps ();
-                note_label label;
-                let flts = faults w in
-                cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
-                let fsite' = if flts <> [] then fsite + 1 else fsite in
-                let resume j v =
-                  List.mapi (fun j' l' -> if j = j' then { l' with prog = k v } else l') lives
-                in
-                List.iter
-                  (fun (w', v) ->
-                    explore w' (resume i v) cands crashes
-                      (ev_step l.tid label :: trace)
-                      (depth + 1) fused fsite')
-                  outs;
-                (* fault branches, after the normal outcomes so the first
-                   counterexample found is path-deterministic *)
-                if fused < fault_budget then
-                  List.iter
-                    (fun (kind, w', v) ->
-                      cov_fault_hit label kind;
-                      in_fault_branch fsite kind (fun () ->
-                          explore w' (resume i v) cands crashes
-                            (ev_fault l.tid label kind :: trace)
-                            (depth + 1) (fused + 1) fsite'))
-                    flts))
-          lives;
-        if (not !ran) && cfg.fail_on_deadlock then
-          raise
-            (Violation
-               (mk_failure
-                  (Fmt.str "deadlock: threads %s all blocked"
-                     (String.concat "," (List.map (fun l -> string_of_int l.tid) lives)))
-                  trace))
-      end
+    let sel = pop_replay () in
+    let live = sel = None in
+    match emit with
+    | Some e when live && depth >= cutoff -> e (List.rev rpath)
+    | _ ->
+      counting := live;
+      if live && depth > ctr.c_frontier then ctr.c_frontier <- depth;
+      (match settle lives cands trace with
+      | exception Vacuous -> if live then ctr.c_vacuous <- ctr.c_vacuous + 1
+      | lives, cands, trace ->
+        counting := true;
+        if live && fp_prune w lives cands crashes fused fsite then ()
+        else begin
+          (* crash branch: a crash may strike at any point, including after
+             all operations completed (durability of acknowledged writes).
+             Never replayed: the instance that visits this node live owns
+             it. *)
+          if live && crashes < cfg.max_crashes then begin
+            ctr.c_crashes <- ctr.c_crashes + 1;
+            Obs.Trace.instant ~cat:"crash" "crash_injection";
+            cov_crash_hit trace;
+            vacuous_ok (fun () ->
+                let sat = tk.saturate cands in
+                timed_recovery (cfg.crash_world w) sat (crashes + 1)
+                  (ev_crash ~during_recovery:false :: trace))
+          end;
+          if lives = [] then (if live then timed_post w cands trace)
+          else begin
+            (* schedule branches *)
+            let ran = ref false in
+            let brc = ref 0 in
+            (try
+               List.iteri
+                 (fun i l ->
+                   match l.prog with
+                   | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
+                     assert false (* settled/stripped above *)
+                   | Sched.Prog.Atomic { label; action; faults; k; _ } ->
+                     (match action w with
+                     | Sched.Prog.Ub reason ->
+                       raise
+                         (Violation
+                            (mk_failure
+                               (Fmt.str "thread %d hit undefined behaviour at %s: %s"
+                                  l.tid label reason)
+                               trace))
+                     | Sched.Prog.Steps [] -> () (* blocked *)
+                     | Sched.Prog.Steps outs ->
+                       ran := true;
+                       if live then begin
+                         bump_steps ();
+                         note_label label
+                       end;
+                       let flts = faults w in
+                       if live then
+                         cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
+                       let fsite' = if flts <> [] then fsite + 1 else fsite in
+                       let resume j v =
+                         List.mapi
+                           (fun j' l' -> if j = j' then { l' with prog = k v } else l')
+                           lives
+                       in
+                       List.iter
+                         (fun (w', v) ->
+                           let idx = !brc in
+                           incr brc;
+                           let child () =
+                             explore w' (resume i v) cands crashes
+                               (ev_step l.tid label :: trace)
+                               (depth + 1) fused fsite'
+                               (if emitting then idx :: rpath else rpath)
+                           in
+                           match sel with
+                           | None -> child ()
+                           | Some s when s = idx ->
+                             child ();
+                             raise Break
+                           | Some _ -> ())
+                         outs;
+                       (* fault branches, after the normal outcomes so the
+                          first counterexample found is path-deterministic *)
+                       if fused < fault_budget then
+                         List.iter
+                           (fun (kind, w', v) ->
+                             let idx = !brc in
+                             incr brc;
+                             let child () =
+                               if live then cov_fault_hit label kind;
+                               in_fault_branch ~live fsite kind (fun () ->
+                                   explore w' (resume i v) cands crashes
+                                     (ev_fault l.tid label kind :: trace)
+                                     (depth + 1) (fused + 1) fsite'
+                                     (if emitting then idx :: rpath else rpath))
+                             in
+                             match sel with
+                             | None -> child ()
+                             | Some s when s = idx ->
+                               child ();
+                               raise Break
+                             | Some _ -> ())
+                           flts))
+                 lives
+             with Break -> ());
+            if live && (not !ran) && cfg.fail_on_deadlock then
+              raise
+                (Violation
+                   (mk_failure
+                      (Fmt.str "deadlock: threads %s all blocked"
+                         (String.concat ","
+                            (List.map (fun l -> string_of_int l.tid) lives)))
+                      trace))
+          end
+        end)
   in
 
   (* Partial-order-reduced exploration: Flanagan–Godefroid DPOR over thread
@@ -818,177 +1023,248 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
        linearization obligations, so only footprint-disjoint steps strictly
        between those points commute;
      - threads blocked or unannotated degrade to naive exploration around
-       them. *)
+       them.
+
+     Parallel mode adds a fourth, also conservative, rule: every node above
+     the split cutoff explores ALL enabled steps (full backtrack set, no
+     sleep) — so no deep race ever needs to add a backtrack point to a
+     shallow node owned by another instance (the add would be a no-op
+     anyway).  The shallow region loses some reduction; the subtrees keep
+     full DPOR.  Within parallel mode the exploration is a fixed function
+     of [split_depth], hence identical for every domain count. *)
   let explore_por ~sleep_sets w0 lives0 cands0 =
     let module E = Explore in
-    let rec go w lives cands crashes trace depth fused fsite ~dirty ~stack ~sleep =
+    let rec go w lives cands crashes trace depth fused fsite rpath ~dirty ~stack ~sleep =
       scoped_tids @@ fun () ->
-      if depth > ctr.c_frontier then ctr.c_frontier <- depth;
-      match settle lives cands trace with
-      | exception Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
-      | lives, cands, trace' ->
-        let dirty = dirty || not (trace' == trace) in
-        let trace = trace' in
-        if crashes < cfg.max_crashes then begin
-          if dirty then begin
-            ctr.c_crashes <- ctr.c_crashes + 1;
-            Obs.Trace.instant ~cat:"crash" "crash_injection";
-            cov_crash_hit trace;
-            vacuous_ok (fun () ->
-                let sat = tk.saturate cands in
-                timed_recovery (cfg.crash_world w) sat (crashes + 1)
-                  (ev_crash ~during_recovery:false :: trace))
-          end
-          else begin
-            ctr.c_crash_skips <- ctr.c_crash_skips + 1;
-            cov_crash_skip trace
-          end
-        end;
-        if lives = [] then timed_post w cands trace
-        else begin
-          let infos =
-            List.filter_map
-              (fun l ->
-                match l.prog with
-                | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
-                  assert false (* settled/stripped above *)
-                | Sched.Prog.Atomic { label; fp; action; faults; k } ->
-                  (match action w with
-                  | Sched.Prog.Ub reason ->
-                    raise
-                      (Violation
-                         (mk_failure
-                            (Fmt.str "thread %d hit undefined behaviour at %s: %s"
-                               l.tid label reason)
-                            trace))
-                  | Sched.Prog.Steps [] -> None (* blocked *)
-                  | Sched.Prog.Steps outs ->
-                    let branches = List.map (fun (w', v) -> (w', k v)) outs in
-                    let flts = faults w in
-                    cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
-                    let fault_branches =
-                      if fused < fault_budget then
-                        List.map (fun (kind, w', v) -> (kind, (w', k v))) flts
-                      else []
-                    in
-                    let fp = fp w in
-                    let responds =
-                      List.exists
-                        (fun (_, p) ->
-                          match Sched.Prog.strip_marks p with
-                          | Sched.Prog.Done _ -> true
-                          | _ -> false)
-                        branches
-                    in
-                    Some
-                      { E.si_tid = l.tid; si_label = label; si_fp = fp;
-                        (* a step whose fault branches will be explored is
-                           globally dependent, like an [Unknown] footprint:
-                           faulted and normal outcomes may diverge
-                           arbitrarily, so it is never reordered *)
-                        si_visible =
-                          E.crash_relevant fp || responds || fault_branches <> [];
-                        si_branches = branches;
-                        si_faults = fault_branches;
-                        si_fault_site = flts <> [] }))
-              lives
-          in
-          match infos with
-          | [] ->
-            if cfg.fail_on_deadlock then
-              raise
-                (Violation
-                   (mk_failure
-                      (Fmt.str "deadlock: threads %s all blocked"
-                         (String.concat ","
-                            (List.map (fun l -> string_of_int l.tid) lives)))
-                      trace))
-          | _ :: _ ->
-            let node = E.node ~sleep infos in
-            E.detect_races stack node;
-            let explored = ref 0 and slept = ref 0 in
-            let first_explored = ref None in
-            let z = ref sleep in
-            let rec drive () =
-              match E.next_candidate node with
-              | None -> ()
-              | Some si ->
-                node.E.n_done <- si.E.si_tid :: node.E.n_done;
-                if sleep_sets && List.mem si.E.si_tid !z then begin
-                  incr slept;
-                  ctr.c_sleep <- ctr.c_sleep + 1;
-                  if E.Prov.enabled () then
-                    E.Prov.record E.Prov.Sleep ~site:si.E.si_label
-                      ?witness:!first_explored ();
-                  drive ()
-                end
-                else begin
-                  incr explored;
-                  if !first_explored = None then first_explored := Some si.E.si_label;
-                  bump_steps ();
-                  note_label si.E.si_label;
-                  let fsite' = if si.E.si_fault_site then fsite + 1 else fsite in
-                  let child_sleep =
-                    if not sleep_sets then []
-                    else
-                      List.filter
-                        (fun tid ->
-                          match
-                            List.find_opt (fun q -> q.E.si_tid = tid) node.E.n_enabled
-                          with
-                          | Some q -> not (E.dependent q si)
-                          | None -> false (* blocked or finished: wake it *))
-                        !z
-                  in
-                  let resume prog' =
-                    List.map
-                      (fun l ->
-                        if l.tid = si.E.si_tid then { l with prog = prog' } else l)
-                      lives
-                  in
-                  List.iter
-                    (fun (w', prog') ->
-                      go w' (resume prog') cands crashes
-                        (ev_step si.E.si_tid si.E.si_label :: trace)
-                        (depth + 1) fused fsite'
-                        ~dirty:(E.crash_relevant si.E.si_fp)
-                        ~stack:({ E.f_node = node; f_step = si } :: stack)
-                        ~sleep:child_sleep)
-                    si.E.si_branches;
-                  (* fault branches, after the normal outcomes; a torn
-                     write persists a durable prefix, so fault children are
-                     always crash-dirty *)
-                  List.iter
-                    (fun (kind, (w', prog')) ->
-                      cov_fault_hit si.E.si_label kind;
-                      in_fault_branch fsite kind (fun () ->
-                          go w' (resume prog') cands crashes
-                            (ev_fault si.E.si_tid si.E.si_label kind :: trace)
-                            (depth + 1) (fused + 1) fsite' ~dirty:true
-                            ~stack:({ E.f_node = node; f_step = si } :: stack)
-                            ~sleep:child_sleep))
-                    si.E.si_faults;
-                  if sleep_sets then z := si.E.si_tid :: !z;
-                  drive ()
-                end
-            in
-            drive ();
-            let pruned = List.length infos - !explored - !slept in
-            if pruned > 0 then begin
-              ctr.c_commut <- ctr.c_commut + pruned;
-              if E.Prov.enabled () then
-                List.iter
-                  (fun si ->
-                    if not (List.mem si.E.si_tid node.E.n_done) then
-                      E.Prov.record E.Prov.Commutation ~site:si.E.si_label
-                        ?witness:!first_explored ())
-                  infos
+      let sel = pop_replay () in
+      let live = sel = None in
+      match emit with
+      | Some e when live && depth >= cutoff -> e (List.rev rpath)
+      | _ ->
+        (* conservative node: a shallow node in parallel mode (splitting
+           live, or mirrored during item replay) *)
+        let conservative = (emitting && live) || sel <> None in
+        counting := live;
+        if live && depth > ctr.c_frontier then ctr.c_frontier <- depth;
+        (match settle lives cands trace with
+        | exception Vacuous -> if live then ctr.c_vacuous <- ctr.c_vacuous + 1
+        | lives, cands, trace' ->
+          counting := true;
+          let dirty = dirty || not (trace' == trace) in
+          let trace = trace' in
+          if live && crashes < cfg.max_crashes then begin
+            if dirty then begin
+              ctr.c_crashes <- ctr.c_crashes + 1;
+              Obs.Trace.instant ~cat:"crash" "crash_injection";
+              cov_crash_hit trace;
+              vacuous_ok (fun () ->
+                  let sat = tk.saturate cands in
+                  timed_recovery (cfg.crash_world w) sat (crashes + 1)
+                    (ev_crash ~during_recovery:false :: trace))
             end
-        end
+            else begin
+              ctr.c_crash_skips <- ctr.c_crash_skips + 1;
+              cov_crash_skip trace
+            end
+          end;
+          if lives = [] then (if live then timed_post w cands trace)
+          else begin
+            let infos =
+              List.filter_map
+                (fun l ->
+                  match l.prog with
+                  | Sched.Prog.Done _ | Sched.Prog.Mark _ ->
+                    assert false (* settled/stripped above *)
+                  | Sched.Prog.Atomic { label; fp; action; faults; k } ->
+                    (match action w with
+                    | Sched.Prog.Ub reason ->
+                      raise
+                        (Violation
+                           (mk_failure
+                              (Fmt.str "thread %d hit undefined behaviour at %s: %s"
+                                 l.tid label reason)
+                              trace))
+                    | Sched.Prog.Steps [] -> None (* blocked *)
+                    | Sched.Prog.Steps outs ->
+                      let branches = List.map (fun (w', v) -> (w', k v)) outs in
+                      let flts = faults w in
+                      if live then
+                        cov_fault_sites label (List.map (fun (kd, _, _) -> kd) flts);
+                      let fault_branches =
+                        if fused < fault_budget then
+                          List.map (fun (kind, w', v) -> (kind, (w', k v))) flts
+                        else []
+                      in
+                      let fp = fp w in
+                      let responds =
+                        List.exists
+                          (fun (_, p) ->
+                            match Sched.Prog.strip_marks p with
+                            | Sched.Prog.Done _ -> true
+                            | _ -> false)
+                          branches
+                      in
+                      Some
+                        { E.si_tid = l.tid; si_label = label; si_fp = fp;
+                          (* a step whose fault branches will be explored is
+                             globally dependent, like an [Unknown] footprint:
+                             faulted and normal outcomes may diverge
+                             arbitrarily, so it is never reordered *)
+                          si_visible =
+                            E.crash_relevant fp || responds || fault_branches <> [];
+                          si_branches = branches;
+                          si_faults = fault_branches;
+                          si_fault_site = flts <> [] }))
+                lives
+            in
+            match infos with
+            | [] ->
+              if live && cfg.fail_on_deadlock then
+                raise
+                  (Violation
+                     (mk_failure
+                        (Fmt.str "deadlock: threads %s all blocked"
+                           (String.concat ","
+                              (List.map (fun l -> string_of_int l.tid) lives)))
+                        trace))
+            | _ :: _ ->
+              let node = E.node ~sleep:(if conservative then [] else sleep) infos in
+              if conservative then
+                node.E.n_backtrack <- List.map (fun si -> si.E.si_tid) infos;
+              if not conservative then E.detect_races stack node;
+              let resume si prog' =
+                List.map
+                  (fun l -> if l.tid = si.E.si_tid then { l with prog = prog' } else l)
+                  lives
+              in
+              (match sel with
+              | Some s ->
+                (* replay: execute only the selected branch, with the node
+                   mirrored on the stack so deep race detection sees the
+                   same frames (its backtrack adds are no-ops here) *)
+                let brc = ref 0 in
+                (try
+                   List.iter
+                     (fun si ->
+                       node.E.n_done <- si.E.si_tid :: node.E.n_done;
+                       let fsite' = if si.E.si_fault_site then fsite + 1 else fsite in
+                       List.iter
+                         (fun (w', prog') ->
+                           let idx = !brc in
+                           incr brc;
+                           if idx = s then begin
+                             go w' (resume si prog') cands crashes
+                               (ev_step si.E.si_tid si.E.si_label :: trace)
+                               (depth + 1) fused fsite' rpath
+                               ~dirty:(E.crash_relevant si.E.si_fp)
+                               ~stack:({ E.f_node = node; f_step = si } :: stack)
+                               ~sleep:[];
+                             raise Break
+                           end)
+                         si.E.si_branches;
+                       List.iter
+                         (fun (kind, (w', prog')) ->
+                           let idx = !brc in
+                           incr brc;
+                           if idx = s then begin
+                             in_fault_branch ~live:false fsite kind (fun () ->
+                                 go w' (resume si prog') cands crashes
+                                   (ev_fault si.E.si_tid si.E.si_label kind :: trace)
+                                   (depth + 1) (fused + 1) fsite' rpath ~dirty:true
+                                   ~stack:({ E.f_node = node; f_step = si } :: stack)
+                                   ~sleep:[]);
+                             raise Break
+                           end)
+                         si.E.si_faults)
+                     infos
+                 with Break -> ())
+              | None ->
+                let explored = ref 0 and slept = ref 0 in
+                let first_explored = ref None in
+                let z = ref sleep in
+                let brc = ref 0 in
+                let rec drive () =
+                  match E.next_candidate node with
+                  | None -> ()
+                  | Some si ->
+                    node.E.n_done <- si.E.si_tid :: node.E.n_done;
+                    if (not conservative) && sleep_sets && List.mem si.E.si_tid !z
+                    then begin
+                      incr slept;
+                      ctr.c_sleep <- ctr.c_sleep + 1;
+                      if E.Prov.enabled () then
+                        E.Prov.record E.Prov.Sleep ~site:si.E.si_label
+                          ?witness:!first_explored ();
+                      drive ()
+                    end
+                    else begin
+                      incr explored;
+                      if !first_explored = None then first_explored := Some si.E.si_label;
+                      bump_steps ();
+                      note_label si.E.si_label;
+                      let fsite' = if si.E.si_fault_site then fsite + 1 else fsite in
+                      let child_sleep =
+                        if conservative || not sleep_sets then []
+                        else
+                          List.filter
+                            (fun tid ->
+                              match
+                                List.find_opt (fun q -> q.E.si_tid = tid) node.E.n_enabled
+                              with
+                              | Some q -> not (E.dependent q si)
+                              | None -> false (* blocked or finished: wake it *))
+                            !z
+                      in
+                      List.iter
+                        (fun (w', prog') ->
+                          let idx = !brc in
+                          incr brc;
+                          go w' (resume si prog') cands crashes
+                            (ev_step si.E.si_tid si.E.si_label :: trace)
+                            (depth + 1) fused fsite'
+                            (if emitting then idx :: rpath else rpath)
+                            ~dirty:(E.crash_relevant si.E.si_fp)
+                            ~stack:({ E.f_node = node; f_step = si } :: stack)
+                            ~sleep:child_sleep)
+                        si.E.si_branches;
+                      (* fault branches, after the normal outcomes; a torn
+                         write persists a durable prefix, so fault children are
+                         always crash-dirty *)
+                      List.iter
+                        (fun (kind, (w', prog')) ->
+                          let idx = !brc in
+                          incr brc;
+                          cov_fault_hit si.E.si_label kind;
+                          in_fault_branch ~live:true fsite kind (fun () ->
+                              go w' (resume si prog') cands crashes
+                                (ev_fault si.E.si_tid si.E.si_label kind :: trace)
+                                (depth + 1) (fused + 1) fsite'
+                                (if emitting then idx :: rpath else rpath)
+                                ~dirty:true
+                                ~stack:({ E.f_node = node; f_step = si } :: stack)
+                                ~sleep:child_sleep))
+                        si.E.si_faults;
+                      if sleep_sets && not conservative then z := si.E.si_tid :: !z;
+                      drive ()
+                    end
+                in
+                drive ();
+                let pruned = List.length infos - !explored - !slept in
+                if pruned > 0 then begin
+                  ctr.c_commut <- ctr.c_commut + pruned;
+                  if E.Prov.enabled () then
+                    List.iter
+                      (fun si ->
+                        if not (List.mem si.E.si_tid node.E.n_done) then
+                          E.Prov.record E.Prov.Commutation ~site:si.E.si_label
+                            ?witness:!first_explored ())
+                      infos
+                end)
+          end)
     in
     (* [dirty = true] at the root: the crash before any step is always
        explored. *)
-    go w0 lives0 cands0 0 [] 0 0 0 ~dirty:true ~stack:[] ~sleep:[]
+    go w0 lives0 cands0 0 [] 0 0 0 [] ~dirty:true ~stack:[] ~sleep:[]
   in
 
   let initial_lives, initial_cands =
@@ -1002,31 +1278,145 @@ let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds
       ([], [ { st = spec.Spec.init; pend = [] } ])
       cfg.threads
   in
+  let run () =
+    match strategy with
+    | Explore.Naive ->
+      explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0 0 0 []
+    | Explore.Dpor ->
+      explore_por ~sleep_sets:false cfg.init_world (List.rev initial_lives) initial_cands
+    | Explore.Dpor_sleep ->
+      explore_por ~sleep_sets:true cfg.init_world (List.rev initial_lives) initial_cands
+  in
+  match run () with
+  | () -> I_ok
+  | exception Violation f -> I_viol f
+  | exception Budget -> I_budget
+
+(* ------------------------------------------------------------------ *)
+(* The exhaustive checker                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check (type w s) ?(strategy = Explore.Naive) ?faults ?max_seconds ?domains
+    ?(split_depth = 2) ?(fingerprint = false) ?(symmetry = false) ?key_prefix
+    (cfg : (w, s) config) : result =
+  if symmetry && not fingerprint then
+    invalid_arg "Refinement.check: ~symmetry requires ~fingerprint:true";
+  if fingerprint && strategy <> Explore.Naive then
+    invalid_arg
+      "Refinement.check: ~fingerprint requires the Naive strategy (global state \
+       caching breaks DPOR backtrack-set computation; see DESIGN.md S21)";
+  (match domains with
+  | Some n when n < 1 -> invalid_arg "Refinement.check: domains must be >= 1"
+  | _ -> ());
+  if split_depth < 1 then invalid_arg "Refinement.check: split_depth must be >= 1";
+  Obs.Metrics.inc Mx.checks;
+  let fault_budget =
+    match faults with Some n -> max 0 n | None -> cfg.fault_budget
+  in
+  let deadline =
+    match (match max_seconds with Some _ as s -> s | None -> cfg.max_seconds) with
+    | None -> None
+    | Some s -> Some (Obs.Trace.now_us () +. (s *. 1e6))
+  in
+  let fp = if fingerprint then Some (symmetry, key_prefix) else None in
+  let sched_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let sched_lock = Mutex.create () in
+  let run_one ~step_base ~cutoff ~emit ~replay_path ~ctr =
+    run_instance cfg ~strategy ~fault_budget ~deadline ~step_base ~cutoff ~emit
+      ~replay_path ~fp ~sched_seen ~sched_lock ~ctr
+  in
   let t0 = Obs.Trace.now_us () in
   let r =
-    timed_check "refinement.check" ctr (fun () ->
-        let run () =
-          match strategy with
-          | Explore.Naive ->
-            explore cfg.init_world (List.rev initial_lives) initial_cands 0 [] 0 0 0
-          | Explore.Dpor ->
-            explore_por ~sleep_sets:false cfg.init_world (List.rev initial_lives)
-              initial_cands
-          | Explore.Dpor_sleep ->
-            explore_por ~sleep_sets:true cfg.init_world (List.rev initial_lives)
-              initial_cands
-        in
-        match run () with
-        | () -> Refinement_holds (snapshot ctr)
-        | exception Violation f -> Refinement_violated (f, snapshot ctr)
-        | exception Budget -> Budget_exhausted (snapshot ctr))
+    timed_check "refinement.check" (fun () ->
+        match domains with
+        | None ->
+          (* Sequential whole-run engine: the legacy checker, unchanged. *)
+          let ctr = fresh_counters () in
+          (match
+             run_one ~step_base:0 ~cutoff:max_int ~emit:None ~replay_path:[] ~ctr
+           with
+          | I_ok -> Refinement_holds (snapshot ctr)
+          | I_viol f -> Refinement_violated (f, snapshot ctr)
+          | I_budget -> Budget_exhausted (snapshot ctr))
+        | Some n ->
+          Obs.Metrics.set Mx.domains_g (float_of_int n);
+          (* Phase 1: sequential split.  Everything above [split_depth] is
+             explored (and counted) here; each subtree root at the cutoff
+             becomes a work item, in DFS order. *)
+          let items_rev = ref [] in
+          let p1 = fresh_counters () in
+          let o1 =
+            run_one ~step_base:0 ~cutoff:split_depth
+              ~emit:(Some (fun path -> items_rev := path :: !items_rev))
+              ~replay_path:[] ~ctr:p1
+          in
+          (match o1 with
+          | I_budget ->
+            (* The split phase itself blew the budget; items would only
+               re-spend it. *)
+            Budget_exhausted (snapshot p1)
+          | _ ->
+            let items = Array.of_list (List.rev !items_rev) in
+            let n_items = Array.length items in
+            Obs.Metrics.inc ~by:n_items Mx.work_items;
+            let ctrs = Array.init n_items (fun _ -> fresh_counters ()) in
+            let results = Array.make n_items I_ok in
+            let next = Atomic.make 0 in
+            let step_base = p1.c_steps in
+            (* Every emitted item runs to completion even after another
+               finds a violation: early cancellation would make the merged
+               stats depend on timing.  The *winner* is chosen by item
+               order below, never by finish order. *)
+            let worker primary () =
+              let rec loop () =
+                let i = Atomic.fetch_and_add next 1 in
+                if i < n_items then begin
+                  if not primary then Obs.Metrics.inc Mx.steals;
+                  results.(i) <-
+                    run_one ~step_base ~cutoff:max_int ~emit:None
+                      ~replay_path:items.(i) ~ctr:ctrs.(i);
+                  loop ()
+                end
+              in
+              loop ()
+            in
+            let n_workers = min n (max 1 n_items) in
+            let doms =
+              List.init (n_workers - 1) (fun _ ->
+                  Domain.spawn (fun () -> worker false ()))
+            in
+            worker true ();
+            List.iter Domain.join doms;
+            let merged = p1 in
+            Array.iter (fun c -> merge_into merged c) ctrs;
+            let stats = snapshot merged in
+            (* First counterexample wins, in sequential DFS order: every
+               emitted item precedes the splitting phase's own outcome
+               (emission stops at its raise), so scan items 0..n-1 first. *)
+            let rec scan i =
+              if i >= n_items then
+                match o1 with
+                | I_ok -> Refinement_holds stats
+                | I_viol f -> Refinement_violated (f, stats)
+                | I_budget -> assert false
+              else
+                match results.(i) with
+                | I_viol f -> Refinement_violated (f, stats)
+                | I_budget -> Budget_exhausted stats
+                | I_ok -> scan (i + 1)
+            in
+            scan 0))
   in
   Obs.Metrics.add (Explore.strategy_us strategy) (Obs.Trace.now_us () -. t0);
   r
 
-let check_exn ?strategy ?faults ?max_seconds cfg =
+let check_exn ?strategy ?faults ?max_seconds ?domains ?split_depth ?fingerprint
+    ?symmetry ?key_prefix cfg =
   let t0 = Obs.Trace.now_us () in
-  match check ?strategy ?faults ?max_seconds cfg with
+  match
+    check ?strategy ?faults ?max_seconds ?domains ?split_depth ?fingerprint ?symmetry
+      ?key_prefix cfg
+  with
   | Refinement_holds stats -> stats
   | Refinement_violated (f, stats) ->
     failwith (Fmt.str "@[<v>Refinement_violated: %a@,stats: %a@]" pp_failure f pp_stats stats)
@@ -1055,234 +1445,297 @@ let check_exn ?strategy ?faults ?max_seconds cfg =
    failure tagged [seed=S schedule=I/N] replays from those numbers alone
    (see {!check_random_replay}), independent of the draws — schedule
    choices, outcome picks, crash coins during recovery — consumed by the
-   preceding N-1 walks. *)
-let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob
+   preceding N-1 walks.  That per-walk isolation is also what makes
+   [?domains] sound: walks share no RNG, tid counter, or tracker state, so
+   they can run on any domain in any order and still produce the walk the
+   seed names. *)
+let check_random_walks (type w s) ~schedules ~first ~last ~seed ~crash_prob ?domains
     (cfg : (w, s) config) : result =
   let spec = cfg.spec in
-  let ctr = new_counters () in
-  let tk = make_tracker spec ctr in
-  let current_rng = ref (Random.State.make [| seed; first |]) in
-  let next_tid = ref 0 in
-  let fresh_tid () =
-    let t = !next_tid in
-    incr next_tid;
-    t
-  in
-  let bump_steps () =
-    ctr.c_steps <- ctr.c_steps + 1;
-    if ctr.c_steps > cfg.step_budget then raise Budget
-  in
-  let pick xs = List.nth xs (Random.State.int !current_rng (List.length xs)) in
-
-  (* run a single program to completion with random outcome choices *)
-  let run_solo ~what ~mk_ev w prog trace =
-    let rec go w prog trace =
-      match prog with
-      | Sched.Prog.Mark (_, p) -> go w p trace
-      | Sched.Prog.Done v -> (w, v, trace)
-      | Sched.Prog.Atomic { label; action; k; _ } ->
-        bump_steps ();
-        (match action w with
-        | Sched.Prog.Ub reason ->
-          raise
-            (Violation
-               (mk_failure
-                  (Fmt.str "%s hit undefined behaviour at %s: %s" what label reason)
-                  trace))
-        | Sched.Prog.Steps [] ->
-          raise (Violation (mk_failure (Fmt.str "%s blocked at %s" what label) trace))
-        | Sched.Prog.Steps outs ->
-          let w', v = pick outs in
-          go w' (k v) (mk_ev label :: trace))
+  Obs.Metrics.inc Mx.checks;
+  (* A walker instance: private counters, tracker, RNG and tid counter.
+     [walk i] runs schedule [i] from scratch; Violation/Budget escape to
+     the caller. *)
+  let make_walker (ctr : counters) =
+    let tk = make_tracker spec ctr ~live:(ref true) in
+    let current_rng = ref (Random.State.make [| seed; first |]) in
+    let next_tid = ref 0 in
+    let fresh_tid () =
+      let t = !next_tid in
+      incr next_tid;
+      t
     in
-    go w prog trace
-  in
-
-  let run_post w cands trace =
-    let _, _ =
-      List.fold_left
-        (fun (w, cands) (call, prog) ->
-          let tid = fresh_tid () in
-          let cands = tk.add_pending tid call cands in
-          let w, v, trace' = run_solo ~what:"post" ~mk_ev:ev_pstep w prog trace in
-          let trace' = ev_post_return tid call v :: trace' in
-          (w, tk.respond tid v trace' cands))
-        (w, cands) cfg.post
+    let bump_steps () =
+      ctr.c_steps <- ctr.c_steps + 1;
+      if ctr.c_steps > cfg.step_budget then raise Budget
     in
-    ctr.c_executions <- ctr.c_executions + 1
-  in
-  let timed_post w cands trace =
-    timed_phase "post" (fun us -> ctr.c_post_us <- ctr.c_post_us +. us) (fun () ->
-        run_post w cands trace)
-  in
+    let pick xs = List.nth xs (Random.State.int !current_rng (List.length xs)) in
 
-  (* crash, then recovery (itself subject to random crashes), then the spec
-     crash transition and the post probes *)
-  let do_crash w cands crashes trace =
-    ctr.c_crashes <- ctr.c_crashes + 1;
-    Obs.Trace.instant ~cat:"crash" "crash_injection";
-    let sat = tk.saturate cands in
-    let rec recover w crashes trace =
+    (* run a single program to completion with random outcome choices *)
+    let run_solo ~what ~mk_ev w prog trace =
       let rec go w prog trace =
-        let prog = Sched.Prog.strip_marks prog in
-        if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then begin
-          ctr.c_crashes <- ctr.c_crashes + 1;
-          Obs.Trace.instant ~cat:"crash" "crash_injection";
-          recover (cfg.crash_world w) (crashes + 1)
-            (ev_crash ~during_recovery:true :: trace)
-        end
-        else
-          match prog with
-          | Sched.Prog.Mark _ -> assert false (* stripped above *)
-          | Sched.Prog.Done _ -> (w, trace)
-          | Sched.Prog.Atomic { label; action; k; _ } ->
-            bump_steps ();
-            (match action w with
-            | Sched.Prog.Ub reason ->
-              raise
-                (Violation
-                   (mk_failure
-                      (Fmt.str "recovery hit undefined behaviour at %s: %s" label reason)
-                      trace))
-            | Sched.Prog.Steps [] ->
-              raise
-                (Violation (mk_failure (Fmt.str "recovery blocked at %s" label) trace))
-            | Sched.Prog.Steps outs ->
-              let w', v = pick outs in
-              go w' (k v) (ev_rstep label :: trace))
-      in
-      go w cfg.recovery trace
-    in
-    let w, trace =
-      timed_phase "recovery" (fun us -> ctr.c_recovery_us <- ctr.c_recovery_us +. us)
-        (fun () -> recover (cfg.crash_world w) crashes (ev_crash ~during_recovery:false :: trace))
-    in
-    timed_post w (tk.crash_cands trace sat) trace
-  in
-
-  let walk () =
-    let lives, cands =
-      List.fold_left
-        (fun (lives, cands) ops ->
-          match ops with
-          | [] -> (lives, cands)
-          | (call, prog) :: rest ->
-            let tid = fresh_tid () in
-            ({ tid; call; prog; rest } :: lives, tk.add_pending tid call cands))
-        ([], [ { st = spec.Spec.init; pend = [] } ])
-        cfg.threads
-    in
-    let rec main w lives cands crashes trace depth =
-      if depth > ctr.c_frontier then ctr.c_frontier <- depth;
-      (* settle finished threads first *)
-      let rec settle lives cands trace =
-        let lives =
-          List.map (fun l -> { l with prog = Sched.Prog.strip_marks l.prog }) lives
-        in
-        let rec find acc = function
-          | [] -> None
-          | ({ prog = Sched.Prog.Done v; _ } as l) :: rest ->
-            Some (List.rev_append acc rest, l, v)
-          | l :: rest -> find (l :: acc) rest
-        in
-        match find [] lives with
-        | None -> (lives, cands, trace)
-        | Some (others, l, v) ->
-          let trace = ev_return l.tid l.call v :: trace in
-          let cands = tk.respond l.tid v trace cands in
-          (match l.rest with
-          | [] -> settle others cands trace
-          | (call', prog') :: rest' ->
-            let tid = fresh_tid () in
-            let live' = { tid; call = call'; prog = prog'; rest = rest' } in
-            settle (live' :: others) (tk.add_pending tid call' cands) (ev_invoke tid call' :: trace))
-      in
-      let lives, cands, trace = settle lives cands trace in
-      if lives = [] then
-        if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then
-          do_crash w cands crashes trace
-        else timed_post w cands trace
-      else if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob then
-        do_crash w cands crashes trace
-      else begin
-        (* collect the runnable threads as commit closures (the step's
-           payload type must not escape the match arm) *)
-        let steppable =
-          List.concat
-            (List.mapi
-               (fun i l ->
-                 match l.prog with
-                 | Sched.Prog.Done _ | Sched.Prog.Mark _ -> []
-                 | Sched.Prog.Atomic { label; action; k; _ } -> (
-                   match action w with
-                   | Sched.Prog.Ub reason ->
-                     raise
-                       (Violation
-                          (mk_failure
-                             (Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
-                                label reason)
-                             trace))
-                   | Sched.Prog.Steps [] -> []
-                   | Sched.Prog.Steps outs ->
-                     [ (fun () ->
-                         let w', v = pick outs in
-                         let lives' =
-                           List.mapi
-                             (fun j l' -> if i = j then { l' with prog = k v } else l')
-                             lives
-                         in
-                         (w', lives', ev_step l.tid label :: trace)) ]))
-               lives)
-        in
-        match steppable with
-        | [] ->
-          if crashes < cfg.max_crashes then do_crash w cands crashes trace
-          else if cfg.fail_on_deadlock then
+        match prog with
+        | Sched.Prog.Mark (_, p) -> go w p trace
+        | Sched.Prog.Done v -> (w, v, trace)
+        | Sched.Prog.Atomic { label; action; k; _ } ->
+          bump_steps ();
+          (match action w with
+          | Sched.Prog.Ub reason ->
             raise
               (Violation
                  (mk_failure
-                    (Fmt.str "deadlock: threads %s all blocked"
-                       (String.concat ","
-                          (List.map (fun l -> string_of_int l.tid) lives)))
+                    (Fmt.str "%s hit undefined behaviour at %s: %s" what label reason)
                     trace))
-          else ()
-        | _ ->
-          bump_steps ();
-          let w', lives', trace' = (pick steppable) () in
-          main w' lives' cands crashes trace' (depth + 1)
-      end
+          | Sched.Prog.Steps [] ->
+            raise (Violation (mk_failure (Fmt.str "%s blocked at %s" what label) trace))
+          | Sched.Prog.Steps outs ->
+            let w', v = pick outs in
+            go w' (k v) (mk_ev label :: trace))
+      in
+      go w prog trace
     in
-    main cfg.init_world (List.rev lives) cands 0 [] 0
-  in
-  (* The schedule index makes a randomized counterexample reproducible:
-     walk [i] draws only from [Random.State.make [| seed; i |]], so the
-     failing schedule replays from [seed=.. schedule=i/n] alone. *)
-  let sched_idx = ref 0 in
-  timed_check "refinement.check_random" ctr (fun () ->
-      match
-        for i = first to last do
-          sched_idx := i;
-          current_rng := Random.State.make [| seed; i |];
-          next_tid := 0;
-          try walk () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
-        done
-      with
-      | () -> Refinement_holds (snapshot ctr)
-      | exception Violation f ->
-        let f =
-          { f with
-            reason =
-              Fmt.str "[seed=%d schedule=%d/%d] %s" seed !sched_idx schedules f.reason
-          }
+
+    let run_post w cands trace =
+      let _, _ =
+        List.fold_left
+          (fun (w, cands) (call, prog) ->
+            let tid = fresh_tid () in
+            let cands = tk.add_pending tid call cands in
+            let w, v, trace' = run_solo ~what:"post" ~mk_ev:ev_pstep w prog trace in
+            let trace' = ev_post_return tid call v :: trace' in
+            (w, tk.respond tid v trace' cands))
+          (w, cands) cfg.post
+      in
+      ctr.c_executions <- ctr.c_executions + 1
+    in
+    let timed_post w cands trace =
+      timed_phase "post" (fun us -> ctr.c_post_us <- ctr.c_post_us +. us) (fun () ->
+          run_post w cands trace)
+    in
+
+    (* crash, then recovery (itself subject to random crashes), then the spec
+       crash transition and the post probes *)
+    let do_crash w cands crashes trace =
+      ctr.c_crashes <- ctr.c_crashes + 1;
+      Obs.Trace.instant ~cat:"crash" "crash_injection";
+      let sat = tk.saturate cands in
+      let rec recover w crashes trace =
+        let rec go w prog trace =
+          let prog = Sched.Prog.strip_marks prog in
+          if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob
+          then begin
+            ctr.c_crashes <- ctr.c_crashes + 1;
+            Obs.Trace.instant ~cat:"crash" "crash_injection";
+            recover (cfg.crash_world w) (crashes + 1)
+              (ev_crash ~during_recovery:true :: trace)
+          end
+          else
+            match prog with
+            | Sched.Prog.Mark _ -> assert false (* stripped above *)
+            | Sched.Prog.Done _ -> (w, trace)
+            | Sched.Prog.Atomic { label; action; k; _ } ->
+              bump_steps ();
+              (match action w with
+              | Sched.Prog.Ub reason ->
+                raise
+                  (Violation
+                     (mk_failure
+                        (Fmt.str "recovery hit undefined behaviour at %s: %s" label reason)
+                        trace))
+              | Sched.Prog.Steps [] ->
+                raise
+                  (Violation (mk_failure (Fmt.str "recovery blocked at %s" label) trace))
+              | Sched.Prog.Steps outs ->
+                let w', v = pick outs in
+                go w' (k v) (ev_rstep label :: trace))
         in
-        Refinement_violated (f, snapshot ctr)
-      | exception Budget -> Budget_exhausted (snapshot ctr))
+        go w cfg.recovery trace
+      in
+      let w, trace =
+        timed_phase "recovery" (fun us -> ctr.c_recovery_us <- ctr.c_recovery_us +. us)
+          (fun () ->
+            recover (cfg.crash_world w) crashes (ev_crash ~during_recovery:false :: trace))
+      in
+      timed_post w (tk.crash_cands trace sat) trace
+    in
 
-let check_random ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) cfg =
-  check_random_walks ~schedules ~first:1 ~last:schedules ~seed ~crash_prob cfg
+    let walk_body () =
+      let lives, cands =
+        List.fold_left
+          (fun (lives, cands) ops ->
+            match ops with
+            | [] -> (lives, cands)
+            | (call, prog) :: rest ->
+              let tid = fresh_tid () in
+              ({ tid; call; prog; rest } :: lives, tk.add_pending tid call cands))
+          ([], [ { st = spec.Spec.init; pend = [] } ])
+          cfg.threads
+      in
+      let rec main w lives cands crashes trace depth =
+        if depth > ctr.c_frontier then ctr.c_frontier <- depth;
+        (* settle finished threads first *)
+        let rec settle lives cands trace =
+          let lives =
+            List.map (fun l -> { l with prog = Sched.Prog.strip_marks l.prog }) lives
+          in
+          let rec find acc = function
+            | [] -> None
+            | ({ prog = Sched.Prog.Done v; _ } as l) :: rest ->
+              Some (List.rev_append acc rest, l, v)
+            | l :: rest -> find (l :: acc) rest
+          in
+          match find [] lives with
+          | None -> (lives, cands, trace)
+          | Some (others, l, v) ->
+            let trace = ev_return l.tid l.call v :: trace in
+            let cands = tk.respond l.tid v trace cands in
+            (match l.rest with
+            | [] -> settle others cands trace
+            | (call', prog') :: rest' ->
+              let tid = fresh_tid () in
+              let live' = { tid; call = call'; prog = prog'; rest = rest' } in
+              settle (live' :: others) (tk.add_pending tid call' cands)
+                (ev_invoke tid call' :: trace))
+        in
+        let lives, cands, trace = settle lives cands trace in
+        if lives = [] then
+          if crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob
+          then do_crash w cands crashes trace
+          else timed_post w cands trace
+        else if
+          crashes < cfg.max_crashes && Random.State.float !current_rng 1.0 < crash_prob
+        then do_crash w cands crashes trace
+        else begin
+          (* collect the runnable threads as commit closures (the step's
+             payload type must not escape the match arm) *)
+          let steppable =
+            List.concat
+              (List.mapi
+                 (fun i l ->
+                   match l.prog with
+                   | Sched.Prog.Done _ | Sched.Prog.Mark _ -> []
+                   | Sched.Prog.Atomic { label; action; k; _ } -> (
+                     match action w with
+                     | Sched.Prog.Ub reason ->
+                       raise
+                         (Violation
+                            (mk_failure
+                               (Fmt.str "thread %d hit undefined behaviour at %s: %s" l.tid
+                                  label reason)
+                               trace))
+                     | Sched.Prog.Steps [] -> []
+                     | Sched.Prog.Steps outs ->
+                       [ (fun () ->
+                           let w', v = pick outs in
+                           let lives' =
+                             List.mapi
+                               (fun j l' -> if i = j then { l' with prog = k v } else l')
+                               lives
+                           in
+                           (w', lives', ev_step l.tid label :: trace)) ]))
+                 lives)
+          in
+          match steppable with
+          | [] ->
+            if crashes < cfg.max_crashes then do_crash w cands crashes trace
+            else if cfg.fail_on_deadlock then
+              raise
+                (Violation
+                   (mk_failure
+                      (Fmt.str "deadlock: threads %s all blocked"
+                         (String.concat ","
+                            (List.map (fun l -> string_of_int l.tid) lives)))
+                      trace))
+            else ()
+          | _ ->
+            bump_steps ();
+            let w', lives', trace' = (pick steppable) () in
+            main w' lives' cands crashes trace' (depth + 1)
+        end
+      in
+      main cfg.init_world (List.rev lives) cands 0 [] 0
+    in
+    (* The schedule index makes a randomized counterexample reproducible:
+       walk [i] draws only from [Random.State.make [| seed; i |]], so the
+       failing schedule replays from [seed=.. schedule=i/n] alone. *)
+    fun i ->
+      current_rng := Random.State.make [| seed; i |];
+      next_tid := 0;
+      try walk_body () with Vacuous -> ctr.c_vacuous <- ctr.c_vacuous + 1
+  in
+  let prefix i reason = Fmt.str "[seed=%d schedule=%d/%d] %s" seed i schedules reason in
+  match domains with
+  | None ->
+    (* Legacy sequential run: shared counters, cumulative step budget,
+       stop at the first failing walk. *)
+    let ctr = fresh_counters () in
+    let walk = make_walker ctr in
+    let sched_idx = ref 0 in
+    timed_check "refinement.check_random" (fun () ->
+        match
+          for i = first to last do
+            sched_idx := i;
+            walk i
+          done
+        with
+        | () -> Refinement_holds (snapshot ctr)
+        | exception Violation f ->
+          Refinement_violated ({ f with reason = prefix !sched_idx f.reason }, snapshot ctr)
+        | exception Budget -> Budget_exhausted (snapshot ctr))
+  | Some n ->
+    if n < 1 then invalid_arg "Refinement.check_random: domains must be >= 1";
+    (* Parallel walks: each walk gets its own counters and step budget and
+       always runs (no early stop), so merged stats and the reported
+       failure — the lowest-index failing walk — are identical for every
+       domain count. *)
+    timed_check "refinement.check_random" (fun () ->
+        Obs.Metrics.set Mx.domains_g (float_of_int n);
+        let n_walks = last - first + 1 in
+        let ctrs = Array.init n_walks (fun _ -> fresh_counters ()) in
+        let outcomes = Array.make n_walks I_ok in
+        let next = Atomic.make 0 in
+        let worker primary () =
+          let rec loop () =
+            let j = Atomic.fetch_and_add next 1 in
+            if j < n_walks then begin
+              if not primary then Obs.Metrics.inc Mx.steals;
+              let walk = make_walker ctrs.(j) in
+              outcomes.(j) <-
+                (match walk (first + j) with
+                | () -> I_ok
+                | exception Violation f -> I_viol f
+                | exception Budget -> I_budget);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let n_workers = min n (max 1 n_walks) in
+        let doms =
+          List.init (n_workers - 1) (fun _ -> Domain.spawn (fun () -> worker false ()))
+        in
+        worker true ();
+        List.iter Domain.join doms;
+        let merged = fresh_counters () in
+        Array.iter (fun c -> merge_into merged c) ctrs;
+        let stats = snapshot merged in
+        let rec scan j =
+          if j >= n_walks then Refinement_holds stats
+          else
+            match outcomes.(j) with
+            | I_viol f ->
+              Refinement_violated ({ f with reason = prefix (first + j) f.reason }, stats)
+            | I_budget -> Budget_exhausted stats
+            | I_ok -> scan (j + 1)
+        in
+        scan 0)
 
-let check_random_replay ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) ~schedule
-    cfg =
+let check_random ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) ?domains cfg =
+  check_random_walks ~schedules ~first:1 ~last:schedules ~seed ~crash_prob ?domains cfg
+
+let check_random_replay ?(schedules = 200) ?(seed = 17) ?(crash_prob = 0.05) ?domains
+    ~schedule cfg =
   if schedule < 1 || schedule > schedules then
     invalid_arg "Refinement.check_random_replay: schedule out of range";
-  check_random_walks ~schedules ~first:schedule ~last:schedule ~seed ~crash_prob cfg
+  check_random_walks ~schedules ~first:schedule ~last:schedule ~seed ~crash_prob ?domains
+    cfg

@@ -91,6 +91,10 @@ type stats = {
       (** distinct non-empty fault schedules over completed executions *)
   retries_observed : int;
       (** committed steps labelled ["retry…"] — the retry-loop convention *)
+  fingerprint_hits : int;
+      (** settled nodes pruned because an equal fingerprint was already
+          explored in this check (0 unless [~fingerprint:true]) *)
+  fingerprint_misses : int;  (** settled nodes fingerprinted and explored *)
 }
 
 val pp_stats : stats Fmt.t
@@ -141,6 +145,11 @@ val check :
   ?strategy:Explore.strategy ->
   ?faults:int ->
   ?max_seconds:float ->
+  ?domains:int ->
+  ?split_depth:int ->
+  ?fingerprint:bool ->
+  ?symmetry:bool ->
+  ?key_prefix:string ->
   ('w, 's) config ->
   result
 (** Exhaustive check under the given exploration strategy (default
@@ -154,10 +163,59 @@ val check :
     with at most that many injections are enumerated alongside all crash
     points.  Faulted steps are globally dependent under DPOR (never
     reordered), so the reduced strategies stay sound with faults on.
-    [?max_seconds] overrides the config's wall-clock budget. *)
+    [?max_seconds] overrides the config's wall-clock budget.
+
+    {b Parallel exploration.}  [~domains:n] runs the check on [n] domains
+    (OCaml 5 multicore; [n >= 1], [Invalid_argument] otherwise).  A
+    sequential splitting phase first explores every schedule prefix
+    shallower than [split_depth] (default 2), turning each subtree rooted
+    at that depth into a work item; idle domains then pull items and
+    explore the subtrees concurrently.  The partition is a fixed function
+    of [split_depth] — {e never} of [n] — and every item runs to
+    completion, so the verdict, the reported counterexample (the first in
+    sequential DFS order), and every field of {!stats} are identical for
+    every [n] at a fixed [split_depth].  (On a {e violating} instance the
+    parallel stats exceed a plain sequential run's: the sequential checker
+    aborts at the first violation, while parallel items all run to
+    completion — stopping early would make the merged stats depend on
+    timing.  The counterexample reported is still the sequential one.)
+    Only wall-clock-dependent
+    behaviour escapes that guarantee: a [max_seconds] deadline may trip at
+    a different point under a different domain count, and the
+    [perennial_refinement_steals_total] metric is timing-dependent by
+    design.  The step budget is shared: each item starts from the
+    splitting phase's spend, so {!Budget_exhausted} fires under the same
+    total-step ceiling as a sequential run.  Under DPOR strategies, nodes
+    above the cutoff are explored conservatively (all enabled steps, no
+    sleep sets), so a parallel DPOR run may explore {e more} executions
+    than a sequential one — but the same number at any two domain counts.
+
+    {b Fingerprint pruning.}  [~fingerprint:true] digests every settled
+    node with {!Fingerprint.digest} and prunes the subtree when an equal
+    digest was already explored in this check ([fingerprint_hits] /
+    [fingerprint_misses] in {!stats}).  Sound for the verdict — equal
+    fingerprints have identical subtrees (DESIGN.md §S21) — and requires
+    the {!Explore.Naive} strategy ([Invalid_argument] otherwise): pruning
+    by state reached along a different path would starve DPOR's
+    backtrack-set computation.  Under [~domains] each work item prunes
+    against its own seen-set (cross-item sharing would make stats depend
+    on timing), so parallel fingerprint runs prune less than sequential
+    ones but stay deterministic.  [~symmetry:true] (requires
+    [~fingerprint:true]) additionally canonicalizes interchangeable
+    threads — and, with [?key_prefix], renamable resource tokens — before
+    digesting; see {!Fingerprint.canonical} for the obligations. *)
 
 val check_exn :
-  ?strategy:Explore.strategy -> ?faults:int -> ?max_seconds:float -> ('w, 's) config -> stats
+  ?strategy:Explore.strategy ->
+  ?faults:int ->
+  ?max_seconds:float ->
+  ?domains:int ->
+  ?split_depth:int ->
+  ?fingerprint:bool ->
+  ?symmetry:bool ->
+  ?key_prefix:string ->
+  ('w, 's) config ->
+  stats
 (** Like {!check} but raises [Failure] with a rendered report on violation
     or budget exhaustion; convenient in tests and examples.  The message is
     prefixed ["Refinement_violated: "] or ["Budget_exhausted: "] so callers
@@ -165,7 +223,12 @@ val check_exn :
     rendered {!stats}. *)
 
 val check_random :
-  ?schedules:int -> ?seed:int -> ?crash_prob:float -> ('w, 's) config -> result
+  ?schedules:int ->
+  ?seed:int ->
+  ?crash_prob:float ->
+  ?domains:int ->
+  ('w, 's) config ->
+  result
 (** Randomized exploration: [schedules] independent random walks through the
     schedule/outcome/crash space, with the same linearization bookkeeping as
     {!check}.  Use on instances too large to exhaust — a reported violation
@@ -176,12 +239,21 @@ val check_random :
     Walk [i] draws every choice — schedule picks, nondeterministic outcome
     picks, crash coins (including those flipped while recovery re-runs) —
     from its own RNG seeded by [(seed, i)], so the prefix identifies the
-    walk completely: {!check_random_replay} re-runs it in isolation. *)
+    walk completely: {!check_random_replay} re-runs it in isolation.
+
+    [~domains:n] distributes the walks over [n] domains.  Per-walk RNG
+    isolation makes this sound with no further ceremony; determinism is
+    kept by running {e every} walk (no early stop at the first failure),
+    giving each walk its own step budget, and reporting the lowest-index
+    failing walk — so verdict, reason prefix, and merged stats match at
+    any domain count.  The sequential path ([?domains] omitted) stops at
+    the first failure with a cumulative step budget, exactly as before. *)
 
 val check_random_replay :
   ?schedules:int ->
   ?seed:int ->
   ?crash_prob:float ->
+  ?domains:int ->
   schedule:int ->
   ('w, 's) config ->
   result

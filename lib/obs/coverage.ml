@@ -6,10 +6,17 @@ let on = ref false
 let enabled () = !on
 let set_enabled b = on := b
 
-(* (kind, id) -> hit count.  Registration inserts with 0. *)
+(* (kind, id) -> hit count.  Registration inserts with 0.  One mutex guards
+   the table and every cell: parallel exploration hammers [hit] from all
+   domains and the totals must be exact (test/test_parallel.ml). *)
 let table : (kind * string, int ref) Hashtbl.t = Hashtbl.create 256
+let lock = Mutex.create ()
 
-let reset () = Hashtbl.reset table
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let reset () = with_lock (fun () -> Hashtbl.reset table)
 
 let cell k id =
   match Hashtbl.find_opt table (k, id) with
@@ -19,18 +26,18 @@ let cell k id =
     Hashtbl.add table (k, id) r;
     r
 
-let register k id = if !on then ignore (cell k id)
+let register k id = if !on then with_lock (fun () -> ignore (cell k id))
 
 let hit k id =
-  if !on then begin
-    let r = cell k id in
-    incr r
-  end
+  if !on then
+    with_lock (fun () ->
+        let r = cell k id in
+        incr r)
 
 let kind_order = function Crash -> 0 | Fault -> 1 | Arm -> 2
 
 let sites () =
-  Hashtbl.fold (fun (k, id) r acc -> (k, id, !r) :: acc) table []
+  with_lock (fun () -> Hashtbl.fold (fun (k, id) r acc -> (k, id, !r) :: acc) table [])
   |> List.sort (fun (k1, i1, _) (k2, i2, _) ->
          match compare (kind_order k1) (kind_order k2) with
          | 0 -> compare i1 i2

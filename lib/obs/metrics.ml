@@ -3,38 +3,52 @@ type labels = (string * string) list
 let canon labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 
+(* Domain-safety: counters are atomic ints, gauges are atomic (boxed)
+   floats updated by CAS loops, histograms take a per-histogram mutex, and
+   the registry table itself is guarded by a per-registry mutex.  Updating
+   through a handle never touches the registry lock, so the hot path stays
+   one atomic op (counters/gauges) or one uncontended lock (histograms) —
+   and a 4-domain hammer loses no increments (test/test_parallel.ml). *)
+
 type hist_state = {
   bounds : float array; (* sorted ascending; implicit +inf bucket at the end *)
   counts : int array; (* length = Array.length bounds + 1, per-bucket *)
   mutable h_sum : float;
   mutable h_count : int;
+  h_lock : Mutex.t;
 }
 
 type metric =
-  | M_counter of int ref
-  | M_gauge of float ref
+  | M_counter of int Atomic.t
+  | M_gauge of float Atomic.t
   | M_hist of hist_state
 
-type registry = (string * labels, metric) Hashtbl.t
+type registry = { tbl : (string * labels, metric) Hashtbl.t; lock : Mutex.t }
 
-type counter = int ref
-type gauge = float ref
+type counter = int Atomic.t
+type gauge = float Atomic.t
 type histogram = hist_state
 
-let create () : registry = Hashtbl.create 64
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create () : registry = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 let default : registry = create ()
 
 let reset (r : registry) =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | M_counter c -> c := 0
-      | M_gauge g -> g := 0.
-      | M_hist h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.h_sum <- 0.;
-        h.h_count <- 0)
-    r
+  with_lock r.lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Atomic.set c 0
+          | M_gauge g -> Atomic.set g 0.
+          | M_hist h ->
+            with_lock h.h_lock (fun () ->
+                Array.fill h.counts 0 (Array.length h.counts) 0;
+                h.h_sum <- 0.;
+                h.h_count <- 0))
+        r.tbl)
 
 let kind_name = function
   | M_counter _ -> "counter"
@@ -42,41 +56,49 @@ let kind_name = function
   | M_hist _ -> "histogram"
 
 let resolve (r : registry) name labels (fresh : unit -> metric) ~(want : string) =
-  let key = (name, canon labels) in
-  match Hashtbl.find_opt r key with
-  | Some m ->
-    if kind_name m <> want then
-      invalid_arg
-        (Printf.sprintf "Obs.Metrics: %s already registered as a %s, not a %s" name
-           (kind_name m) want);
-    m
-  | None ->
-    let m = fresh () in
-    Hashtbl.add r key m;
-    m
+  with_lock r.lock (fun () ->
+      let key = (name, canon labels) in
+      match Hashtbl.find_opt r.tbl key with
+      | Some m ->
+        if kind_name m <> want then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s already registered as a %s, not a %s" name
+               (kind_name m) want);
+        m
+      | None ->
+        let m = fresh () in
+        Hashtbl.add r.tbl key m;
+        m)
 
 let counter ?(registry = default) ?(labels = []) name : counter =
   match
-    resolve registry name labels ~want:"counter" (fun () -> M_counter (ref 0))
+    resolve registry name labels ~want:"counter" (fun () -> M_counter (Atomic.make 0))
   with
   | M_counter c -> c
   | _ -> assert false
 
 let inc ?(by = 1) (c : counter) =
   if by < 0 then invalid_arg "Obs.Metrics.inc: counters are monotonic";
-  c := !c + by
+  ignore (Atomic.fetch_and_add c by)
 
-let counter_value (c : counter) = !c
+let counter_value (c : counter) = Atomic.get c
 
 let gauge ?(registry = default) ?(labels = []) name : gauge =
-  match resolve registry name labels ~want:"gauge" (fun () -> M_gauge (ref 0.)) with
+  match resolve registry name labels ~want:"gauge" (fun () -> M_gauge (Atomic.make 0.)) with
   | M_gauge g -> g
   | _ -> assert false
 
-let set (g : gauge) v = g := v
-let add (g : gauge) v = g := !g +. v
-let record_max (g : gauge) v = if v > !g then g := v
-let gauge_value (g : gauge) = !g
+let set (g : gauge) v = Atomic.set g v
+
+let rec add (g : gauge) v =
+  let cur = Atomic.get g in
+  if not (Atomic.compare_and_set g cur (cur +. v)) then add g v
+
+let rec record_max (g : gauge) v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then record_max g v
+
+let gauge_value (g : gauge) = Atomic.get g
 
 let default_buckets =
   [ 5e-6; 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2;
@@ -87,7 +109,8 @@ let histogram ?(registry = default) ?(labels = []) ?(buckets = default_buckets) 
   let fresh () =
     let bounds = Array.of_list (List.sort_uniq compare buckets) in
     M_hist
-      { bounds; counts = Array.make (Array.length bounds + 1) 0; h_sum = 0.; h_count = 0 }
+      { bounds; counts = Array.make (Array.length bounds + 1) 0; h_sum = 0.;
+        h_count = 0; h_lock = Mutex.create () }
   in
   match resolve registry name labels ~want:"histogram" fresh with
   | M_hist h -> h
@@ -97,24 +120,26 @@ let observe (h : histogram) v =
   let n = Array.length h.bounds in
   let rec bucket i = if i >= n then n else if v <= h.bounds.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1
+  with_lock h.h_lock (fun () ->
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1)
 
-let hist_count (h : histogram) = h.h_count
-let hist_sum (h : histogram) = h.h_sum
+let hist_count (h : histogram) = with_lock h.h_lock (fun () -> h.h_count)
+let hist_sum (h : histogram) = with_lock h.h_lock (fun () -> h.h_sum)
 
 let hist_buckets (h : histogram) =
-  let acc = ref 0 in
-  let below =
-    Array.to_list
-      (Array.mapi
-         (fun i b ->
-           acc := !acc + h.counts.(i);
-           (b, !acc))
-         h.bounds)
-  in
-  below @ [ (infinity, h.h_count) ]
+  with_lock h.h_lock (fun () ->
+      let acc = ref 0 in
+      let below =
+        Array.to_list
+          (Array.mapi
+             (fun i b ->
+               acc := !acc + h.counts.(i);
+               (b, !acc))
+             h.bounds)
+      in
+      below @ [ (infinity, h.h_count) ])
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -128,18 +153,24 @@ type value =
 type sample = { name : string; labels : labels; value : value }
 
 let snapshot ?(registry = default) () =
+  let entries =
+    with_lock registry.lock (fun () ->
+        Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry.tbl [])
+  in
   let samples =
-    Hashtbl.fold
-      (fun (name, labels) m acc ->
+    List.map
+      (fun ((name, labels), m) ->
         let value =
           match m with
-          | M_counter c -> Counter !c
-          | M_gauge g -> Gauge !g
+          | M_counter c -> Counter (Atomic.get c)
+          | M_gauge g -> Gauge (Atomic.get g)
           | M_hist h ->
-            Histogram { sum = h.h_sum; count = h.h_count; buckets = hist_buckets h }
+            let buckets = hist_buckets h in
+            with_lock h.h_lock (fun () ->
+                Histogram { sum = h.h_sum; count = h.h_count; buckets })
         in
-        { name; labels; value } :: acc)
-      registry []
+        { name; labels; value })
+      entries
   in
   List.sort
     (fun a b ->

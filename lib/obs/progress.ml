@@ -37,12 +37,17 @@ let line ~executions ~steps ~frontier ~fault_schedule ?deadline_us () =
     "[perennial] execs=%d (%.0f/s) steps=%d frontier=%d fault_schedule=%d elapsed=%.1fs%s\n%!"
     executions rate steps frontier fault_schedule (now -. !t_start) eta
 
+let lock = Mutex.create ()
+
 let tick ~executions ~steps ~frontier ~fault_schedule ?deadline_us () =
   if !on then begin
     let now = Unix.gettimeofday () in
     if now -. !last_print >= !interval then begin
-      last_print := now;
-      line ~executions ~steps ~frontier ~fault_schedule ?deadline_us ()
+      Mutex.lock lock;
+      let due = now -. !last_print >= !interval in
+      if due then last_print := now;
+      Mutex.unlock lock;
+      if due then line ~executions ~steps ~frontier ~fault_schedule ?deadline_us ()
     end
   end
 

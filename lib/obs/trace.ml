@@ -81,6 +81,15 @@ let chrome_json events =
 (* Sink management                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* One mutex guards the buffer, the jsonl channel and the span stacks:
+   tracing from parallel exploration domains must not corrupt them.  The
+   [!on] fast path stays lock-free. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let push e =
   if !buffered >= !limit then incr n_dropped
   else begin
@@ -89,12 +98,13 @@ let push e =
   end
 
 let emit e =
-  match !current with
-  | Null -> ()
-  | Memory | Chrome _ -> push e
-  | Jsonl oc ->
-    output_string oc (Json.to_string (event_json e));
-    output_char oc '\n'
+  with_lock (fun () ->
+      match !current with
+      | Null -> ()
+      | Memory | Chrome _ -> push e
+      | Jsonl oc ->
+        output_string oc (Json.to_string (event_json e));
+        output_char oc '\n')
 
 let reset_state () =
   buffer := [];
@@ -124,7 +134,7 @@ let install s =
 let install_memory () = install Memory
 let open_jsonl path = install (Jsonl (open_out path))
 let open_chrome path = install (Chrome (open_out path))
-let memory_events () = List.rev !buffer
+let memory_events () = with_lock (fun () -> List.rev !buffer)
 
 (* ------------------------------------------------------------------ *)
 (* Emitting helpers                                                    *)
@@ -145,20 +155,28 @@ let stacks : (int, open_span list) Hashtbl.t = Hashtbl.create 8
 let stack_of tid = Option.value ~default:[] (Hashtbl.find_opt stacks tid)
 
 let reset_spans () =
-  Hashtbl.reset stacks;
-  next_span_id := 0
+  with_lock (fun () ->
+      Hashtbl.reset stacks;
+      next_span_id := 0)
 
-let span_depth ?(tid = 0) () = List.length (stack_of tid)
+let span_depth ?(tid = 0) () = with_lock (fun () -> List.length (stack_of tid))
 
+(* The stack updates run under the lock but the emits happen outside it
+   (the mutex is not reentrant and [emit] locks too). *)
 let span_begin ?(cat = "") ?(tid = 0) ?(args = []) name =
   if !on then begin
-    let id = !next_span_id in
-    incr next_span_id;
-    let parent =
-      match stack_of tid with [] -> [] | p :: _ -> [ ("parent", I p.sp_id) ]
-    in
     let t0 = now_us () in
-    Hashtbl.replace stacks tid ({ sp_id = id; sp_name = name; sp_cat = cat; sp_t0 = t0 } :: stack_of tid);
+    let id, parent =
+      with_lock (fun () ->
+          let id = !next_span_id in
+          incr next_span_id;
+          let parent =
+            match stack_of tid with [] -> [] | p :: _ -> [ ("parent", I p.sp_id) ]
+          in
+          Hashtbl.replace stacks tid
+            ({ sp_id = id; sp_name = name; sp_cat = cat; sp_t0 = t0 } :: stack_of tid);
+          (id, parent))
+    in
     emit
       { name; cat; ph = Span_begin; ts = t0; pid = 1; tid;
         args = (("span", I id) :: parent) @ args }
@@ -167,10 +185,16 @@ let span_begin ?(cat = "") ?(tid = 0) ?(args = []) name =
 let span_end ?(tid = 0) () =
   if not !on then None
   else
-    match stack_of tid with
-    | [] -> None
-    | sp :: rest ->
-      Hashtbl.replace stacks tid rest;
+    match
+      with_lock (fun () ->
+          match stack_of tid with
+          | [] -> None
+          | sp :: rest ->
+            Hashtbl.replace stacks tid rest;
+            Some sp)
+    with
+    | None -> None
+    | Some sp ->
       let t1 = now_us () in
       emit
         { name = sp.sp_name; cat = sp.sp_cat; ph = Span_end; ts = t1; pid = 1; tid;
