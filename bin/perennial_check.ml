@@ -2,7 +2,7 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|kvs|fs|faults|strategies|all]
+   Usage: perennial_check [outlines|refinement|kvs|wal|fs|faults|strategies|all]
                           [--strategy naive|dpor|dpor+sleep]
                           [--faults N] [--max-seconds S]
                           [--domains N] [--fingerprint] [--symmetry]
@@ -176,6 +176,91 @@ let run_kvs ~strategy () =
           (K.checker_config p ~max_crashes:1
              [ [ K.put_async_call p 0 (V.str "A"); K.flush_call p ]; [ K.get_call p 0 ] ])))
 
+(* The circular write-ahead log under the journal: the Circ ring against
+   its atomic append/trim spec, the Wal logger/installer/flush protocol
+   against the atomic multiwrite spec (crashes, crash-during-recovery,
+   faults), the three seeded WAL bugs, and the journal driven through the
+   [`Wal] backend. *)
+let run_wal ~strategy ~faults () =
+  Printf.printf "Circular write-ahead log [strategy=%s faults=%d]:\n"
+    (E.strategy_name strategy) faults;
+  let module C = Perennial_wal.Circ in
+  let module W = Perennial_wal.Wal in
+  let module J = Journal.Txn_log in
+  let b = Disk.Block.of_string in
+  let bug_result name = function
+    | R.Refinement_violated (f, stats) ->
+      Ok (Fmt.str "caught: %s (%a)" f.R.reason R.pp_stats stats)
+    | R.Refinement_holds stats ->
+      Error (Fmt.str "seeded bug %s NOT caught (%a)" name R.pp_stats stats)
+    | R.Budget_exhausted stats -> Error (Fmt.str "budget exhausted (%a)" R.pp_stats stats)
+  in
+  let cly = C.layout ~base:0 ~cap:2 in
+  report "circ: append || snapshot + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (C.checker_config cly ~max_crashes:1
+             [ [ C.append_call cly [ (1, b "x") ] ]; [ C.snapshot_call cly ] ])));
+  let wp = W.params ~n_data:1 ~cap:2 () in
+  report "wal: mwrite || logger + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ] ]; [ W.logger_call wp ] ])));
+  report "wal: mwrite; flush || installer + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ]; W.flush_call wp 1 ];
+               [ W.installer_call wp ] ])));
+  let wp2 = W.params ~n_data:2 ~cap:2 () in
+  report "wal: multiwrite flush + crash during recovery"
+    (refinement_result
+       (rcheck ~strategy
+          (W.checker_config wp2 ~max_crashes:2
+             [ [ W.mwrite_call wp2 [ (0, b "A"); (1, b "B") ]; W.flush_call wp2 1 ] ])));
+  report "wal: mwrite; flush + crash + faults"
+    (refinement_result
+       (rcheck ~strategy ~faults
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ]; W.flush_call wp 1 ] ])));
+  report "seeded: wal logger installs header before records"
+    (bug_result "wal logger header-first"
+       (rcheck ~strategy
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ];
+                 W.flush_call wp 1;
+                 W.installer_call wp;
+                 W.mwrite_call wp [ (0, b "B") ];
+                 W.Buggy.logger_call_header_first wp ] ])));
+  report "seeded: wal installer trims before applying home"
+    (bug_result "wal installer trim-first"
+       (rcheck ~strategy
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ];
+                 W.flush_call wp 1;
+                 W.Buggy.installer_call_trim_first wp ] ])));
+  report "seeded: wal absorption collapses across the flush barrier"
+    (bug_result "wal flush absorbs logged"
+       (rcheck ~strategy
+          (W.checker_config wp ~max_crashes:1
+             [ [ W.mwrite_call wp [ (0, b "A") ];
+                 W.logger_call wp;
+                 W.mwrite_call wp [ (0, b "B") ];
+                 W.Buggy.flush_call_absorb_logged wp 2 ] ])));
+  let ly = J.layout ~n_data:2 ~max_slots:2 in
+  report "journal[wal backend]: commit || read + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (J.checker_config ~backend:`Wal ly ~max_crashes:1
+             [ [ J.commit_call ~backend:`Wal ly [ (0, b "A"); (1, b "B") ] ];
+               [ J.read_call ly 0 ] ])));
+  report "journal[wal backend]: ft commit + crash + faults"
+    (refinement_result
+       (rcheck ~strategy ~faults
+          (J.checker_config ~backend:`Wal ly ~max_crashes:1
+             [ [ J.commit_ft_call ~backend:`Wal ly [ (0, b "A"); (1, b "B") ] ] ])))
+
 (* The inode file system on the journal stack, checked against the atomic
    Gfs.Fs spec, plus Mailboat's spool re-hosted on it — and the seeded
    crash-safety bugs, each of which must produce a counterexample. *)
@@ -233,6 +318,14 @@ let run_fs ~strategy ~faults () =
              ~post:(Fs.probe p ~dirs:[ "a" ] ~files:[ ("a", "f"); ("a", "g") ])
              ~max_crashes:1
              [ [ Fs.create_ft_call p "a" "g"; Fs.append_ft_call p "a" "f" "y" ] ])));
+  let pw = Fs.params ~backend:`Wal (L.v ~n_inodes:4 ~n_blocks:5 ()) in
+  report "fs[wal backend]: create || append + crash"
+    (refinement_result
+       (rcheck ~strategy
+          (Fs.checker_config pw ~dirs:[ "a" ]
+             ~files:[ ("a", "f", "xy") ]
+             ~max_crashes:1
+             [ [ Fs.create_call pw "a" "g" ]; [ Fs.append_call pw "a" "f" "z" ] ])));
   let sp = Sp.params ~users:1 () in
   report "spool-on-fs: deliver + crash + recovery"
     (refinement_result
@@ -498,10 +591,10 @@ let () =
   end;
   let what = !what in
   (match what with
-  | "outlines" | "refinement" | "kvs" | "fs" | "faults" | "strategies" | "all" -> ()
+  | "outlines" | "refinement" | "kvs" | "wal" | "fs" | "faults" | "strategies" | "all" -> ()
   | w ->
     Printf.eprintf
-      "perennial_check: unknown selection %s (want outlines|refinement|kvs|fs|faults|strategies|all)\n"
+      "perennial_check: unknown selection %s (want outlines|refinement|kvs|wal|fs|faults|strategies|all)\n"
       w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
@@ -518,6 +611,7 @@ let () =
   if what = "outlines" || what = "all" then run_outlines ();
   if what = "refinement" || what = "all" then run_refinement ~strategy ();
   if what = "kvs" || what = "all" then run_kvs ~strategy ();
+  if what = "wal" || what = "all" then run_wal ~strategy ~faults:!faults ();
   if what = "fs" || what = "all" then run_fs ~strategy ~faults:!faults ();
   if what = "faults" || what = "all" then run_faults ~strategy ~faults:!faults ();
   if what = "strategies" || what = "all" then run_strategies ();

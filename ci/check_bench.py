@@ -64,11 +64,54 @@ def main(path):
         fail("no record carries latency_us percentiles")
 
     check_parallel(sections)
+    check_wal(sections)
 
     print(
         f"check_bench: OK: {len(sections)} records, "
         f"{n_latency} with latency percentiles"
     )
+
+
+def check_wal(sections):
+    """Group-commit gates over the 'wal: group commit [batch=K]' records:
+    absorption must reduce the logged records on batched workloads (the
+    sweep writes 2 hot addresses, so any batch beyond 2 txns has
+    duplicates to collapse), and one drained batch must cost exactly one
+    header install (group commit)."""
+    batches = {}  # k -> record
+    for rec in sections:
+        name = rec.get("name", "")
+        if not name.startswith("wal: group commit [batch="):
+            continue
+        k = int(name.rpartition("[batch=")[2].rstrip("]"))
+        batches[k] = rec
+
+    if not batches:
+        print("check_bench: note: no wal group-commit records (section not run)")
+        return
+
+    saw_reduction = False
+    for k, rec in sorted(batches.items()):
+        m = rec["metrics"]
+        raw = m.get("perennial_wal_logged_records_raw")
+        absorbed = m.get("perennial_wal_logged_records_absorbed")
+        headers = m.get("perennial_wal_header_writes")
+        if raw is None or absorbed is None or headers is None:
+            fail(f"wal batch={k}: missing group-commit/absorption metrics")
+        if headers != 1:
+            fail(f"wal batch={k}: {headers} header installs for one drained batch")
+        if absorbed > raw:
+            fail(f"wal batch={k}: absorption grew the log ({absorbed} > {raw})")
+        if k > 2:
+            if absorbed >= raw:
+                fail(
+                    f"wal batch={k}: absorption did not reduce logged records "
+                    f"({absorbed} >= {raw})"
+                )
+            saw_reduction = True
+    if not saw_reduction:
+        fail("wal sweep has no batch > 2: absorption reduction never exercised")
+    print(f"check_bench: wal group-commit sweep OK ({len(batches)} batch sizes)")
 
 
 def check_parallel(sections):

@@ -19,6 +19,17 @@
     boxed value whose identity could leak: digests are pure functions of
     the rendered content, stable across runs and domain counts.
 
+    {b Process-local only.}  The continuation classes the checker feeds in
+    ({!thr.f_class}) are MD5 digests of [Marshal]-serialized closures
+    ([Marshal.Closures]): deterministic for structurally identical
+    continuations {e within one process} — that determinism is pinned by
+    the regression test in [test/test_wal.ml] — but the serialization
+    embeds code pointers, so the digests are NOT comparable across
+    processes or across builds of the binary.  Never persist fingerprints
+    (or [id]s, or [key]s containing class digests) and reuse them in
+    another process; the intern table and every digest must be recomputed
+    per process.
+
     Symmetry reduction ([~symmetry]) additionally canonicalizes
     interchangeable thread ids (and, with [~key_prefix], renamable resource
     tokens such as KVS keys) before interning: threads are grouped by
@@ -42,7 +53,8 @@ type thr = {
   f_class : string;
       (** opaque continuation identity; {!Refinement} passes the MD5 of the
           thread's serialized (call, program, remaining ops) — equal classes
-          mean structurally identical continuations *)
+          mean structurally identical continuations.  Closure serialization
+          makes this identity process-local: see the module header *)
   f_hist : string list;  (** optional observation history, newest first *)
 }
 

@@ -11,9 +11,9 @@ module Block = Disk.Block
 module Txn = Journal.Txn_log
 module IMap = Map.Make (Int)
 
-type params = { lay : Layout.t; durability : Gfs.Fs.durability }
+type params = { lay : Layout.t; durability : Gfs.Fs.durability; backend : Txn.backend }
 
-let params ?(durability = `Sync) lay = { lay; durability }
+let params ?(durability = `Sync) ?(backend = `Direct) lay = { lay; durability; backend }
 
 (* ------------------------------------------------------------------ *)
 (* World                                                                *)
@@ -371,7 +371,7 @@ let cache_step label (ino, tail) =
 
 let commit p txn =
   if txn = [] then P.return ()
-  else Txn.commit_prog ~get_disk ~set_disk (Layout.journal p.lay) txn
+  else Txn.commit_prog ~backend:p.backend ~get_disk ~set_disk (Layout.journal p.lay) txn
 
 let finish p label plan =
   match plan with
@@ -423,7 +423,7 @@ let run_op_ft p ?(retries = 1) label decide : (world, V.t) P.t =
     | Plan { txn; cache; ret } ->
       let* r =
         if txn = [] then P.return V.unit
-        else Txn.commit_ft_prog ~get_disk ~set_disk ~retries (Layout.journal p.lay) txn
+        else Txn.commit_ft_prog ~backend:p.backend ~get_disk ~set_disk ~retries (Layout.journal p.lay) txn
       in
       if Fault.is_eio r then
         let* () = unlock () in
@@ -477,7 +477,7 @@ let append_ft_prog ?retries p dir name data =
     (decide_append p dir name data)
 
 let recover p : (world, V.t) P.t =
-  Txn.recover_prog ~get_disk ~set_disk (Layout.journal p.lay)
+  Txn.recover_prog ~backend:p.backend ~get_disk ~set_disk (Layout.journal p.lay)
 
 (* ------------------------------------------------------------------ *)
 (* Specification: the atomic Gfs.Fs transition system                   *)

@@ -39,10 +39,12 @@
     so partial-order reduction stays sound and crash injection keeps
     per-block granularity where it matters. *)
 
-type params = private { lay : Layout.t; durability : Gfs.Fs.durability }
+type params = private { lay : Layout.t; durability : Gfs.Fs.durability; backend : Journal.Txn_log.backend }
 
-val params : ?durability:Gfs.Fs.durability -> Layout.t -> params
-(** [durability] defaults to [`Sync]. *)
+val params : ?durability:Gfs.Fs.durability -> ?backend:Journal.Txn_log.backend -> Layout.t -> params
+(** [durability] defaults to [`Sync]; [backend] (default [`Direct])
+    selects the journal's commit protocol — [`Wal] routes every fs
+    transaction and recovery through the circular log. *)
 
 (** {1 World} *)
 

@@ -8,10 +8,10 @@ module Core = Mailboat.Core
 
 let user_lock u = 1 + u
 
-let params ?(durability = `Sync) ?(users = 1) ?(msg_blocks = 2) () =
+let params ?(durability = `Sync) ?backend ?(users = 1) ?(msg_blocks = 2) () =
   let n_inodes = 2 + users + 2 in
   let n_blocks = 4 + users + (2 * msg_blocks) in
-  Fs.params ~durability (Layout.v ~n_inodes ~n_blocks ())
+  Fs.params ~durability ?backend (Layout.v ~n_inodes ~n_blocks ())
 
 let init_world p ~users = Fs.init_world p ~dirs:(Core.dirs ~users) ~files:[]
 

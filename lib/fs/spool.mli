@@ -18,7 +18,13 @@
 
 val user_lock : int -> int
 
-val params : ?durability:Gfs.Fs.durability -> ?users:int -> ?msg_blocks:int -> unit -> Fs.params
+val params :
+  ?durability:Gfs.Fs.durability ->
+  ?backend:Journal.Txn_log.backend ->
+  ?users:int ->
+  ?msg_blocks:int ->
+  unit ->
+  Fs.params
 (** A layout sized so the checker never hits resource exhaustion:
     [users] mailboxes (default 1) and headroom for [msg_blocks] (default
     2) data blocks per in-flight message. *)

@@ -32,15 +32,17 @@ module Spec = Tslang.Spec
 module P = Sched.Prog
 module Block = Disk.Block
 
-type params = { n_keys : int; max_slots : int }
+type params = { n_keys : int; max_slots : int; backend : Txn_log.backend }
 
 (** [max_slots] defaults to [n_keys]: a merged group commit has at most one
-    entry per key, so the log can always hold a full flush. *)
-let params ?max_slots ~n_keys () =
+    entry per key, so the log can always hold a full flush.  [backend]
+    (default [`Direct]) selects the journal's commit protocol — [`Wal]
+    batches commits through the circular log. *)
+let params ?(backend = `Direct) ?max_slots ~n_keys () =
   let max_slots = match max_slots with Some m -> m | None -> n_keys in
   if n_keys <= 0 then invalid_arg "Kvs.params";
   if max_slots < n_keys then invalid_arg "Kvs.params: log smaller than a full flush";
-  { n_keys; max_slots }
+  { n_keys; max_slots; backend }
 
 let layout p = Txn_log.layout ~n_data:p.n_keys ~max_slots:p.max_slots
 
@@ -212,7 +214,7 @@ let commit_pending_prog p (extra : txn list) : (world, unit) P.t =
   match entries_of_value mv with
   | [] -> P.return ()
   | entries ->
-    let* () = Txn_log.commit_prog ~get_disk ~set_disk (layout p) entries in
+    let* () = Txn_log.commit_prog ~backend:p.backend ~get_disk ~set_disk (layout p) entries in
     P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] })
 
 (** Read key [k] under its key lock alone: a committing transaction holds
@@ -291,7 +293,7 @@ let commit_pending_ft_prog ?retries p (extra : txn list) : (world, V.t) P.t =
   match entries_of_value mv with
   | [] -> P.return V.unit
   | entries ->
-    let* r = Txn_log.commit_ft_prog ~get_disk ~set_disk ?retries (layout p) entries in
+    let* r = Txn_log.commit_ft_prog ~backend:p.backend ~get_disk ~set_disk ?retries (layout p) entries in
     if Sched.Fault.is_eio r then P.return r
     else
       let* () = P.write ~fp:(Sched.Footprint.const (Sched.Footprint.writes [ Sched.Footprint.cell "buffer" ])) "buffer_clear" (fun w -> { w with buffer = [] }) in
@@ -341,7 +343,7 @@ let txn_ft_prog ?retries p (entries : txn) : (world, V.t) P.t =
 
 (** Recovery is the journal's: replay a committed-but-unapplied transaction
     (helping), clear the record.  The buffer died with the crash. *)
-let recover p : (world, V.t) P.t = Txn_log.recover_prog ~get_disk ~set_disk (layout p)
+let recover p : (world, V.t) P.t = Txn_log.recover_prog ~backend:p.backend ~get_disk ~set_disk (layout p)
 
 (* ------------------------------------------------------------------ *)
 (* Checker configuration                                                *)

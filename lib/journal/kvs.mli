@@ -26,12 +26,14 @@
     the implementation against {!strict_spec} (crash loses nothing) must
     fail; that rejection is what shows the spec needs the loss window. *)
 
-type params = { n_keys : int; max_slots : int }
+type params = { n_keys : int; max_slots : int; backend : Txn_log.backend }
 
-val params : ?max_slots:int -> n_keys:int -> unit -> params
+val params : ?backend:Txn_log.backend -> ?max_slots:int -> n_keys:int -> unit -> params
 (** [max_slots] defaults to [n_keys]: a merged group commit has at most
-    one entry per key, so the log can always hold a full flush.  Raises
-    [Invalid_argument] if [n_keys <= 0] or [max_slots < n_keys]. *)
+    one entry per key, so the log can always hold a full flush.
+    [backend] (default [`Direct]) selects the journal's commit protocol;
+    [`Wal] routes every commit and recovery through the circular log.
+    Raises [Invalid_argument] if [n_keys <= 0] or [max_slots < n_keys]. *)
 
 val layout : params -> Txn_log.layout
 

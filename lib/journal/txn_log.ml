@@ -71,7 +71,7 @@ open P.Syntax
     protect the log region and the touched data blocks.  Durable once the
     commit-record write (the single atomic commit point) has hit the
     disk. *)
-let commit_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+let commit_direct_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
   let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
   if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
   else if entries = [] then P.return ()
@@ -126,7 +126,7 @@ let retry_step what : ('w, unit) P.t =
     The log slots are installed with ONE {!Disk.Single_disk.write_multi_f},
     so a [Torn_write] fault can tear them; the retry re-writes every slot,
     which is idempotent pre-commit. *)
-let commit_ft_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t =
+let commit_ft_direct_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t =
   let dwm es = Disk.Single_disk.write_multi_f ~get_disk ~set_disk es in
   let dwf a b = Disk.Single_disk.write_f ~get_disk ~set_disk a b in
   if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
@@ -183,7 +183,7 @@ let commit_ft_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t
 
 (** Replay a committed-but-unapplied transaction, if any, then clear the
     commit record.  Idempotent: safe to crash anywhere inside and re-run. *)
-let recover_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
+let recover_direct_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
   let dr a = Disk.Single_disk.read ~get_disk a in
   let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
   P.span ~cat:"txn_log" "txn_recover"
@@ -202,6 +202,152 @@ let recover_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
     let* () = replay 0 in
     let* () = dw (rec_addr ly) (int_block 0) in
     P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* The WAL backend: the same log region driven as a circular log        *)
+(* ------------------------------------------------------------------ *)
+
+module C = Perennial_wal.Circ
+
+(** The WAL backend reuses the direct layout's blocks verbatim: the commit
+    record becomes the ring header, the [max_slots] log slots the ring
+    slots.  [Block.zero] parses as the empty ring, so a fresh disk works
+    under either backend — but the two protocols store different header
+    encodings, so a disk must be driven by one backend per lifetime. *)
+let circ ly = C.layout ~base:ly.n_data ~cap:ly.max_slots
+
+(** Commit through the circular log: records past [end], then ONE atomic
+    header install (the commit point, bumping the durable txn count), then
+    apply home and trim.  The ring is drained synchronously — empty again
+    before the commit returns — so consecutive commits never run out of
+    ring space. *)
+let commit_wal_prog ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+  let c = circ ly in
+  let dw a b = Disk.Single_disk.write ~get_disk ~set_disk a b in
+  if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
+  else if entries = [] then P.return ()
+  else
+    P.span ~cat:"txn_log" "txn_commit_wal"
+    @@
+    let rec apply = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = dw a b in
+        apply rest
+    in
+    let k = List.length entries in
+    let* s, e, t = C.read_header ~get_disk c in
+    let* () = C.write_records ~get_disk ~set_disk c ~pos:e entries in
+    (* the commit point: one atomic header install *)
+    let* () = C.install_header ~get_disk ~set_disk c ~start:s ~end_:(e + k) ~txns:(t + 1) in
+    let* () = apply entries in
+    C.install_header ~get_disk ~set_disk c ~start:(e + k) ~end_:(e + k) ~txns:(t + 1)
+
+(** Fault-tolerant WAL commit, mirroring {!commit_ft_direct_prog}'s
+    discipline: bounded retry then clean abort before the header install
+    (uninstalled records are dead, so durable state is untouched),
+    unbounded retry after it. *)
+let commit_ft_wal_prog ~get_disk ~set_disk ?(retries = 1) ly entries : ('w, V.t) P.t =
+  let c = circ ly in
+  let dwf a b = Disk.Single_disk.write_f ~get_disk ~set_disk a b in
+  if List.length entries > ly.max_slots then P.ub "journal transaction overflows the log"
+  else if entries = [] then P.return V.unit
+  else
+    P.span ~cat:"txn_log" "txn_commit_ft_wal"
+    @@
+    let bounded what n write =
+      let rec attempt n =
+        let* r = write () in
+        if Fault.is_eio r then
+          if n > 0 then
+            let* () = retry_step what in
+            attempt (n - 1)
+          else P.return false
+        else P.return true
+      in
+      attempt n
+    in
+    let unbounded what write =
+      let rec attempt () =
+        let* r = write () in
+        if Fault.is_eio r then
+          let* () = retry_step what in
+          attempt ()
+        else P.return ()
+      in
+      attempt ()
+    in
+    let rec apply = function
+      | [] -> P.return ()
+      | (a, b) :: rest ->
+        let* () = unbounded "apply" (fun () -> dwf a b) in
+        apply rest
+    in
+    let k = List.length entries in
+    let* s, e, t = C.read_header ~get_disk c in
+    let* logged =
+      bounded "log" retries (fun () -> C.write_records_f ~get_disk ~set_disk c ~pos:e entries)
+    in
+    if not logged then P.return Fault.err_value
+    else
+      let* committed =
+        bounded "record" retries (fun () ->
+            C.install_header_f ~get_disk ~set_disk c ~start:s ~end_:(e + k) ~txns:(t + 1))
+      in
+      if not committed then P.return Fault.err_value
+      else
+        let* () = apply entries in
+        let* () =
+          unbounded "clear" (fun () ->
+              C.install_header_f ~get_disk ~set_disk c ~start:(e + k) ~end_:(e + k)
+                ~txns:(t + 1))
+        in
+        P.return V.unit
+
+(** Replay the live ring home and trim; a no-op when the ring is empty.
+    Idempotent, like {!recover_direct_prog}. *)
+let recover_wal_prog ~get_disk ~set_disk ly : ('w, V.t) P.t =
+  let c = circ ly in
+  P.span ~cat:"txn_log" "txn_recover_wal"
+  @@ let* s, e, t = C.read_header ~get_disk c in
+  if s = e then P.return V.unit
+  else
+    let rec replay pos =
+      if pos >= e then P.return ()
+      else
+        let* a, b = C.read_record ~get_disk c pos in
+        let* () = Disk.Single_disk.write ~get_disk ~set_disk a b in
+        replay (pos + 1)
+    in
+    let* () = replay s in
+    let* () = C.install_header ~get_disk ~set_disk c ~start:e ~end_:e ~txns:t in
+    P.return V.unit
+
+(* ------------------------------------------------------------------ *)
+(* Backend dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type backend = [ `Direct | `Wal ]
+
+let pp_backend ppf = function
+  | `Direct -> Fmt.string ppf "direct"
+  | `Wal -> Fmt.string ppf "wal"
+
+let commit_prog ?(backend = `Direct) ~get_disk ~set_disk ly entries : ('w, unit) P.t =
+  match backend with
+  | `Direct -> commit_direct_prog ~get_disk ~set_disk ly entries
+  | `Wal -> commit_wal_prog ~get_disk ~set_disk ly entries
+
+let commit_ft_prog ?(backend = `Direct) ~get_disk ~set_disk ?retries ly entries :
+    ('w, V.t) P.t =
+  match backend with
+  | `Direct -> commit_ft_direct_prog ~get_disk ~set_disk ?retries ly entries
+  | `Wal -> commit_ft_wal_prog ~get_disk ~set_disk ?retries ly entries
+
+let recover_prog ?(backend = `Direct) ~get_disk ~set_disk ly : ('w, V.t) P.t =
+  match backend with
+  | `Direct -> recover_direct_prog ~get_disk ~set_disk ly
+  | `Wal -> recover_wal_prog ~get_disk ~set_disk ly
 
 (* ------------------------------------------------------------------ *)
 (* Specification of the standalone journal: an atomic array of blocks   *)
@@ -286,9 +432,9 @@ let the_lock = 0
 let lock () = Disk.Locks.acquire ~get:get_locks ~set:set_locks the_lock
 let unlock () = Disk.Locks.release ~get:get_locks ~set:set_locks the_lock
 
-let commit_txn_prog ly entries : (world, V.t) P.t =
+let commit_txn_prog ?backend ly entries : (world, V.t) P.t =
   let* () = lock () in
-  let* () = commit_prog ~get_disk ~set_disk ly entries in
+  let* () = commit_prog ?backend ~get_disk ~set_disk ly entries in
   let* () = unlock () in
   P.return V.unit
 
@@ -299,11 +445,11 @@ let read_prog ly a : (world, V.t) P.t =
   let* () = unlock () in
   P.return v
 
-let recover ly : (world, V.t) P.t = recover_prog ~get_disk ~set_disk ly
+let recover ?backend ly : (world, V.t) P.t = recover_prog ?backend ~get_disk ~set_disk ly
 
-let commit_txn_ft_prog ?retries ly entries : (world, V.t) P.t =
+let commit_txn_ft_prog ?backend ?retries ly entries : (world, V.t) P.t =
   let* () = lock () in
-  let* r = commit_ft_prog ~get_disk ~set_disk ?retries ly entries in
+  let* r = commit_ft_prog ?backend ~get_disk ~set_disk ?retries ly entries in
   let* () = unlock () in
   P.return r
 
@@ -329,22 +475,24 @@ let read_ft_prog ?(retries = 1) ly a : (world, V.t) P.t =
 (* Checker configuration                                                *)
 (* ------------------------------------------------------------------ *)
 
-let commit_call ly entries = (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_prog ly entries)
+let commit_call ?backend ly entries =
+  (Spec.call "j_commit" [ value_of_entries entries ], commit_txn_prog ?backend ly entries)
+
 let read_call ly a = (Spec.call "j_read" [ V.int a ], read_prog ly a)
 
-let commit_ft_call ?retries ly entries =
-  (Spec.call "j_commit_ft" [ value_of_entries entries ], commit_txn_ft_prog ?retries ly entries)
+let commit_ft_call ?backend ?retries ly entries =
+  (Spec.call "j_commit_ft" [ value_of_entries entries ], commit_txn_ft_prog ?backend ?retries ly entries)
 
 let read_ft_call ?retries ly a = (Spec.call "j_read_ft" [ V.int a ], read_ft_prog ?retries ly a)
 
 (** Post-crash probes: read back every data address. *)
 let probe ly = List.init ly.n_data (fun a -> read_call ly a)
 
-let checker_config ly ?(max_crashes = 1) ?(fault_budget = 0) threads :
+let checker_config ?backend ly ?(max_crashes = 1) ?(fault_budget = 0) threads :
     (world, state) Perennial_core.Refinement.config =
   Perennial_core.Refinement.config ~spec:(spec ly) ~init_world:(init_world ly)
-    ~crash_world ~pp_world ~threads ~recovery:(recover ly) ~post:(probe ly) ~max_crashes
-    ~fault_budget ()
+    ~crash_world ~pp_world ~threads ~recovery:(recover ?backend ly) ~post:(probe ly)
+    ~max_crashes ~fault_budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Seeded bugs                                                          *)

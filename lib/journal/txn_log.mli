@@ -53,6 +53,31 @@ val block_int : Disk.Block.t -> int
 val value_of_entries : (int * Disk.Block.t) list -> Tslang.Value.t
 val entries_of_value : Tslang.Value.t -> (int * Disk.Block.t) list
 
+(** {1 Backends}
+
+    The journal's commit/recovery protocol comes in two interchangeable
+    flavours over the SAME disk layout:
+
+    - [`Direct] (the default): the original single-transaction protocol —
+      log slots, then one atomic count write into the commit record;
+    - [`Wal]: the log region is driven as a {!Perennial_wal.Circ} circular
+      log — the commit record doubles as the ring header, commits append
+      records and install the header atomically (the commit point), and
+      recovery replays the live ring.  This is the paper's WAL slotted
+      under the journal: same atomic-transaction spec, checked unchanged.
+
+    [Block.zero] parses as both an empty commit record and an empty ring,
+    so a fresh disk works under either backend; a given disk must be
+    driven by one backend per lifetime (the header encodings differ). *)
+
+type backend = [ `Direct | `Wal ]
+
+val pp_backend : backend Fmt.t
+
+val circ : layout -> Perennial_wal.Circ.layout
+(** The ring the [`Wal] backend drives: header at [rec_addr], [max_slots]
+    record slots — the direct layout's blocks, verbatim. *)
+
 (** {1 The lens-parameterized protocol}
 
     ['w] is the host system's world; [get_disk]/[set_disk] locate the
@@ -60,6 +85,7 @@ val entries_of_value : Tslang.Value.t -> (int * Disk.Block.t) list
     the log region (one committer at a time). *)
 
 val commit_prog :
+  ?backend:backend ->
   get_disk:('w -> Disk.Single_disk.t) ->
   set_disk:('w -> Disk.Single_disk.t -> 'w) ->
   layout ->
@@ -70,6 +96,7 @@ val commit_prog :
     (caller's overflow bug, surfaced as UB not silent truncation). *)
 
 val commit_ft_prog :
+  ?backend:backend ->
   get_disk:('w -> Disk.Single_disk.t) ->
   set_disk:('w -> Disk.Single_disk.t -> 'w) ->
   ?retries:int ->
@@ -77,21 +104,22 @@ val commit_ft_prog :
   (int * Disk.Block.t) list ->
   ('w, Tslang.Value.t) Sched.Prog.t
 (** Fault-tolerant commit through the fallible disk writes: before the
-    commit record is written every failed write is retried at most
-    [retries] times (default 1) and then the whole transaction ABORTS
-    cleanly, returning {!Sched.Fault.err_value}; once the record is
-    durable the transaction is committed, so apply/clear retry without
-    bound (recovery would finish the job anyway).  Returns [V.unit] on
-    success. *)
+    commit point (the record write, or the [`Wal] header install) every
+    failed write is retried at most [retries] times (default 1) and then
+    the whole transaction ABORTS cleanly, returning
+    {!Sched.Fault.err_value}; once the commit point is durable the
+    transaction is committed, so apply/clear retry without bound (recovery
+    would finish the job anyway).  Returns [V.unit] on success. *)
 
 val recover_prog :
+  ?backend:backend ->
   get_disk:('w -> Disk.Single_disk.t) ->
   set_disk:('w -> Disk.Single_disk.t -> 'w) ->
   layout ->
   ('w, Tslang.Value.t) Sched.Prog.t
 (** Read the commit record; if a transaction is pending, replay its slots
     in order and clear the record.  Idempotent — safe to crash during and
-    re-run. *)
+    re-run.  Must be called with the backend that wrote the disk. *)
 
 (** {1 Standalone journal system} *)
 
@@ -116,12 +144,18 @@ val set_locks : world -> Disk.Locks.t -> world
 val the_lock : int
 (** The single lock serializing committers. *)
 
-val commit_txn_prog : layout -> (int * Disk.Block.t) list -> (world, Tslang.Value.t) Sched.Prog.t
+val commit_txn_prog :
+  ?backend:backend -> layout -> (int * Disk.Block.t) list -> (world, Tslang.Value.t) Sched.Prog.t
+
 val read_prog : layout -> int -> (world, Tslang.Value.t) Sched.Prog.t
-val recover : layout -> (world, Tslang.Value.t) Sched.Prog.t
+val recover : ?backend:backend -> layout -> (world, Tslang.Value.t) Sched.Prog.t
 
 val commit_txn_ft_prog :
-  ?retries:int -> layout -> (int * Disk.Block.t) list -> (world, Tslang.Value.t) Sched.Prog.t
+  ?backend:backend ->
+  ?retries:int ->
+  layout ->
+  (int * Disk.Block.t) list ->
+  (world, Tslang.Value.t) Sched.Prog.t
 
 val read_ft_prog : ?retries:int -> layout -> int -> (world, Tslang.Value.t) Sched.Prog.t
 (** Bounded-retry read; degrades to {!Sched.Fault.err_value}. *)
@@ -129,11 +163,15 @@ val read_ft_prog : ?retries:int -> layout -> int -> (world, Tslang.Value.t) Sche
 (** {2 Calls and checker configuration} *)
 
 val commit_call :
-  layout -> (int * Disk.Block.t) list -> Tslang.Spec.call * (world, Tslang.Value.t) Sched.Prog.t
+  ?backend:backend ->
+  layout ->
+  (int * Disk.Block.t) list ->
+  Tslang.Spec.call * (world, Tslang.Value.t) Sched.Prog.t
 
 val read_call : layout -> int -> Tslang.Spec.call * (world, Tslang.Value.t) Sched.Prog.t
 
 val commit_ft_call :
+  ?backend:backend ->
   ?retries:int ->
   layout ->
   (int * Disk.Block.t) list ->
@@ -146,11 +184,14 @@ val probe : layout -> (Tslang.Spec.call * (world, Tslang.Value.t) Sched.Prog.t) 
 (** Post-crash probes: read back every data address. *)
 
 val checker_config :
+  ?backend:backend ->
   layout ->
   ?max_crashes:int ->
   ?fault_budget:int ->
   (Tslang.Spec.call * (world, Tslang.Value.t) Sched.Prog.t) list list ->
   (world, state) Perennial_core.Refinement.config
+(** [?backend] selects the recovery program; build the threads with the
+    matching [commit_call ?backend]. *)
 
 (** {1 Seeded bugs}
 

@@ -1,0 +1,103 @@
+(** The write-ahead log: buffered multiwrites drained to the {!Circ} ring
+    by a logger with group commit and log absorption, applied home and
+    trimmed by an installer, with a [flush] durability barrier — verified
+    against an atomic multiwrite spec.  See the implementation header for
+    the protocol. *)
+
+module V := Tslang.Value
+module Spec := Tslang.Spec
+module P := Sched.Prog
+module Block := Disk.Block
+
+type params = private { n_data : int; cap : int; absorb : bool }
+
+val params : ?absorb:bool -> n_data:int -> cap:int -> unit -> params
+(** Home region of [n_data] blocks, ring of [cap] record slots above it.
+    [absorb] (default true) collapses buffered writes to the same address
+    before logging.  Raises [Invalid_argument] on non-positive sizes. *)
+
+val circ : params -> Circ.layout
+val disk_size : params -> int
+
+type txn = (int * Block.t) list
+
+(** {1 Log absorption} *)
+
+val absorb : (int * Block.t) list -> (int * Block.t) list
+(** Last writer wins per address; survivors keep the order of their last
+    occurrence. *)
+
+val batch_records : params -> txn list -> (int * Block.t) list
+(** The records one drained batch logs ([absorb] applied when enabled). *)
+
+(** {1 Specification} *)
+
+type state = {
+  durable : Block.t list;  (** home values as of the last logged txn *)
+  pending : txn list;  (** accepted but not yet durable, oldest first *)
+  logged : int;  (** ids [1 .. logged] are durable *)
+}
+
+val view : state -> Block.t list
+(** What reads observe: [durable] with every pending txn applied. *)
+
+val spec : params -> state Spec.t
+(** Ops: [w_mwrite entries -> id], [w_read a], [w_flush id] (settles some
+    prefix of the pending txns, then {e guards} — not [check]s — that [id]
+    is durable), [w_log] (settles some prefix), [w_install] (no abstract
+    effect).  Crash drops the pending txns. *)
+
+(** {1 World and implementation} *)
+
+type world = {
+  disk : Disk.Single_disk.t;
+  buffer : txn list;
+  vtail : int;  (** last accepted txn id = header txns + |buffer| *)
+  locks : Disk.Locks.t;
+}
+
+val init_world : params -> world
+val crash_world : world -> world
+val pp_world : Format.formatter -> world -> unit
+val get_disk : world -> Disk.Single_disk.t
+val set_disk : world -> Disk.Single_disk.t -> world
+
+val mwrite_prog : params -> txn -> (world, V.t) P.t
+val read_prog : params -> int -> (world, V.t) P.t
+val flush_prog : params -> int -> (world, V.t) P.t
+val logger_tick_prog : params -> (world, V.t) P.t
+val installer_tick_prog : params -> (world, V.t) P.t
+val recover_prog : params -> (world, V.t) P.t
+
+(** {1 Checker configuration} *)
+
+val mwrite_call : params -> txn -> Spec.call * (world, V.t) P.t
+val read_call : params -> int -> Spec.call * (world, V.t) P.t
+val flush_call : params -> int -> Spec.call * (world, V.t) P.t
+val logger_call : params -> Spec.call * (world, V.t) P.t
+val installer_call : params -> Spec.call * (world, V.t) P.t
+
+val probe : params -> (Spec.call * (world, V.t) P.t) list
+
+val checker_config :
+  params ->
+  ?max_crashes:int ->
+  ?fault_budget:int ->
+  (Spec.call * (world, V.t) P.t) list list ->
+  (world, state) Perennial_core.Refinement.config
+
+(** {1 Seeded bugs} *)
+
+module Buggy : sig
+  val logger_call_header_first : params -> Spec.call * (world, V.t) P.t
+  (** (a) Header installed before the record batch: torn log on crash. *)
+
+  val installer_call_trim_first : params -> Spec.call * (world, V.t) P.t
+  (** (b) Ring trimmed before its records are applied home: lost write on
+      crash. *)
+
+  val flush_call_absorb_logged : params -> int -> Spec.call * (world, V.t) P.t
+  (** (c) Absorption collapses against records logged before the flush
+      barrier while still counting the skipped txns durable: a durability
+      lie. *)
+end
