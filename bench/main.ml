@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- table2  -- one experiment
      (sections: table1 table2 table3 table4 fig11 patterns bugs scaling
-      durability kvs strategies faults fs wal parallel micro)
+      durability kvs strategies faults fs wal net parallel micro)
 
    Flags:
      --quick        skip the slow sections (fig11, micro)
@@ -1162,6 +1162,170 @@ let wal () =
   Shape.check "wal" (List.for_all Fun.id held && !sweep_ok)
 
 (* ------------------------------------------------------------------ *)
+(* Extension: network adversary + exactly-once RPC (sharded KV)         *)
+(* ------------------------------------------------------------------ *)
+
+let net () =
+  section "Extension: network adversary + exactly-once RPC (sharded KV)";
+  let module SK = Dist.Shard_kv in
+  let module E = Perennial_core.Explore in
+  Fmt.pr "  Messages travel over modeled channels; the adversary enumerates@.";
+  Fmt.pr "  loss, duplication, reordering and bounded delay as schedule@.";
+  Fmt.pr "  dimensions, composed with crash points and interleavings.  The@.";
+  Fmt.pr "  RPC layer (per-client seq numbers + reply cache) must make every@.";
+  Fmt.pr "  op exactly-once; leases fence zombies by epoch.  Lines of code:@.@.";
+  List.iter
+    (fun (name, files) -> Fmt.pr "    %-40s %6d@." name (Loc.count_files files))
+    [
+      ("network model (lib/sched/net)", [ "lib/sched/net.ml"; "lib/sched/net.mli" ]);
+      ("rpc + lease + sharded kv (lib/dist)",
+       [ "lib/dist/rpc.ml"; "lib/dist/lease.ml"; "lib/dist/shard_kv.ml" ]);
+      ("tests (test/test_net.ml)", [ "test/test_net.ml" ]);
+    ];
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  (* Adversary-budget sweep on the exactly-once inc instance (1 client with
+     retry/timeout/backoff, 1 server; crashes off so the network dimension
+     is isolated).  Each budget step admits one more adversarial event per
+     execution; the client's retries and the server's reply-cache hits are
+     the mechanism that keeps the op exactly-once through all of them. *)
+  Fmt.pr "@.  Adversary-budget sweep (exactly-once inc, client || server,@.";
+  Fmt.pr "  dpor+sleep):@.";
+  Fmt.pr "    %-8s %10s %12s %8s %10s %10s@." "budget" "schedules" "executions"
+    "retries" "cache-hits" "hits/exec";
+  let p = SK.params ~n_keys:1 ~n_clients:1 () in
+  let sweep_cfg budget =
+    SK.checker_config p ~max_crashes:0 ~fault_budget:budget
+      [ [ SK.ninc_call p ~client:0 ~seq:0 0; SK.bye_call ]; [ SK.srv_call p 0 ] ]
+  in
+  let growth =
+    List.map
+      (fun budget ->
+        let t0 = Unix.gettimeofday () in
+        let r = R.check ~strategy:E.Dpor_sleep (sweep_cfg budget) in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        match r with
+        | R.Refinement_holds st ->
+          let rate = float_of_int st.R.cache_hits /. float_of_int (max 1 st.R.executions) in
+          Fmt.pr "    %-8d %10d %12d %8d %10d %10.2f@." budget st.R.fault_schedules
+            st.R.executions st.R.retries_observed st.R.cache_hits rate;
+          Bench_out.add
+            (Printf.sprintf "net: adversary sweep [budget=%d]" budget)
+            ~iters:1 ~ns_per_op:(ms *. 1e6)
+            ~metrics:
+              [ ("perennial_net_budget", budget);
+                ("perennial_net_schedules", st.R.fault_schedules);
+                ("perennial_refinement_executions_total", st.R.executions);
+                ("perennial_net_retries_total", st.R.retries_observed);
+                ("perennial_net_cache_hits_total", st.R.cache_hits) ];
+          Some st
+        | R.Refinement_violated _ | R.Budget_exhausted _ ->
+          Fmt.pr "    %-8d UNEXPECTED verdict@." budget;
+          None)
+      [ 0; 1; 2 ]
+  in
+  let growth_ok =
+    match growth with
+    | [ Some s0; Some s1; Some s2 ] ->
+      s0.R.faults_injected = 0
+      && s1.R.faults_injected > 0
+      && s0.R.executions < s1.R.executions
+      && s1.R.executions < s2.R.executions
+      && s1.R.fault_schedules < s2.R.fault_schedules
+      && s1.R.retries_observed > 0
+      && s1.R.cache_hits > 0
+    | _ -> false
+  in
+  Fmt.pr "@.  Exhaustive verification (network x crash x interleavings,@.";
+  Fmt.pr "  dpor+sleep):@.";
+  let run_net_refinement name cfg =
+    match R.check ~strategy:E.Dpor_sleep cfg with
+    | R.Refinement_holds stats ->
+      Fmt.pr "    %-40s VERIFIED  %a@." name R.pp_stats stats;
+      true
+    | R.Refinement_violated (f, _) ->
+      Fmt.pr "    %-40s VIOLATED  %s@." name f.R.reason;
+      false
+    | R.Budget_exhausted stats ->
+      Fmt.pr "    %-40s BUDGET    %a@." name R.pp_stats stats;
+      false
+  in
+  let held =
+    List.map
+      (fun check -> check ())
+      [
+        (fun () ->
+          run_net_refinement "exactly-once inc, 1 crash, 1 net event"
+            (SK.checker_config p ~max_crashes:1 ~fault_budget:1
+               [ [ SK.ninc_call p ~client:0 ~seq:0 0; SK.bye_call ]; [ SK.srv_call p 0 ] ]));
+        (fun () ->
+          let pl = SK.params ~n_keys:1 ~n_clients:2 () in
+          run_net_refinement "lease: 2 holders + expiry, 1 crash"
+            (SK.checker_config pl ~max_crashes:1 ~fault_budget:0
+               [ [ SK.linc_call pl ~client:0 0 ];
+                 [ SK.linc_call pl ~client:1 0 ];
+                 [ SK.expire_call ] ]));
+      ]
+  in
+  Fmt.pr "@.  Seeded network bugs (must be caught; the adversarial event@.";
+  Fmt.pr "  shows up as a FAULT line in the counterexample lanes):@.";
+  let expect_net_violation ?(want_fault = true) name cfg =
+    match R.check ~strategy:E.Dpor_sleep cfg with
+    | R.Refinement_violated (f, _) ->
+      let lanes = Fmt.str "%a" R.pp_failure_lanes f in
+      let ok = (not want_fault) || contains lanes "FAULT" in
+      Fmt.pr "    %-44s CAUGHT%s: %s@." name
+        (if ok then "" else " (no FAULT in lanes!)")
+        (String.sub f.R.reason 0 (min 60 (String.length f.R.reason)));
+      ok
+    | R.Refinement_holds _ ->
+      Fmt.pr "    %-44s MISSED@." name;
+      false
+    | R.Budget_exhausted _ ->
+      Fmt.pr "    %-44s BUDGET@." name;
+      false
+  in
+  let caught =
+    List.map
+      (fun check -> check ())
+      [
+        (fun () ->
+          let pb = SK.params ~n_keys:1 ~n_clients:1 ~retries:0 () in
+          expect_net_violation "server without reply cache (duplicate)"
+            (SK.checker_config pb ~max_crashes:0 ~fault_budget:1
+               [ [ SK.Buggy.srv_call_no_cache pb 0 ];
+                 [ SK.ninc_call pb ~client:0 ~seq:0 0; SK.bye_call ] ]));
+        (fun () ->
+          let pr = SK.params ~n_keys:1 ~n_clients:1 ~retries:1 () in
+          let p0 = SK.params ~n_keys:1 ~n_clients:1 ~retries:0 () in
+          expect_net_violation "raw retry without seq number"
+            (SK.checker_config pr ~max_crashes:0 ~fault_budget:1
+               [ [ SK.srv_call pr 0 ];
+                 [ SK.Buggy.nput_call_raw_retry pr ~client:0 ~seq:0 0 (V.str "A");
+                   SK.nput_call p0 ~client:0 ~seq:1 0 (V.str "B");
+                   SK.bye_call ] ]));
+        (* the zombie needs no adversarial event — expiry placement alone
+           exposes the missing fence, so no FAULT line is expected *)
+        (fun () ->
+          let pl = SK.params ~n_keys:1 ~n_clients:2 () in
+          expect_net_violation ~want_fault:false "lease write without epoch fence"
+            (SK.checker_config pl ~max_crashes:0 ~fault_budget:0
+               [ [ SK.Buggy.linc_call_no_fence pl ~client:0 0 ];
+                 [ SK.Buggy.linc_call_no_fence pl ~client:1 0 ];
+                 [ SK.expire_call ] ]));
+      ]
+  in
+  Fmt.pr "@.  shape checks:@.";
+  Fmt.pr "    adversary budget grows the state space monotonically: %b@." growth_ok;
+  Fmt.pr "    exactly-once + lease fencing verified under the adversary: %b@."
+    (List.for_all Fun.id held);
+  Fmt.pr "    all seeded network bugs caught: %b@." (List.for_all Fun.id caught);
+  Shape.check "net" (growth_ok && List.for_all Fun.id held && List.for_all Fun.id caught)
+
+(* ------------------------------------------------------------------ *)
 (* Parallel exploration: domain sweep + fingerprint pruning             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1389,7 +1553,8 @@ let all =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("table4", table4);
     ("fig11", fig11); ("patterns", patterns); ("bugs", bugs); ("scaling", scaling);
     ("durability", durability); ("kvs", kvs); ("strategies", strategies);
-    ("faults", faults); ("fs", fs); ("wal", wal); ("parallel", parallel); ("micro", micro) ]
+    ("faults", faults); ("fs", fs); ("wal", wal); ("net", net); ("parallel", parallel);
+    ("micro", micro) ]
 
 let slow_sections = [ "fig11"; "micro" ]
 

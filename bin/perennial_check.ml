@@ -2,7 +2,7 @@
    print a report — the outline proofs (Theorem 2's premises) and the
    exhaustive refinement checks (its conclusion) for each system.
 
-   Usage: perennial_check [outlines|refinement|kvs|wal|fs|faults|strategies|all]
+   Usage: perennial_check [outlines|refinement|kvs|wal|fs|faults|net|strategies|all]
                           [--strategy naive|dpor|dpor+sleep]
                           [--faults N] [--max-seconds S]
                           [--domains N] [--fingerprint] [--symmetry]
@@ -32,7 +32,10 @@
                  pruning regression (DPOR exploring MORE than naive).
    --faults N    per-execution fault budget for the faults selection
                  (default 2): the checker enumerates every schedule of at
-                 most N injected I/O faults alongside crash points.
+                 most N injected I/O faults alongside crash points.  The
+                 net selection reuses it as the network-event budget,
+                 capped at 1 (network schedules branch at every
+                 send/recv, so larger budgets explode).
    --max-seconds S  wall-clock budget per exhaustive check; exceeding it
                  reports budget exhaustion instead of hanging.
    --domains N   run every exhaustive check on N domains (OCaml 5
@@ -408,6 +411,107 @@ let run_faults ~strategy ~faults () =
           (K.checker_config p ~max_crashes:0
              [ [ K.Buggy.put_ft_call_swallow_apply p 0 (V.str "A"); K.get_call p 0 ] ])))
 
+(* The network-adversary selection: the exactly-once RPC stack — reply
+   cache, retry/timeout/backoff, epoch-fenced leases over the sharded KV —
+   must HOLD under the exhaustive network x crash x interleaving check,
+   and the three seeded network bugs (no reply cache, raw retry without a
+   sequence number, lease write without an epoch fence) must each produce
+   a counterexample.  This is the CI net-matrix gate
+   (`perennial_check net`). *)
+let run_net ~strategy ~faults () =
+  let module SK = Dist.Shard_kv in
+  (* Network schedules branch at every send/recv/try_recv, so they blow up
+     much faster than disk-fault schedules: cap the per-execution budget at
+     one adversarial event.  One event is exactly what the seeded bugs need
+     and keeps every instance exhaustively checkable in seconds. *)
+  let nf = min faults 1 in
+  Printf.printf "Network-adversary checks [strategy=%s net-events=%d]:\n"
+    (E.strategy_name strategy) nf;
+  let check cfg = rcheck ~faults:nf ~strategy cfg in
+  (* lease instances branch on premature timeouts alone; keep their
+     adversary budget at zero so expiry placement stays the only dimension *)
+  let check0 cfg = rcheck ~faults:0 ~strategy cfg in
+  let bug_result name = function
+    | R.Refinement_violated (f, stats) ->
+      Ok (Fmt.str "caught: %s (%a)" f.R.reason R.pp_stats stats)
+    | R.Refinement_holds stats ->
+      Error (Fmt.str "seeded bug %s NOT caught (%a)" name R.pp_stats stats)
+    | R.Budget_exhausted stats -> Error (Fmt.str "budget exhausted (%a)" R.pp_stats stats)
+  in
+  let p1 = SK.params ~n_keys:1 ~n_clients:1 () in
+  report "shard-kv: exactly-once inc + crash + net adversary"
+    (refinement_result
+       (check
+          (SK.checker_config p1 ~max_crashes:1 ~fault_budget:nf
+             [ [ SK.ninc_call p1 ~client:0 ~seq:0 0; SK.bye_call ]; [ SK.srv_call p1 0 ] ])));
+  (let p = SK.params ~n_keys:1 ~n_clients:2 ~retries:0 () in
+   report "shard-kv: 2-client contention + net adversary"
+     (refinement_result
+        (check
+           (SK.checker_config p ~max_crashes:0 ~fault_budget:nf
+              [ [ SK.ninc_call p ~client:0 ~seq:0 0; SK.bye_call ];
+                [ SK.ninc_call p ~client:1 ~seq:0 0; SK.bye_call ];
+                [ SK.srv_call p 0 ] ]))));
+  (let pr = SK.params ~n_keys:1 ~n_clients:1 ~retries:1 () in
+   let p0 = SK.params ~n_keys:1 ~n_clients:1 ~retries:0 () in
+   report "shard-kv: retry storm (timeout/backoff) + net adversary"
+     (refinement_result
+        (check
+           (SK.checker_config pr ~max_crashes:0 ~fault_budget:nf
+              [ [ SK.nput_call pr ~client:0 ~seq:0 0 (V.str "A");
+                  SK.nput_call p0 ~client:0 ~seq:1 0 (V.str "B");
+                  SK.bye_call ];
+                [ SK.srv_call pr 0 ] ]))));
+  (let p = SK.params ~n_keys:2 ~n_shards:2 ~n_clients:1 ~retries:0 () in
+   report "shard-kv: cross-shard put/get + net adversary"
+     (refinement_result
+        (check
+           (SK.checker_config p ~max_crashes:0 ~fault_budget:nf
+              [ [ SK.nput_call p ~client:0 ~seq:0 0 (V.str "A");
+                  SK.nget_call p ~client:0 ~seq:1 1;
+                  SK.bye_call ];
+                [ SK.srv_call p 0 ]; [ SK.srv_call p 1 ] ]))));
+  (let p = SK.params ~n_keys:1 ~n_clients:2 () in
+   report "lease: 2 holders + expiry + crash (epoch fencing)"
+     (refinement_result
+        (check0
+           (SK.checker_config p ~max_crashes:1 ~fault_budget:0
+              [ [ SK.linc_call p ~client:0 0 ];
+                [ SK.linc_call p ~client:1 0 ];
+                [ SK.expire_call ] ]))));
+  (let p = SK.params ~n_keys:1 ~n_shards:1 ~n_clients:1 ~retries:0 ~init_val:(V.str "0") () in
+   report "hosted shard-kv (journal-backed) + crash + net adversary"
+     (refinement_result
+        (check
+           (SK.Hosted.checker_config p ~max_crashes:1 ~fault_budget:nf
+              [ [ SK.Hosted.nput_call p ~client:0 ~seq:0 0 (V.str "A"); SK.Hosted.bye_call ];
+                [ SK.Hosted.srv_call p 0 ] ]))));
+  (let p = SK.params ~n_keys:1 ~n_clients:1 ~retries:0 () in
+   report "seeded: server without reply cache (duplicate re-executes)"
+     (bug_result "no reply cache"
+        (check
+           (SK.checker_config p ~max_crashes:0 ~fault_budget:1
+              [ [ SK.Buggy.srv_call_no_cache p 0 ];
+                [ SK.ninc_call p ~client:0 ~seq:0 0; SK.bye_call ] ]))));
+  (let pr = SK.params ~n_keys:1 ~n_clients:1 ~retries:1 () in
+   let p0 = SK.params ~n_keys:1 ~n_clients:1 ~retries:0 () in
+   report "seeded: raw retry without seq number (stale write wins)"
+     (bug_result "raw retry"
+        (check
+           (SK.checker_config pr ~max_crashes:0 ~fault_budget:1
+              [ [ SK.srv_call pr 0 ];
+                [ SK.Buggy.nput_call_raw_retry pr ~client:0 ~seq:0 0 (V.str "A");
+                  SK.nput_call p0 ~client:0 ~seq:1 0 (V.str "B");
+                  SK.bye_call ] ]))));
+  (let p = SK.params ~n_keys:1 ~n_clients:2 () in
+   report "seeded: lease write without epoch fence (zombie write)"
+     (bug_result "no epoch fence"
+        (check0
+           (SK.checker_config p ~max_crashes:0 ~fault_budget:0
+              [ [ SK.Buggy.linc_call_no_fence p ~client:0 0 ];
+                [ SK.Buggy.linc_call_no_fence p ~client:1 0 ];
+                [ SK.expire_call ] ]))))
+
 (* Cross-strategy guard: every strategy must reach the same verdict on the
    bundled instances, and the reduced strategies must never explore more
    executions than naive.  This is the CI pruning-regression gate. *)
@@ -591,10 +695,11 @@ let () =
   end;
   let what = !what in
   (match what with
-  | "outlines" | "refinement" | "kvs" | "wal" | "fs" | "faults" | "strategies" | "all" -> ()
+  | "outlines" | "refinement" | "kvs" | "wal" | "fs" | "faults" | "net" | "strategies" | "all"
+    -> ()
   | w ->
     Printf.eprintf
-      "perennial_check: unknown selection %s (want outlines|refinement|kvs|wal|fs|faults|strategies|all)\n"
+      "perennial_check: unknown selection %s (want outlines|refinement|kvs|wal|fs|faults|net|strategies|all)\n"
       w;
     exit 2);
   Option.iter Obs.Trace.open_chrome !trace_file;
@@ -614,6 +719,7 @@ let () =
   if what = "wal" || what = "all" then run_wal ~strategy ~faults:!faults ();
   if what = "fs" || what = "all" then run_fs ~strategy ~faults:!faults ();
   if what = "faults" || what = "all" then run_faults ~strategy ~faults:!faults ();
+  if what = "net" || what = "all" then run_net ~strategy ~faults:!faults ();
   if what = "strategies" || what = "all" then run_strategies ();
   if !progress then Obs.Progress.finish ();
   Obs.Trace.close ();

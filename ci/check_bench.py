@@ -13,7 +13,11 @@ Checks:
     instance), and — only when the recording host had >= 4 cores — the
     8-domain fs run is at least 2x faster than the 1-domain run.  On
     smaller hosts the speedup gate is skipped with a message (the
-    determinism gate still applies: it never depends on the hardware).
+    determinism gate still applies: it never depends on the hardware);
+  - the network adversary-budget sweep grows schedules and executions
+    strictly monotonically, enumerates nothing at budget 0, and actually
+    exercises the exactly-once machinery (client retries + reply-cache
+    hits) at every positive budget.
 
 Usage: check_bench.py BENCH_results.json
 """
@@ -65,6 +69,7 @@ def main(path):
 
     check_parallel(sections)
     check_wal(sections)
+    check_net(sections)
 
     print(
         f"check_bench: OK: {len(sections)} records, "
@@ -112,6 +117,63 @@ def check_wal(sections):
     if not saw_reduction:
         fail("wal sweep has no batch > 2: absorption reduction never exercised")
     print(f"check_bench: wal group-commit sweep OK ({len(batches)} batch sizes)")
+
+
+def check_net(sections):
+    """Network-adversary gates over the 'net: adversary sweep [budget=K]'
+    records: the schedule count and execution count must grow strictly
+    monotonically with the adversary budget (each budget step admits more
+    network schedules), budget 0 must enumerate no adversarial schedules,
+    and every budget >= 1 must observe client retries and reply-cache hits
+    (the exactly-once mechanism actually exercised, not vacuously idle)."""
+    budgets = {}  # k -> record
+    for rec in sections:
+        name = rec.get("name", "")
+        if not name.startswith("net: adversary sweep [budget="):
+            continue
+        k = int(name.rpartition("[budget=")[2].rstrip("]"))
+        budgets[k] = rec
+
+    if not budgets:
+        print("check_bench: note: no net adversary-sweep records (section not run)")
+        return
+
+    if 0 not in budgets or len(budgets) < 2:
+        fail("net sweep needs budget 0 plus at least one positive budget")
+    m0 = budgets[0]["metrics"]
+    if m0.get("perennial_net_schedules") != 0:
+        fail(
+            f"net budget=0: {m0.get('perennial_net_schedules')} adversarial "
+            f"schedules enumerated (want 0)"
+        )
+    prev_k = None
+    for k, rec in sorted(budgets.items()):
+        m = rec["metrics"]
+        scheds = m.get("perennial_net_schedules")
+        execs = m.get("perennial_refinement_executions_total")
+        retries = m.get("perennial_net_retries_total")
+        hits = m.get("perennial_net_cache_hits_total")
+        if None in (scheds, execs, retries, hits):
+            fail(f"net budget={k}: missing adversary-sweep metrics")
+        if prev_k is not None:
+            pm = budgets[prev_k]["metrics"]
+            if scheds <= pm["perennial_net_schedules"] and k > 0:
+                fail(
+                    f"net budget={k}: schedules did not grow over budget="
+                    f"{prev_k} ({scheds} <= {pm['perennial_net_schedules']})"
+                )
+            if execs <= pm["perennial_refinement_executions_total"]:
+                fail(
+                    f"net budget={k}: executions did not grow over budget="
+                    f"{prev_k}"
+                )
+        if k >= 1 and (retries <= 0 or hits <= 0):
+            fail(
+                f"net budget={k}: retries={retries} cache_hits={hits} "
+                f"(exactly-once path never exercised)"
+            )
+        prev_k = k
+    print(f"check_bench: net adversary sweep OK ({len(budgets)} budgets)")
 
 
 def check_parallel(sections):

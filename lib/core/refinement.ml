@@ -38,6 +38,7 @@ type stats = {
   faults_injected : int;
   fault_schedules : int;
   retries_observed : int;
+  cache_hits : int;
   fingerprint_hits : int;
   fingerprint_misses : int;
 }
@@ -53,6 +54,7 @@ let pp_stats ppf s =
   if s.faults_injected > 0 || s.fault_schedules > 0 || s.retries_observed > 0 then
     Fmt.pf ppf " faults=%d fault_schedules=%d retries=%d" s.faults_injected
       s.fault_schedules s.retries_observed;
+  if s.cache_hits > 0 then Fmt.pf ppf " cache_hits=%d" s.cache_hits;
   if s.fingerprint_hits > 0 || s.fingerprint_misses > 0 then
     Fmt.pf ppf " fp_hits=%d fp_misses=%d" s.fingerprint_hits s.fingerprint_misses
 
@@ -227,6 +229,7 @@ module Mx = struct
   let faults = counter "perennial_refinement_faults_injected_total"
   let fault_scheds = counter "perennial_refinement_fault_schedules_total"
   let retries = counter "perennial_refinement_retries_observed_total"
+  let cache_hits = counter "perennial_refinement_cache_hits_total"
 
   let fp_hits = counter "perennial_refinement_fingerprint_hits_total"
   let fp_misses = counter "perennial_refinement_fingerprint_misses_total"
@@ -262,6 +265,7 @@ type counters = {
   mutable c_faults : int;
   mutable c_fault_scheds : int;
   mutable c_retries : int;
+  mutable c_cache_hits : int;
   mutable c_fp_hits : int;
   mutable c_fp_misses : int;
   mutable c_recovery_us : float;
@@ -271,7 +275,8 @@ type counters = {
 let fresh_counters () =
   { c_executions = 0; c_steps = 0; c_crashes = 0; c_vacuous = 0; c_max_candidates = 0;
     c_dedup = 0; c_frontier = 0; c_commut = 0; c_sleep = 0; c_crash_skips = 0;
-    c_faults = 0; c_fault_scheds = 0; c_retries = 0; c_fp_hits = 0; c_fp_misses = 0;
+    c_faults = 0; c_fault_scheds = 0; c_retries = 0; c_cache_hits = 0;
+    c_fp_hits = 0; c_fp_misses = 0;
     c_recovery_us = 0.; c_post_us = 0. }
 
 (* Counts add; high-water marks take the max.  [c_fault_scheds] increments
@@ -292,6 +297,7 @@ let merge_into dst src =
   dst.c_faults <- dst.c_faults + src.c_faults;
   dst.c_fault_scheds <- dst.c_fault_scheds + src.c_fault_scheds;
   dst.c_retries <- dst.c_retries + src.c_retries;
+  dst.c_cache_hits <- dst.c_cache_hits + src.c_cache_hits;
   dst.c_fp_hits <- dst.c_fp_hits + src.c_fp_hits;
   dst.c_fp_misses <- dst.c_fp_misses + src.c_fp_misses;
   dst.c_recovery_us <- dst.c_recovery_us +. src.c_recovery_us;
@@ -311,6 +317,7 @@ let snapshot ctr =
   Obs.Metrics.inc ~by:ctr.c_faults Mx.faults;
   Obs.Metrics.inc ~by:ctr.c_fault_scheds Mx.fault_scheds;
   Obs.Metrics.inc ~by:ctr.c_retries Mx.retries;
+  Obs.Metrics.inc ~by:ctr.c_cache_hits Mx.cache_hits;
   Obs.Metrics.inc ~by:ctr.c_fp_hits Mx.fp_hits;
   Obs.Metrics.inc ~by:ctr.c_fp_misses Mx.fp_misses;
   Obs.Metrics.add Mx.recovery_us ctr.c_recovery_us;
@@ -329,6 +336,7 @@ let snapshot ctr =
     faults_injected = ctr.c_faults;
     fault_schedules = ctr.c_fault_scheds;
     retries_observed = ctr.c_retries;
+    cache_hits = ctr.c_cache_hits;
     fingerprint_hits = ctr.c_fp_hits;
     fingerprint_misses = ctr.c_fp_misses;
   }
@@ -712,6 +720,8 @@ let run_instance (type w s) (cfg : (w, s) config) ~strategy ~fault_budget ~deadl
   let note_label label =
     if String.length label >= 5 && String.sub label 0 5 = "retry" then
       ctr.c_retries <- ctr.c_retries + 1
+    else if String.length label >= 13 && String.sub label 0 13 = "rpc_cache_hit" then
+      ctr.c_cache_hits <- ctr.c_cache_hits + 1
   in
 
   (* A path that reaches spec-level undefined behaviour is vacuously

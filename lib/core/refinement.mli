@@ -46,7 +46,10 @@ type ('w, 's) config = {
           alongside all crash points.  Faults fire only in the main phase:
           recovery and post probes run fault-free (the reliable-recovery
           assumption — recovery retried forever eventually sees good
-          I/O). *)
+          I/O).  Network events ({!Sched.Fault.Msg_drop} etc., see
+          {!Sched.Net}) are fault kinds, so the same assumption covers
+          them: the network is reliable during recovery — a recovering
+          lease service eventually reaches its shards. *)
   max_seconds : float option;
       (** wall-clock budget for the whole check; [None] = unlimited.
           Exceeding it yields {!Budget_exhausted}, like [step_budget]. *)
@@ -91,6 +94,10 @@ type stats = {
       (** distinct non-empty fault schedules over completed executions *)
   retries_observed : int;
       (** committed steps labelled ["retry…"] — the retry-loop convention *)
+  cache_hits : int;
+      (** committed steps labelled ["rpc_cache_hit…"] — an RPC server
+          answering a duplicate request from its reply cache instead of
+          re-executing it (the at-most-once convention) *)
   fingerprint_hits : int;
       (** settled nodes pruned because an equal fingerprint was already
           explored in this check (0 unless [~fingerprint:true]) *)

@@ -1,0 +1,44 @@
+(** Lease state for the lock/lease service: a single lease with a
+    monotonically increasing epoch number.
+
+    Acquiring a free lease bumps the epoch; the holder uses that epoch to
+    fence its storage writes ({!Shard_kv}: shards remember the highest
+    epoch that fenced them and reject anything older).  Expiry — modeled
+    as an explicit harness step the scheduler can place anywhere — only
+    clears the holder; the epoch survives, and survives crashes too, so a
+    post-crash or post-expiry acquirer always fences with a strictly
+    newer epoch than any zombie. *)
+
+type t = { epoch : int; holder : int option }
+
+let init = { epoch = 0; holder = None }
+
+(** Crash: the lease is lost with the machines, the epoch is durable. *)
+let crash t = { t with holder = None }
+
+(** Expiry: the holder's time is up.  Epoch unchanged — the NEXT acquire
+    bumps it. *)
+let expire t = { t with holder = None }
+
+(** [acquire c t] grants the lease to [c] under a fresh epoch if it is
+    free. *)
+let acquire c t =
+  match t.holder with
+  | Some _ -> None
+  | None ->
+    let epoch = t.epoch + 1 in
+    Some (epoch, { epoch; holder = Some c })
+
+(** [release c e t] frees the lease if [c] still holds it under epoch [e];
+    a zombie release (expired, or a newer holder) is a no-op. *)
+let release c e t = if t.holder = Some c && t.epoch = e then { t with holder = None } else t
+
+let compare a b =
+  let c = Int.compare a.epoch b.epoch in
+  if c <> 0 then c else Option.compare Int.compare a.holder b.holder
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "lease{e%d %s}" t.epoch
+    (match t.holder with None -> "free" | Some c -> "c" ^ string_of_int c)

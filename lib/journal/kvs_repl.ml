@@ -12,11 +12,18 @@ module K = Kvs
 module V = Tslang.Value
 module Block = Disk.Block
 
-type t = { params : K.params; mutable world : K.world }
+type t = { params : K.params; timeout_steps : int option; mutable world : K.world }
 
-let create ?(n_keys = 8) () =
+(* --timeout-ms is converted to a step budget: the simulated backend has no
+   wall clock, so one millisecond of patience buys a fixed number of
+   committed program steps.  Deterministic on purpose — the regression test
+   must see the same verdict on every machine. *)
+let steps_per_ms = 1000
+
+let create ?(n_keys = 8) ?timeout_ms () =
   let params = K.params ~n_keys () in
-  { params; world = K.init_world params }
+  let timeout_steps = Option.map (fun ms -> max 0 ms * steps_per_ms) timeout_ms in
+  { params; timeout_steps; world = K.init_world params }
 
 let params t = t.params
 
@@ -25,11 +32,23 @@ let max_line = 4096
 let help = "GET/PUT/TXN/ASYNC/FLUSH/CRASH/RECOVER/DUMP/QUIT"
 
 exception Quit
+exception Timeout
 
 let run t prog =
-  let w, v = Sched.Runner.run1 t.world prog in
-  t.world <- w;
-  v
+  match t.timeout_steps with
+  | None ->
+    let w, v = Sched.Runner.run1 t.world prog in
+    t.world <- w;
+    v
+  | Some max_steps -> (
+    (* a command that exceeds its budget — a degraded _ft path spinning
+       through retries, or any runaway backend program — is abandoned with
+       the world at its pre-command state, like a client giving up *)
+    match Sched.Runner.run ~max_steps t.world [ prog ] with
+    | o ->
+      t.world <- o.Sched.Runner.world;
+      o.Sched.Runner.results.(0)
+    | exception Failure _ -> raise Timeout)
 
 let dump t =
   let p = t.params in
@@ -109,4 +128,5 @@ let exec_line t line : string list =
   else
     try exec_unsafe t line with
     | Quit -> raise Quit
+    | Timeout -> [ "ERR timeout" ]
     | e -> [ "ERR internal: " ^ Printexc.to_string e ]

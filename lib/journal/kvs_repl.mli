@@ -9,14 +9,23 @@
     and oversized input (lines beyond {!max_line} bytes) all produce
     ["ERR ..."] responses; unexpected exceptions from the store are caught
     and reported as ["ERR internal: ..."] so no input can kill the
+    session.  With a [timeout_ms] budget, a command whose backend program
+    runs away — a degraded [_ft] path spinning through retries — answers
+    ["ERR timeout"] with the store untouched instead of hanging the
     session. *)
 
 type t
 (** A session: parameters plus the current world, threaded through
     {!exec_line}. *)
 
-val create : ?n_keys:int -> unit -> t
-(** A fresh store; [n_keys] defaults to 8. *)
+val create : ?n_keys:int -> ?timeout_ms:int -> unit -> t
+(** A fresh store; [n_keys] defaults to 8.  [timeout_ms] bounds each
+    command's execution (the [--timeout-ms] knob of [bin/kvs_server]):
+    the simulated backend has no wall clock, so the budget is a
+    deterministic step allowance of 1000 committed steps per
+    millisecond.  A command that exceeds it is abandoned — the response
+    is ["ERR timeout"] and the world keeps its pre-command state.
+    Omitted (the default), commands run without a bound, as before. *)
 
 val params : t -> Kvs.params
 

@@ -1,0 +1,38 @@
+(** A binary min-heap keyed by float: the simulator's event queue.
+
+    {!Sim.run} pushes every future event (request completion, GC slice,
+    lock hand-off) keyed by its virtual timestamp in microseconds and
+    pops them in time order; the per-request latencies measured off that
+    timeline are the samples behind {!Sim.percentile}, which implements
+    the {e nearest-rank} definition: the [p]-th percentile of [n]
+    samples is the value at sorted index [ceil (p/100 * n) - 1]
+    (clamped to the array) — always an actual sample, never an
+    interpolation, so p50/p95/p99 of a simulated run are values some
+    request really saw.
+
+    Contract notes:
+
+    - [pop] returns a minimum-key entry; entries with {e equal} keys
+      come back in an unspecified (but deterministic, insertion-order
+      dependent) order.  Simultaneous events must therefore be made
+      order-insensitive by the caller, or disambiguated with distinct
+      keys — the simulator does the latter for metric determinism.
+    - Keys are not required to be pushed monotonically; scheduling an
+      event in the past is allowed and pops before everything later.
+    - NaN keys are not supported (comparisons would be vacuous and heap
+      order meaningless). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]; amortized O(log n),
+    growing the backing array as needed. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns a minimum-key entry, or [None] if the
+    heap is empty.  O(log n). *)

@@ -12,6 +12,10 @@ type kind =
   | Torn_write of int
   | Disk_offline
   | Disk_online
+  | Msg_drop
+  | Msg_dup
+  | Msg_reorder of int
+  | Msg_delay
 
 let kind_name = function
   | Read_error -> "read_error"
@@ -19,6 +23,10 @@ let kind_name = function
   | Torn_write k -> Printf.sprintf "torn_write(%d)" k
   | Disk_offline -> "disk_offline"
   | Disk_online -> "disk_online"
+  | Msg_drop -> "msg_drop"
+  | Msg_dup -> "msg_dup"
+  | Msg_reorder k -> Printf.sprintf "msg_reorder(%d)" k
+  | Msg_delay -> "msg_delay"
 
 let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
 

@@ -14,6 +14,14 @@ type kind =
       (** a multi-block write persists only its first [k] blocks *)
   | Disk_offline  (** a disk detaches mid-operation (two-disk only) *)
   | Disk_online  (** a detached disk re-attaches (two-disk only) *)
+  | Msg_drop  (** network: a sent message is lost in flight *)
+  | Msg_dup  (** network: a sent message is delivered twice *)
+  | Msg_reorder of int
+      (** network: a receive delivers the [k]-th waiting message
+          ([k >= 1]) instead of the head *)
+  | Msg_delay
+      (** network: delivery is delayed past the receiver's timeout — a
+          non-blocking receive times out even though a message is queued *)
 
 val kind_name : kind -> string
 val pp_kind : kind Fmt.t

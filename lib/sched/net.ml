@@ -1,0 +1,249 @@
+(** Message-passing network model with an enumerable adversary.
+
+    Channels are named FIFO queues of {!Tslang.Value} messages living inside
+    the program world (behind a [~get]/[~set] lens, like every other piece
+    of shared state).  The network adversary — loss, duplication,
+    reordering, bounded delay — is expressed through the SAME machinery as
+    storage faults: each send/recv step declares its adversary events on
+    {!Prog.Atomic}'s [faults] channel, so the refinement checker's
+    fault-budget enumeration, the runner's fault-schedule oracle, DPOR's
+    dependence rule for fault sites, coverage-site registration, and FAULT
+    lane rendering all compose with network schedules exactly as they do
+    with disk faults today. *)
+
+module V = Tslang.Value
+module P = Prog
+module Fp = Footprint
+
+(* ------------------------------------------------------------------ *)
+(* Adversary event kinds                                               *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Drop
+  | Dup
+  | Reorder of int
+  | Delay
+
+let kind_name = function
+  | Drop -> "msg_drop"
+  | Dup -> "msg_dup"
+  | Reorder k -> Printf.sprintf "msg_reorder(%d)" k
+  | Delay -> "msg_delay"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_name k)
+let compare_kind (a : kind) (b : kind) = Stdlib.compare a b
+let equal_kind (a : kind) (b : kind) = a = b
+
+let to_fault = function
+  | Drop -> Fault.Msg_drop
+  | Dup -> Fault.Msg_dup
+  | Reorder k -> Fault.Msg_reorder k
+  | Delay -> Fault.Msg_delay
+
+let of_fault = function
+  | Fault.Msg_drop -> Some Drop
+  | Fault.Msg_dup -> Some Dup
+  | Fault.Msg_reorder k -> Some (Reorder k)
+  | Fault.Msg_delay -> Some Delay
+  | Fault.Read_error | Fault.Write_error | Fault.Torn_write _ | Fault.Disk_offline
+  | Fault.Disk_online ->
+    None
+
+(* ------------------------------------------------------------------ *)
+(* Network schedules                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type injection = { at : int; kind : kind }
+type schedule = injection list
+
+let pp_injection ppf i = Format.fprintf ppf "%d:%s" i.at (kind_name i.kind)
+
+let pp_schedule ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; "
+       (List.map (fun i -> Printf.sprintf "%d:%s" i.at (kind_name i.kind)) s))
+
+let compare_injection a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c else compare_kind a.kind b.kind
+
+let compare_schedule = List.compare compare_injection
+
+(* Same recursion as {!Fault.enumerate}: deterministic in the input,
+   duplicate-free (sites and kinds de-duplicated first), empty schedule
+   first. *)
+let enumerate ~budget sites =
+  let sites =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (List.map (fun (at, ks) -> (at, List.sort_uniq compare_kind ks)) sites)
+  in
+  let rec go budget = function
+    | [] -> [ [] ]
+    | (at, kinds) :: rest ->
+      let without = go budget rest in
+      if budget <= 0 then without
+      else
+        let tails = go (budget - 1) rest in
+        without
+        @ List.concat_map
+            (fun kind -> List.map (fun tl -> { at; kind } :: tl) tails)
+            kinds
+  in
+  go (max 0 budget) sites
+
+let to_fault_schedule s =
+  List.map (fun { at; kind } -> { Fault.at; kind = to_fault kind }) s
+
+(* ------------------------------------------------------------------ *)
+(* Channel state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Sorted assoc of non-empty queues (oldest message first): the
+   representation is canonical, so structural compare/equal are semantic. *)
+type state = (string * V.t list) list
+
+let empty : state = []
+let is_empty (st : state) = st = []
+
+let rec send ch m (st : state) : state =
+  match st with
+  | [] -> [ (ch, [ m ]) ]
+  | (c, q) :: rest ->
+    let cmp = String.compare ch c in
+    if cmp < 0 then (ch, [ m ]) :: st
+    else if cmp = 0 then (c, q @ [ m ]) :: rest
+    else (c, q) :: send ch m rest
+
+let queue ch (st : state) = match List.assoc_opt ch st with None -> [] | Some q -> q
+let length ch st = List.length (queue ch st)
+let peek ch st = match queue ch st with [] -> None | m :: _ -> Some m
+let channels (st : state) = List.map fst st
+
+(* Deliver the [i]-th waiting message (0-based) out of order. *)
+let recv_at ch i (st : state) =
+  let q = queue ch st in
+  if i < 0 || i >= List.length q then None
+  else
+    let m = List.nth q i in
+    let q' = List.filteri (fun j _ -> j <> i) q in
+    let st' =
+      if q' = [] then List.remove_assoc ch st
+      else List.map (fun (c, x) -> if c = ch then (c, q') else (c, x)) st
+    in
+    Some (m, st')
+
+let recv ch st = recv_at ch 0 st
+
+let clear (_ : state) : state = []
+(** Crash semantics: channels are volatile — every in-flight message is
+    lost with the machines.  (Recovery itself runs over a reliable network:
+    the adversary only fires inside the main phase, mirroring the
+    reliable-recovery fault assumption in {!Refinement}.) *)
+
+let compare (a : state) (b : state) =
+  List.compare
+    (fun (c1, q1) (c2, q2) ->
+      let c = String.compare c1 c2 in
+      if c <> 0 then c else List.compare V.compare q1 q2)
+    a b
+
+let equal a b = compare a b = 0
+
+let pp ppf (st : state) =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; "
+       (List.map
+          (fun (c, q) ->
+            Printf.sprintf "%s:[%s]" c
+              (String.concat ", " (List.map (Format.asprintf "%a" V.pp) q)))
+          st))
+
+(* ------------------------------------------------------------------ *)
+(* Program steps                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let chan_loc ch = Fp.cell ("net:" ^ ch)
+
+(* The reorder events a receive can absorb in [st]: deliver the k-th
+   waiting message instead of the head, for k up to [window] (and within
+   the queue).  Needs at least two queued messages to differ from a normal
+   receive. *)
+let reorder_alts ~window ch st deliver =
+  let n = length ch st in
+  let rec ks k = if k > window || k >= n then [] else k :: ks (k + 1) in
+  List.map
+    (fun k ->
+      match recv_at ch k st with
+      | None -> assert false
+      | Some (m, st') -> (Fault.Msg_reorder k, st', deliver m st'))
+    (ks 1)
+
+let send_step ~get ~set ?(reliable = false) ch msg =
+  let fp _w = Fp.rw ~reads:[ chan_loc ch ] ~writes:[ chan_loc ch ] () in
+  let action w = P.Steps [ (set w (send ch msg (get w)), ()) ] in
+  let faults w =
+    if reliable then []
+    else
+      [
+        (Fault.Msg_drop, w, ());
+        (Fault.Msg_dup, set w (send ch msg (send ch msg (get w))), ());
+      ]
+  in
+  P.atomic ~fp ~faults ("net_send(" ^ ch ^ ")") action
+
+(* Blocking receive: unschedulable while the channel is empty.  No [Delay]
+   event here — in an interleaving semantics, delaying delivery to a
+   receiver that is willing to wait forever is subsumed by the scheduler
+   simply not running it yet; delay is only observable against a timeout
+   (see {!try_recv_step}). *)
+let recv_step ~get ~set ?(window = 1) ch =
+  let fp _w = Fp.rw ~reads:[ chan_loc ch ] ~writes:[ chan_loc ch ] () in
+  let action w =
+    match recv ch (get w) with
+    | None -> P.Steps []
+    | Some (m, st') -> P.Steps [ (set w st', m) ]
+  in
+  let faults w =
+    reorder_alts ~window ch (get w) (fun m st' -> ignore st'; m)
+    |> List.map (fun (kd, st', m) -> (kd, set w st', m))
+  in
+  P.atomic ~fp ~faults ("net_recv(" ^ ch ^ ")") action
+
+(* Non-blocking receive with a timeout outcome: an empty channel returns
+   [None] immediately (the caller's timeout fired), and the [Delay] event
+   makes the timeout fire even though a message IS queued — delivery
+   delayed past the deadline, message still in flight. *)
+let try_recv_step ~get ~set ?(window = 1) ch =
+  let fp _w = Fp.rw ~reads:[ chan_loc ch ] ~writes:[ chan_loc ch ] () in
+  let action w =
+    match recv ch (get w) with
+    | None -> P.Steps [ (w, None) ]
+    | Some (m, st') -> P.Steps [ (set w st', Some m) ]
+  in
+  let faults w =
+    let st = get w in
+    let delay = if length ch st = 0 then [] else [ (Fault.Msg_delay, w, None) ] in
+    delay
+    @ (reorder_alts ~window ch st (fun m _ -> Some m)
+      |> List.map (fun (kd, st', m) -> (kd, set w st', m)))
+  in
+  P.atomic ~fp ~faults ("net_try_recv(" ^ ch ^ ")") action
+
+(* Server-loop receive: blocks until a message arrives OR the harness-level
+   [until] predicate holds with the channel drained (all clients done →
+   [None] → orderly shutdown).  [until_reads] lists the locations [until]
+   reads so DPOR keeps it ordered against the steps that change them. *)
+let recv_until ~get ~set ?(window = 1) ~until ?(until_reads = []) ch =
+  let fp _w = Fp.rw ~reads:(chan_loc ch :: until_reads) ~writes:[ chan_loc ch ] () in
+  let action w =
+    match recv ch (get w) with
+    | Some (m, st') -> P.Steps [ (set w st', Some m) ]
+    | None -> if until w then P.Steps [ (w, None) ] else P.Steps []
+  in
+  let faults w =
+    reorder_alts ~window ch (get w) (fun m _ -> Some m)
+    |> List.map (fun (kd, st', m) -> (kd, set w st', m))
+  in
+  P.atomic ~fp ~faults ("net_recv(" ^ ch ^ ")") action

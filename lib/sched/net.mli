@@ -1,0 +1,153 @@
+(** Message-passing network model with an enumerable adversary.
+
+    Channels are named FIFO queues of {!Tslang.Value} messages living inside
+    the program world behind a [~get]/[~set] lens.  The adversary — message
+    loss, duplication, reordering, bounded delay — rides the SAME machinery
+    as storage faults: each send/recv step declares its adversary events on
+    {!Prog.Atomic}'s [faults] channel (as the [Fault.Msg_*] kinds), so
+
+    - the refinement checker's fault-budget enumeration explores network
+      schedules composed with crash points and interleavings exactly as it
+      explores disk-fault schedules;
+    - the runner's [?fault_schedule] oracle can replay a specific network
+      schedule deterministically;
+    - DPOR stays sound (steps with live fault branches are globally
+      dependent; every step also carries a per-channel footprint);
+    - every [(channel, event-kind)] pair registers a coverage site
+      ([net_send(ch):msg_drop], …) in {!Obs.Coverage}, and fired events
+      render as FAULT lines in counterexample lanes.
+
+    Crash semantics: channels are volatile — a crash loses every in-flight
+    message ({!clear}).  Recovery runs over a reliable network: the
+    adversary only fires inside the main phase, mirroring the
+    reliable-recovery fault assumption. *)
+
+(** {1 Adversary event kinds} *)
+
+type kind =
+  | Drop  (** the sent message is lost in flight *)
+  | Dup  (** the sent message is delivered twice *)
+  | Reorder of int
+      (** a receive delivers the [k]-th waiting message ([k >= 1])
+          instead of the head *)
+  | Delay
+      (** delivery delayed past the receiver's timeout: a non-blocking
+          receive times out even though a message is queued *)
+
+val kind_name : kind -> string
+val pp_kind : kind Fmt.t
+val compare_kind : kind -> kind -> int
+val equal_kind : kind -> kind -> bool
+
+val to_fault : kind -> Fault.kind
+(** The [Fault.Msg_*] embedding network steps declare their events with. *)
+
+val of_fault : Fault.kind -> kind option
+(** Partial inverse of {!to_fault}: [None] on storage-fault kinds. *)
+
+(** {1 Network schedules} *)
+
+type injection = { at : int; kind : kind }
+(** Fire network event [kind] at the [at]-th fault-eligible step of the
+    execution — the same step numbering as {!Fault.injection}, so network
+    and storage injections share one schedule space. *)
+
+type schedule = injection list
+
+val pp_injection : injection Fmt.t
+val pp_schedule : schedule Fmt.t
+val compare_injection : injection -> injection -> int
+val compare_schedule : schedule -> schedule -> int
+
+val enumerate : budget:int -> (int * kind list) list -> schedule list
+(** [enumerate ~budget sites] lists every network schedule drawing at most
+    [budget] events from [sites], a list of [(site_index, kinds_available)]
+    pairs — the network mirror of {!Fault.enumerate}: deterministic in the
+    input, duplicate-free (sites and kinds de-duplicated first), the empty
+    schedule first, and each dimension (loss, duplication, reordering,
+    delay) contributing independently. *)
+
+val to_fault_schedule : schedule -> Fault.schedule
+(** Embed a network schedule into the runner's fault-schedule oracle. *)
+
+(** {1 Channel state} *)
+
+type state
+(** Canonical (sorted, no empty queues), so structural equality of worlds
+    containing a [state] is semantic equality. *)
+
+val empty : state
+val is_empty : state -> bool
+
+val send : string -> Tslang.Value.t -> state -> state
+(** Enqueue at the tail of the named channel. *)
+
+val recv : string -> state -> (Tslang.Value.t * state) option
+(** Dequeue the head; [None] if the channel is empty. *)
+
+val recv_at : string -> int -> state -> (Tslang.Value.t * state) option
+(** Dequeue the [i]-th waiting message (0-based) — out-of-order delivery. *)
+
+val peek : string -> state -> Tslang.Value.t option
+val length : string -> state -> int
+val channels : state -> string list
+
+val clear : state -> state
+(** Crash transition: every in-flight message is lost. *)
+
+val compare : state -> state -> int
+val equal : state -> state -> bool
+val pp : state Fmt.t
+
+(** {1 Program steps}
+
+    Every step embeds the channel name in its label, so coverage sites are
+    per [(channel, event-kind)] and lanes show which channel an event hit. *)
+
+val chan_loc : string -> Footprint.loc
+(** The volatile footprint location of a channel ([Volatile ("net:"^ch)]). *)
+
+val send_step :
+  get:('w -> state) ->
+  set:('w -> state -> 'w) ->
+  ?reliable:bool ->
+  string ->
+  Tslang.Value.t ->
+  ('w, unit) Prog.t
+(** One send.  Unless [~reliable:true], declares [Drop] (message lost,
+    state unchanged) and [Dup] (enqueued twice) as adversary events. *)
+
+val recv_step :
+  get:('w -> state) ->
+  set:('w -> state -> 'w) ->
+  ?window:int ->
+  string ->
+  ('w, Tslang.Value.t) Prog.t
+(** Blocking receive: unschedulable while the channel is empty.  Declares
+    [Reorder k] for [1 <= k <= window] (default 1) when at least [k+1]
+    messages wait.  No [Delay] event: delaying delivery to a receiver
+    willing to wait forever is subsumed by the scheduler not running it. *)
+
+val try_recv_step :
+  get:('w -> state) ->
+  set:('w -> state -> 'w) ->
+  ?window:int ->
+  string ->
+  ('w, Tslang.Value.t option) Prog.t
+(** Non-blocking receive with a timeout outcome: an empty channel returns
+    [None] (the caller's timeout fired).  Declares [Delay] — timeout fires
+    even though a message IS queued, delivery delayed past the deadline —
+    and [Reorder] like {!recv_step}. *)
+
+val recv_until :
+  get:('w -> state) ->
+  set:('w -> state -> 'w) ->
+  ?window:int ->
+  until:('w -> bool) ->
+  ?until_reads:Footprint.loc list ->
+  string ->
+  ('w, Tslang.Value.t option) Prog.t
+(** Server-loop receive: blocks until a message arrives ([Some m]) or the
+    harness-level [until] predicate holds with the channel drained ([None]
+    — orderly shutdown).  [until_reads] lists the locations [until] reads,
+    so DPOR keeps the step ordered against whatever changes them. *)

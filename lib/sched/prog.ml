@@ -64,6 +64,25 @@ module Syntax = struct
   let ( let+ ) m f = map f m
 end
 
+let rec lift : type a. get:('w -> 'v) -> set:('w -> 'v -> 'w) -> ('v, a) t -> ('w, a) t =
+ fun ~get ~set -> function
+  | Done a -> Done a
+  | Mark (m, p) -> Mark (m, lift ~get ~set p)
+  | Atomic { label; fp; action; faults; k } ->
+    Atomic
+      {
+        label;
+        fp = (fun w -> fp (get w));
+        action =
+          (fun w ->
+            match action (get w) with
+            | Ub r -> Ub r
+            | Steps outs -> Steps (List.map (fun (v', b) -> (set w v', b)) outs));
+        faults =
+          (fun w -> List.map (fun (kd, v', b) -> (kd, set w v', b)) (faults (get w)));
+        k = (fun b -> lift ~get ~set (k b));
+      }
+
 let span ?(cat = "") name p =
   Mark (Enter { sm_name = name; sm_cat = cat }, bind p (fun v -> Mark (Exit, Done v)))
 

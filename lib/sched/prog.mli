@@ -89,6 +89,15 @@ module Syntax : sig
   val ( let+ ) : ('w, 'a) t -> ('a -> 'b) -> ('w, 'b) t
 end
 
+val lift : get:('w -> 'v) -> set:('w -> 'v -> 'w) -> ('v, 'a) t -> ('w, 'a) t
+(** [lift ~get ~set p] runs a program over a component world ['v] inside a
+    larger world ['w] through a lens — every step's action, footprint, and
+    declared faults are mapped through [get]/[set].  This is how a host
+    world embeds a whole subsystem (e.g. a shard's {!Journal.Kvs} world
+    inside a distributed-service world) without rewriting its programs.
+    Labels, marks, and fault kinds pass through unchanged, so traces,
+    coverage sites, and DPOR dependence are those of the inner program. *)
+
 val span : ?cat:string -> string -> ('w, 'a) t -> ('w, 'a) t
 (** [span ~cat name p] wraps [p] in [Enter]/[Exit] marks so an
     interpreter that understands marks (the runner) emits a causal span

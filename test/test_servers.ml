@@ -246,6 +246,28 @@ let test_kvs_repl_oversized () =
   (* rejected before parsing: the store is untouched *)
   Alcotest.(check (list string)) "key untouched" [ "0" ] (Repl.exec_line t "GET 0")
 
+(* Regression: a command whose backend program exceeds the --timeout-ms
+   budget must answer `ERR timeout` (world untouched, session alive), not
+   hang the session or die with `ERR internal`.  A zero budget degrades
+   every backend program, which is exactly what a stuck _ft retry loop
+   looks like from the REPL's side. *)
+let test_kvs_repl_timeout () =
+  let module Repl = Journal.Kvs_repl in
+  let t = Repl.create ~timeout_ms:0 () in
+  Alcotest.(check (list string)) "put times out" [ "ERR timeout" ] (Repl.exec_line t "PUT 0 v");
+  Alcotest.(check (list string)) "txn times out" [ "ERR timeout" ] (Repl.exec_line t "TXN 0=a 1=b");
+  (* the session survives: parsing still answers without touching the store *)
+  Alcotest.(check (list string))
+    "parse errors still reported" [ "ERR bad key" ] (Repl.exec_line t "GET 99");
+  (* a generous budget leaves every command's behavior unchanged *)
+  let t = Repl.create ~timeout_ms:1000 () in
+  Alcotest.(check (list string)) "put ok" [ "OK durable" ] (Repl.exec_line t "PUT 0 v");
+  Alcotest.(check (list string)) "get ok" [ "v" ] (Repl.exec_line t "GET 0");
+  Alcotest.(check (list string)) "txn ok" [ "OK committed 2 keys" ] (Repl.exec_line t "TXN 1=a 2=b");
+  Alcotest.(check (list string)) "crash ok" [ "OK crashed (buffer lost)" ] (Repl.exec_line t "CRASH");
+  Alcotest.(check (list string)) "recover ok" [ "OK recovered" ] (Repl.exec_line t "RECOVER");
+  Alcotest.(check (list string)) "durable value intact" [ "v" ] (Repl.exec_line t "GET 0")
+
 let test_smtp_oversized_message () =
   let s = new_server () in
   let smtp = Mailboat.Smtp.create ~max_data:64 s in
@@ -337,6 +359,7 @@ let suite =
     Alcotest.test_case "pop3: session holds the user lock" `Quick test_pop3_lock_session_excludes_delete;
     Alcotest.test_case "kvs repl: malformed input" `Quick test_kvs_repl_malformed;
     Alcotest.test_case "kvs repl: oversized input" `Quick test_kvs_repl_oversized;
+    Alcotest.test_case "kvs repl: command timeout (--timeout-ms)" `Quick test_kvs_repl_timeout;
     Alcotest.test_case "smtp: oversized message (552)" `Quick test_smtp_oversized_message;
     Alcotest.test_case "smtp: long command line (500)" `Quick test_smtp_long_command_line;
     Alcotest.test_case "pop3: long command line" `Quick test_pop3_long_command_line;
